@@ -1,0 +1,97 @@
+"""Ablation — barrier vs event-driven timing engines.
+
+The reproduction's latencies come from a stage-synchronous (barrier)
+model; this bench re-prices the paper's key configurations under the
+event-driven engine (per-rank dependencies, FIFO-serial links) and checks
+that the conclusions — reordering's wins and the no-harm property — are
+invariant to the simulation semantics.  Run at a moderate scale (the
+event engine is a Python loop over messages).
+"""
+
+import pytest
+
+from repro.collectives.allgather_rd import RecursiveDoublingAllgather
+from repro.collectives.allgather_ring import RingAllgather
+from repro.mapping.initial import make_layout
+from repro.mapping.reorder import reorder_ranks
+from repro.simmpi.eventsim import EventDrivenEngine
+from repro.topology.gpc import gpc_cluster
+from repro.evaluation.evaluator import AllgatherEvaluator
+
+P = 256  # 32 nodes — big enough for every channel class, small enough for DES
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cluster = gpc_cluster(P // 8)
+    ev = AllgatherEvaluator(cluster, rng=0)
+    des = EventDrivenEngine(cluster, ev.cost)
+    return cluster, ev, des
+
+
+@pytest.fixture(scope="module")
+def engine_data(setup):
+    cluster, ev, des = setup
+    cases = [
+        ("block-bunch", RecursiveDoublingAllgather(), "recursive-doubling", 1024),
+        ("block-bunch", RingAllgather(), "ring", 65536),
+        ("cyclic-scatter", RecursiveDoublingAllgather(), "recursive-doubling", 1024),
+        ("cyclic-scatter", RingAllgather(), "ring", 65536),
+    ]
+    rows = []
+    for lname, alg, pattern, bb in cases:
+        L = make_layout(lname, cluster, P)
+        res = reorder_ranks(pattern, L, ev.D, rng=0)
+        sched = alg.schedule(P)
+        row = {
+            "case": f"{lname}/{alg.name}/{bb}",
+            "barrier_base": ev.engine.evaluate(sched, L, bb).total_seconds,
+            "barrier_tuned": ev.engine.evaluate(sched, res.mapping, bb).total_seconds,
+            "event_base": des.evaluate(sched, L, bb).total_seconds,
+            "event_tuned": des.evaluate(sched, res.mapping, bb).total_seconds,
+        }
+        rows.append(row)
+    return rows
+
+
+def test_engine_comparison_report(benchmark, engine_data, save_report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [f"Ablation — barrier vs event-driven engine, p={P}"]
+    lines.append(
+        f"{'case':>36} {'barrier(us)':>12} {'event(us)':>12} "
+        f"{'barrier gain':>13} {'event gain':>11}"
+    )
+    for r in engine_data:
+        bg = 100 * (r["barrier_base"] - r["barrier_tuned"]) / r["barrier_base"]
+        eg = 100 * (r["event_base"] - r["event_tuned"]) / r["event_base"]
+        lines.append(
+            f"{r['case']:>36} {r['barrier_base'] * 1e6:>12.1f} "
+            f"{r['event_base'] * 1e6:>12.1f} {bg:>12.1f}% {eg:>10.1f}%"
+        )
+    save_report("ablation_engines.txt", "\n".join(lines))
+
+
+def test_conclusions_engine_invariant(benchmark, engine_data):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for r in engine_data:
+        bg = (r["barrier_base"] - r["barrier_tuned"]) / r["barrier_base"]
+        eg = (r["event_base"] - r["event_tuned"]) / r["event_base"]
+        if "cyclic" in r["case"] and "ring" in r["case"]:
+            # the headline cyclic+ring win survives the change of engine
+            assert bg > 0.2 and eg > 0.2, r["case"]
+        elif "block" in r["case"] and "recursive" in r["case"]:
+            # so does the block+RD win
+            assert bg > 0.2 and eg > 0.2, r["case"]
+        else:
+            # elsewhere (block+ring ideal layout; cyclic+RD already
+            # near-optimal for the pattern) reordering is ~neutral under
+            # both engines — this is the adaptive reorderer's use case
+            assert abs(bg) < 0.2 and abs(eg) < 0.2, r["case"]
+
+
+def test_event_engine_cost(benchmark, setup):
+    """Wall-clock of one event-driven ring evaluation (the expensive one)."""
+    cluster, ev, des = setup
+    L = make_layout("cyclic-scatter", cluster, P)
+    sched = RingAllgather().schedule(P)
+    benchmark.pedantic(des.evaluate, args=(sched, L, 65536), rounds=1, iterations=1)

@@ -1,0 +1,79 @@
+"""Ablation — heuristic quality vs the exhaustive optimum (tiny instances).
+
+How much mapping quality do the paper's single-pass greedy heuristics
+give up against an exact hop-bytes optimum?  Tractable only at miniature
+scale (one node, p = 8 — exactly the paper's intra-node setting for
+BGMH/BBMH), but that is also where the question matters most: the
+intra-node phases are where a constant-factor quality gap would show as
+a Fig. 4 effect.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mapping.bbmh import BBMH
+from repro.mapping.bgmh import BGMH
+from repro.mapping.metrics import hop_bytes
+from repro.mapping.optimal import OptimalMapper
+from repro.mapping.patterns import build_pattern
+from repro.mapping.rdmh import RDMH
+from repro.mapping.rmh import RMH
+from repro.topology.gpc import single_node_cluster
+
+HEURISTICS = {
+    "ring": RMH,
+    "recursive-doubling": RDMH,
+    "binomial-bcast": BBMH,
+    "binomial-gather": BGMH,
+}
+N_LAYOUTS = 12
+
+
+@pytest.fixture(scope="module")
+def gap_data():
+    cluster = single_node_cluster()
+    D = cluster.distance_matrix()
+    rng = np.random.default_rng(42)
+    layouts = [rng.permutation(8) for _ in range(N_LAYOUTS)]
+    out = {}
+    for pattern, cls in HEURISTICS.items():
+        g = build_pattern(pattern, 8)
+        opt = OptimalMapper(g)
+        ratios = []
+        for layout in layouts:
+            c_opt = opt.optimal_cost(layout, D)
+            c_h = hop_bytes(g, cls(tie_break="first").map(layout, D, rng=0), D)
+            ratios.append(c_h / c_opt)
+        out[pattern] = ratios
+    return out
+
+
+def test_optimality_report(benchmark, gap_data, save_report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [
+        f"Ablation — heuristic hop-bytes vs exhaustive optimum "
+        f"(one 2x4 node, p=8, {N_LAYOUTS} random placements)"
+    ]
+    lines.append(f"{'pattern':>20} {'mean gap':>9} {'worst gap':>10} {'optimal hit rate':>17}")
+    for pattern, ratios in gap_data.items():
+        hits = sum(1 for r in ratios if r < 1.0 + 1e-9)
+        lines.append(
+            f"{pattern:>20} {np.mean(ratios):>8.3f}x {max(ratios):>9.3f}x "
+            f"{hits:>8}/{N_LAYOUTS}"
+        )
+    save_report("ablation_optimality.txt", "\n".join(lines))
+
+
+def test_heuristics_near_optimal(benchmark, gap_data):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for pattern, ratios in gap_data.items():
+        assert np.mean(ratios) <= 1.15, (pattern, ratios)
+        assert max(ratios) <= 1.35, (pattern, ratios)
+
+
+def test_search_timing(benchmark):
+    cluster = single_node_cluster()
+    D = cluster.distance_matrix()
+    g = build_pattern("recursive-doubling", 8)
+    layout = np.random.default_rng(1).permutation(8)
+    benchmark.pedantic(OptimalMapper(g).map, args=(layout, D), rounds=3, iterations=1)

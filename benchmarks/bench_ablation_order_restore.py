@@ -1,0 +1,78 @@
+"""Ablation — initComm vs endShfl crossover (paper §V-B, Fig. 3/4 text).
+
+The paper observes that extra initial communications generally beat
+memory shuffling at the micro-benchmark level, and that shuffling is
+"quite costly" around 512 B - 1 KiB.  This bench isolates the two
+mechanisms' cost over the message-size sweep for the recursive-doubling
+allgather on a cyclic layout (where the reordering displaces every rank,
+the worst case for both mechanisms).
+"""
+
+import pytest
+
+from repro.bench.report import size_label
+from repro.mapping.initial import make_layout
+
+SIZES = [16, 64, 256, 512, 1024, 4096, 16384]
+
+
+@pytest.fixture(scope="module")
+def restore_data(micro_evaluator, micro_p):
+    ev = micro_evaluator
+    L = make_layout("cyclic-bunch", ev.cluster, micro_p)
+    rows = []
+    for bb in SIZES:
+        base = ev.default_latency(L, bb)
+        ic = ev.reordered_latency(L, bb, "heuristic", "initcomm")
+        es = ev.reordered_latency(L, bb, "heuristic", "endshfl")
+        rows.append((bb, base, ic, es))
+    return rows
+
+
+def test_order_restore_report(benchmark, restore_data, micro_p, save_report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [f"Ablation — order restoration cost, p={micro_p}, cyclic-bunch"]
+    lines.append(
+        f"{'size':>6} {'default(us)':>12} {'initComm(us)':>13} {'endShfl(us)':>12} "
+        f"{'ic restore':>11} {'es restore':>11}"
+    )
+    for bb, base, ic, es in restore_data:
+        lines.append(
+            f"{size_label(bb):>6} {base.seconds * 1e6:>12.1f} {ic.seconds * 1e6:>13.1f} "
+            f"{es.seconds * 1e6:>12.1f} {ic.restore_seconds * 1e6:>11.2f} "
+            f"{es.restore_seconds * 1e6:>11.2f}"
+        )
+    save_report("ablation_order_restore.txt", "\n".join(lines))
+
+
+def test_order_restore_shapes(benchmark, restore_data):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_size = {bb: (base, ic, es) for bb, base, ic, es in restore_data}
+
+    # the collective part is identical; only restoration differs
+    for bb, (base, ic, es) in by_size.items():
+        if ic.strategy == "initcomm":
+            assert ic.collective_seconds == pytest.approx(es.collective_seconds)
+
+    # initComm beats endShfl in the RD regime (paper: "better performance
+    # achieved by extra initial communications compared to memory shuffling")
+    wins = sum(1 for bb, (b, ic, es) in by_size.items() if bb < 2048 and ic.seconds <= es.seconds)
+    assert wins >= 3
+
+    # endShfl's restore cost grows with message size within the RD regime
+    # (above the threshold the ring takes over and neither mechanism runs)
+    small_es = by_size[16][2].restore_seconds
+    big_es = by_size[1024][2].restore_seconds
+    assert big_es > small_es
+    assert by_size[16384][2].restore_seconds == 0.0  # ring: inline placement
+
+
+def test_restore_cost_measured(benchmark, micro_evaluator, micro_p):
+    """Benchmark the initComm pricing path itself."""
+    L = make_layout("cyclic-bunch", micro_evaluator.cluster, micro_p)
+    benchmark.pedantic(
+        micro_evaluator.reordered_latency,
+        args=(L, 512, "heuristic", "initcomm"),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,80 @@
+"""Extension — two-level vs three-level hierarchical allgather.
+
+The paper's hierarchical allgather stops at node leaders; its §VII asks
+about fatter intra-node topologies, and its related work (Ma et al. [6])
+builds multi-level leader schemes.  This bench compares the paper's
+two-level algorithm against the three-level (socket-leader) extension on
+a fat-node cluster (4 sockets x 8 cores), where the socket level has
+room to pay off, and on the paper's GPC nodes (2 x 4), where it should
+be a wash — the reason the paper did not need it.
+"""
+
+import pytest
+
+from repro.collectives.hierarchical import HierarchicalAllgather, contiguous_groups
+from repro.collectives.multilevel import MultiLevelAllgather, socket_groups_for
+from repro.mapping.initial import block_bunch
+from repro.simmpi.engine import TimingEngine
+from repro.topology.cluster import ClusterTopology
+from repro.topology.gpc import gpc_cluster
+from repro.topology.hardware import MachineTopology
+
+SIZES = [64, 1024, 16384]
+
+
+def _compare(cluster, p, cpn, cps):
+    engine = TimingEngine(cluster)
+    L = block_bunch(cluster, p)
+    two = HierarchicalAllgather(contiguous_groups(p, cpn), "rd", "linear")
+    three = MultiLevelAllgather(socket_groups_for(p, cpn, cps), "rd", "linear")
+    rows = {}
+    for bb in SIZES:
+        t2 = engine.evaluate(two.schedule(p), L, bb).total_seconds
+        t3 = engine.evaluate(three.schedule(p), L, bb).total_seconds
+        rows[bb] = (t2, t3)
+    return rows
+
+
+@pytest.fixture(scope="module")
+def multilevel_data():
+    fat = ClusterTopology(n_nodes=16, machine=MachineTopology(4, 8))  # 512 cores
+    thin = gpc_cluster(n_nodes=64)                                     # 512 cores
+    return {
+        "fat (4x8 nodes)": _compare(fat, 512, 32, 8),
+        "gpc (2x4 nodes)": _compare(thin, 512, 8, 4),
+    }
+
+
+def test_multilevel_report(benchmark, multilevel_data, save_report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = ["Extension — two-level vs three-level hierarchical allgather (linear phases)"]
+    for system, rows in multilevel_data.items():
+        lines.append("")
+        lines.append(f"-- {system} --")
+        lines.append(f"{'size':>8} {'two-level(us)':>14} {'three-level(us)':>16} {'gain':>7}")
+        for bb, (t2, t3) in rows.items():
+            gain = 100 * (t2 - t3) / t2
+            lines.append(f"{bb:>8} {t2 * 1e6:>14.1f} {t3 * 1e6:>16.1f} {gain:>6.1f}%")
+    save_report("ext_multilevel.txt", "\n".join(lines))
+
+
+def test_socket_level_pays_on_fat_nodes(benchmark, multilevel_data):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    fat = multilevel_data["fat (4x8 nodes)"]
+    # small messages: aggregating the 24 cross-socket sends into 3 wins
+    t2, t3 = fat[64]
+    assert t3 < t2
+    # and on the paper's thin nodes the two schemes stay close
+    thin = multilevel_data["gpc (2x4 nodes)"]
+    t2, t3 = thin[64]
+    assert abs(t3 - t2) / t2 < 0.5
+
+
+def test_multilevel_timing(benchmark):
+    fat = ClusterTopology(n_nodes=16, machine=MachineTopology(4, 8))
+    engine = TimingEngine(fat)
+    L = block_bunch(fat, 512)
+    alg = MultiLevelAllgather(socket_groups_for(512, 32, 8), "rd", "binomial")
+    benchmark.pedantic(
+        engine.evaluate, args=(alg.schedule(512), L, 1024), rounds=3, iterations=1
+    )

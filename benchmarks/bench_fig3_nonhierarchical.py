@@ -1,0 +1,105 @@
+"""Fig. 3 — non-hierarchical topology-aware allgather, 4096 processes.
+
+Regenerates the four panels of the paper's Fig. 3: percentage latency
+improvement of rank reordering over the default MVAPICH-style algorithm
+selection, for the four initial mappings (block-bunch, block-scatter,
+cyclic-bunch, cyclic-scatter), message sizes 1 B - 256 KiB, with the
+series Hrstc/Scotch x initComm/endShfl.
+
+Shape targets from the paper:
+* block mappings, messages below the RD threshold — large Hrstc gains
+  (paper: up to 67%), growing with message size;
+* block mappings, ring regime — ~0% (block is already ideal; crucially,
+  Hrstc causes *no degradation*, Scotch does);
+* cyclic mappings, ring regime — the headline win (paper: up to 78%);
+* endShfl visibly worse than initComm around 512 B - 1 KiB.
+"""
+
+import pytest
+
+from repro.bench.microbench import sweep_nonhierarchical
+from repro.bench.report import format_series_csv, format_sweep_table
+
+from conftest import SIZES
+
+
+@pytest.fixture(scope="module")
+def fig3_points(micro_evaluator, micro_p):
+    return sweep_nonhierarchical(
+        micro_evaluator,
+        micro_p,
+        layouts=["block-bunch", "block-scatter", "cyclic-bunch", "cyclic-scatter"],
+        sizes=SIZES,
+        mappers=["heuristic", "scotch"],
+        strategies=["initcomm", "endshfl"],
+    )
+
+
+def test_fig3_sweep(benchmark, fig3_points, micro_evaluator, micro_p, save_report):
+    """Prices one representative reordered allgather (the sweep itself is
+    computed once per session); prints/saves the full Fig. 3 tables."""
+    from repro.mapping.initial import make_layout
+
+    L = make_layout("cyclic-bunch", micro_evaluator.cluster, micro_p)
+    benchmark.pedantic(
+        micro_evaluator.reordered_latency,
+        args=(L, 65536, "heuristic", "initcomm"),
+        rounds=3,
+        iterations=1,
+    )
+    title = f"Fig. 3 — non-hierarchical allgather improvement %, p={micro_p}"
+    save_report("fig3_nonhierarchical.txt", format_sweep_table(fig3_points, title))
+    save_report("fig3_nonhierarchical.csv", format_series_csv(fig3_points))
+
+    # the paper's curves, as an ASCII chart of Hrstc+initComm per layout
+    from repro.bench.ascii_plot import line_chart
+    from repro.bench.report import size_label
+
+    sizes = sorted({pt.block_bytes for pt in fig3_points})
+    series = {}
+    for layout in ("block-bunch", "block-scatter", "cyclic-bunch", "cyclic-scatter"):
+        pts = {
+            pt.block_bytes: pt.improvement_pct
+            for pt in fig3_points
+            if pt.layout == layout and pt.series == "Hrstc+initComm"
+        }
+        series[layout] = [pts[sz] for sz in sizes]
+    chart = line_chart(
+        series,
+        x_labels=[size_label(sz) for sz in sizes],
+        title=f"Hrstc+initComm improvement %% vs message size, p={micro_p}",
+        height=14,
+    )
+    save_report("fig3_chart.txt", chart)
+
+
+def test_fig3_shapes_hold(benchmark, fig3_points, micro_p):
+    """Asserts the paper's qualitative claims on the generated data."""
+    table = {
+        (p.layout, p.block_bytes, p.series): p.improvement_pct for p in fig3_points
+    }
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    # cyclic + large messages: the big ring win (paper: up to 78%)
+    assert table[("cyclic-bunch", 262144, "Hrstc+initComm")] > 40
+    assert table[("cyclic-scatter", 262144, "Hrstc+initComm")] > 40
+    # block + large messages: no harm from Hrstc
+    assert table[("block-bunch", 262144, "Hrstc+initComm")] > -5
+    # block + small messages: clear RDMH gains, increasing with size
+    assert table[("block-bunch", 1024, "Hrstc+initComm")] > 30
+    assert (
+        table[("block-bunch", 1024, "Hrstc+initComm")]
+        >= table[("block-bunch", 16, "Hrstc+initComm")] - 5
+    )
+    # endShfl pays a visible penalty vs initComm at 512B-1KiB (cyclic panels)
+    assert (
+        table[("cyclic-bunch", 1024, "Hrstc+initComm")]
+        > table[("cyclic-bunch", 1024, "Hrstc+endShfl")]
+    )
+    # Hrstc >= Scotch everywhere it matters (paper: "significantly outperform")
+    for layout in ("block-bunch", "cyclic-bunch"):
+        for bb in (1024, 262144):
+            assert (
+                table[(layout, bb, "Hrstc+initComm")]
+                >= table[(layout, bb, "Scotch+initComm")] - 2
+            )

@@ -1,0 +1,95 @@
+"""Fig. 4 — hierarchical topology-aware allgather, 4096 processes.
+
+Regenerates the four panels of the paper's Fig. 4: improvement of rank
+reordering over the default hierarchical allgather, block-bunch and
+block-scatter initial mappings, with non-linear (binomial) and linear
+intra-node gather/broadcast phases.  Cyclic mappings are skipped as in
+the paper ("hierarchical allgather is not supported with cyclic mapping").
+
+Shape targets from the paper:
+* improvements generally lower than the non-hierarchical case (the
+  hierarchy itself already provides a level of topology awareness);
+* linear intra-node phases: gains only below the RD threshold (leader
+  RDMH), none above (block + ring leaders already ideal);
+* endShfl "quite poor" for small messages in the linear panels (the
+  shuffle runs over the combined node-level messages).
+"""
+
+import pytest
+
+from repro.bench.microbench import sweep_hierarchical
+from repro.bench.report import format_series_csv, format_sweep_table
+
+from conftest import SIZES
+
+
+@pytest.fixture(scope="module")
+def fig4_points(micro_evaluator, micro_p):
+    points = []
+    for intra in ("binomial", "linear"):
+        points += sweep_hierarchical(
+            micro_evaluator,
+            micro_p,
+            layouts=["block-bunch", "block-scatter"],
+            sizes=SIZES,
+            mappers=["heuristic", "scotch"],
+            strategies=["initcomm", "endshfl"],
+            intra=intra,
+        )
+    return points
+
+
+def test_fig4_sweep(benchmark, fig4_points, micro_evaluator, micro_p, save_report):
+    from repro.mapping.initial import make_layout
+
+    L = make_layout("block-scatter", micro_evaluator.cluster, micro_p)
+    benchmark.pedantic(
+        micro_evaluator.reordered_latency,
+        args=(L, 256, "heuristic", "initcomm"),
+        kwargs={"hierarchical": True, "intra": "binomial"},
+        rounds=3,
+        iterations=1,
+    )
+    title = f"Fig. 4 — hierarchical allgather improvement %, p={micro_p}"
+    save_report("fig4_hierarchical.txt", format_sweep_table(fig4_points, title))
+    save_report("fig4_hierarchical.csv", format_series_csv(fig4_points))
+
+
+def test_fig4_shapes_hold(benchmark, fig4_points, fig3_reference=None):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = {
+        (p.layout, p.intra, p.block_bytes, p.series): p.improvement_pct
+        for p in fig4_points
+    }
+    # linear panels: no improvement for large messages (block+ring ideal)...
+    assert abs(table[("block-bunch", "linear", 262144, "Hrstc+initComm")]) < 10
+    # ...but clear initComm gains below the threshold (leader-level RDMH)
+    assert table[("block-bunch", "linear", 256, "Hrstc+initComm")] > 10
+    # endShfl poor for small messages in the linear panels
+    assert (
+        table[("block-bunch", "linear", 64, "Hrstc+endShfl")]
+        < table[("block-bunch", "linear", 64, "Hrstc+initComm")]
+    )
+    # no degradation by Hrstc+initComm anywhere
+    for key, val in table.items():
+        if key[3] == "Hrstc+initComm":
+            assert val > -12, key
+
+
+def test_fig4_lower_than_fig3(benchmark, micro_evaluator, micro_p):
+    """Paper: 'the improvements are generally lower for the hierarchical
+    algorithms' — compare the same (layout, size) cell across approaches."""
+    from repro.mapping.initial import make_layout
+
+    L = make_layout("block-bunch", micro_evaluator.cluster, micro_p)
+
+    def cell(hier):
+        base = micro_evaluator.default_latency(L, 256, hierarchical=hier)
+        tuned = micro_evaluator.reordered_latency(
+            L, 256, "heuristic", "initcomm", hierarchical=hier
+        )
+        return 100.0 * (base.seconds - tuned.seconds) / base.seconds
+
+    flat = cell(False)
+    hier = benchmark.pedantic(cell, args=(True,), rounds=1, iterations=1)
+    assert hier < flat

@@ -1,0 +1,92 @@
+"""Fig. 5 — application execution time, non-hierarchical, 1024 processes.
+
+Regenerates the four panels of the paper's Fig. 5: execution time of the
+allgather-heavy application (358 MPI_Allgather calls; here the N-body
+proxy, see DESIGN.md) normalised to the default mapping, for the four
+initial layouts, with the series default / Hrstc / Scotch.
+
+Shape targets from the paper:
+* block-bunch: Hrstc == default (already optimal), Scotch ~2x WORSE;
+* block-scatter: Hrstc saves ~10-15%;
+* cyclic panels: Hrstc saves ~30%;
+* Scotch never beats Hrstc.
+"""
+
+import pytest
+
+from repro.apps.nbody import NBodyApp
+from repro.apps.trace import AppRunner
+from repro.mapping.initial import make_layout
+
+LAYOUTS = ["block-bunch", "block-scatter", "cyclic-bunch", "cyclic-scatter"]
+MODES = ["default", "heuristic", "scotch"]
+
+
+@pytest.fixture(scope="module")
+def fig5_results(app_evaluator, app_p):
+    app = NBodyApp()  # 358 allgathers of 8 KiB per rank
+    out = {}
+    for lname in LAYOUTS:
+        runner = AppRunner(app_evaluator, make_layout(lname, app_evaluator.cluster, app_p))
+        for mode in MODES:
+            out[(lname, mode)] = runner.run(app.trace(), mode=mode, strategy="initcomm")
+    return out
+
+
+def _render(results, app_p, title):
+    lines = [title, "=" * len(title), ""]
+    lines.append(f"{'layout':>16} {'default':>10} {'Hrstc':>10} {'Scotch':>10}   (normalized; default = 1.00)")
+    for lname in LAYOUTS:
+        base = results[(lname, "default")]
+        row = [f"{lname:>16}"]
+        for mode in MODES:
+            row.append(f"{results[(lname, mode)].normalized_to(base):>10.3f}")
+        lines.append(" ".join(row))
+    lines.append("")
+    lines.append("absolute times (s):")
+    for lname in LAYOUTS:
+        for mode in MODES:
+            lines.append(f"  {lname:>16} {mode:>10}: {results[(lname, mode)]}")
+    return "\n".join(lines)
+
+
+def test_fig5_report(benchmark, fig5_results, app_evaluator, app_p, save_report):
+    app = NBodyApp(steps=5)
+    runner = AppRunner(
+        app_evaluator, make_layout("cyclic-bunch", app_evaluator.cluster, app_p)
+    )
+    benchmark.pedantic(
+        runner.run, args=(app.trace(),), kwargs={"mode": "heuristic"}, rounds=3, iterations=1
+    )
+    title = f"Fig. 5 — application time (nbody, 358 allgathers), non-hierarchical, p={app_p}"
+    save_report("fig5_app_nonhier.txt", _render(fig5_results, app_p, title))
+
+    from repro.bench.ascii_plot import bar_chart
+
+    bars = {}
+    for lname in LAYOUTS:
+        base = fig5_results[(lname, "default")]
+        for mode in ("heuristic", "scotch"):
+            bars[f"{lname}/{mode}"] = fig5_results[(lname, mode)].normalized_to(base)
+    save_report(
+        "fig5_chart.txt",
+        bar_chart(bars, title=f"normalized app time (default = 1.0), p={app_p}", unit="x"),
+    )
+
+
+def test_fig5_shapes_hold(benchmark, fig5_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    norm = {
+        k: v.normalized_to(fig5_results[(k[0], "default")]) for k, v in fig5_results.items()
+    }
+    # block-bunch: Hrstc ~= default
+    assert norm[("block-bunch", "heuristic")] < 1.05
+    # cyclic: substantial savings
+    assert norm[("cyclic-bunch", "heuristic")] < 0.85
+    assert norm[("cyclic-scatter", "heuristic")] < 0.85
+    # Scotch never better than Hrstc (paper: heuristics outperform Scotch)
+    for lname in LAYOUTS:
+        assert norm[(lname, "heuristic")] <= norm[(lname, "scotch")] + 0.02
+    # the one-time reordering overhead is small vs the run (paper §VI-C: <4%)
+    tuned = fig5_results[("cyclic-bunch", "heuristic")]
+    assert tuned.reorder_seconds < 0.04 * tuned.total_seconds

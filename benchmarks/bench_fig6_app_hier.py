@@ -1,0 +1,89 @@
+"""Fig. 6 — application execution time, hierarchical, 1024 processes.
+
+Regenerates the four panels of the paper's Fig. 6: the N-body proxy over
+the *hierarchical* allgather, block-bunch / block-scatter layouts, with
+non-linear (binomial) and linear intra-node phases.
+
+Shape targets from the paper:
+* block-bunch + non-linear: no improvement (already well matched);
+* block-scatter + non-linear: modest improvement;
+* linear panels: essentially no improvement either way ("the combination
+  of a block mapping at the inter-node layer and linear intra-node
+  patterns highly restrict the opportunity to benefit from reordering").
+"""
+
+import pytest
+
+from repro.apps.nbody import NBodyApp
+from repro.apps.trace import AppRunner
+from repro.mapping.initial import make_layout
+
+LAYOUTS = ["block-bunch", "block-scatter"]
+INTRAS = ["binomial", "linear"]
+MODES = ["default", "heuristic", "scotch"]
+
+
+@pytest.fixture(scope="module")
+def fig6_results(app_evaluator, app_p):
+    app = NBodyApp()
+    out = {}
+    for lname in LAYOUTS:
+        runner = AppRunner(app_evaluator, make_layout(lname, app_evaluator.cluster, app_p))
+        for intra in INTRAS:
+            for mode in MODES:
+                out[(lname, intra, mode)] = runner.run(
+                    app.trace(), mode=mode, strategy="initcomm",
+                    hierarchical=True, intra=intra,
+                )
+    return out
+
+
+def _render(results, app_p, title):
+    lines = [title, "=" * len(title), ""]
+    lines.append(
+        f"{'layout':>16} {'intra':>9} {'default':>10} {'Hrstc':>10} {'Scotch':>10}   (normalized)"
+    )
+    for lname in LAYOUTS:
+        for intra in INTRAS:
+            base = results[(lname, intra, "default")]
+            row = [f"{lname:>16}", f"{intra:>9}"]
+            for mode in MODES:
+                row.append(f"{results[(lname, intra, mode)].normalized_to(base):>10.3f}")
+            lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def test_fig6_report(benchmark, fig6_results, app_evaluator, app_p, save_report):
+    app = NBodyApp(steps=5)
+    runner = AppRunner(
+        app_evaluator, make_layout("block-scatter", app_evaluator.cluster, app_p)
+    )
+    benchmark.pedantic(
+        runner.run,
+        args=(app.trace(),),
+        kwargs={"mode": "heuristic", "hierarchical": True, "intra": "binomial"},
+        rounds=3,
+        iterations=1,
+    )
+    title = f"Fig. 6 — application time (nbody), hierarchical, p={app_p}"
+    save_report("fig6_app_hier.txt", _render(fig6_results, app_p, title))
+
+
+def test_fig6_shapes_hold(benchmark, fig6_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    norm = {
+        k: v.normalized_to(fig6_results[(k[0], k[1], "default")])
+        for k, v in fig6_results.items()
+    }
+    # block-bunch non-linear: no improvement, but also no meaningful harm
+    assert 0.9 < norm[("block-bunch", "binomial", "heuristic")] < 1.08
+    # linear panels: reordering cannot help much, must not hurt much
+    for lname in LAYOUTS:
+        assert 0.9 < norm[(lname, "linear", "heuristic")] < 1.1
+    # Hrstc never worse than Scotch
+    for lname in LAYOUTS:
+        for intra in INTRAS:
+            assert (
+                norm[(lname, intra, "heuristic")]
+                <= norm[(lname, intra, "scotch")] + 0.02
+            )

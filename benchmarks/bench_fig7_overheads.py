@@ -1,0 +1,119 @@
+"""Fig. 7 — rank-reordering overheads at 1024 / 2048 / 4096 processes.
+
+Regenerates both panels of the paper's Fig. 7:
+
+* **(a)** the one-time physical-distance extraction overhead, which must
+  scale linearly with the process count;
+* **(b)** the mapping-algorithm overhead itself — the paper's heuristics
+  versus the Scotch-like baseline (which additionally has to build the
+  process-topology graph).  The paper reports the heuristics orders of
+  magnitude cheaper with much better scaling; absolute times differ
+  (Python vs C) but the ordering and the scaling gap are the claims.
+
+These are *real wall-clock* measurements, so pytest-benchmark is the
+natural harness here: every mapper run is an actual benchmark round.
+"""
+
+import time
+
+import pytest
+
+from repro.mapping.initial import make_layout
+from repro.mapping.reorder import reorder_ranks
+from repro.topology.distances import DistanceExtractor
+from repro.topology.gpc import gpc_cluster
+
+from conftest import SMALL
+
+P_VALUES = [256, 512, 1024] if SMALL else [1024, 2048, 4096]
+
+_clusters = {}
+
+
+def cluster_for(p):
+    if p not in _clusters:
+        _clusters[p] = gpc_cluster(n_nodes=p // 8)
+    return _clusters[p]
+
+
+# ----------------------------------------------------------------------
+# Fig. 7(a): distance extraction
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("p", P_VALUES)
+def test_fig7a_distance_extraction(benchmark, p):
+    cluster = cluster_for(p)
+
+    def run():
+        return DistanceExtractor(cluster).extract()[1].seconds
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_fig7a_linear_scaling(benchmark, save_report):
+    rows = []
+    seconds = {}
+    for p in P_VALUES:
+        _, report = DistanceExtractor(cluster_for(p)).extract()
+        seconds[p] = report.seconds
+        rows.append(f"{p:>6} processes: {report.seconds:8.4f} s")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    text = "Fig. 7(a) — distance extraction overhead\n" + "\n".join(rows)
+    save_report("fig7a_extraction.txt", text)
+    # roughly linear: 4x the processes should cost clearly more, but far
+    # less than quadratically (matrix assembly is vectorised)
+    assert seconds[P_VALUES[-1]] > seconds[P_VALUES[0]]
+
+
+# ----------------------------------------------------------------------
+# Fig. 7(b): mapping algorithm overhead
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("p", P_VALUES)
+@pytest.mark.parametrize("kind", ["heuristic", "scotch"])
+def test_fig7b_mapping_overhead(benchmark, p, kind):
+    cluster = cluster_for(p)
+    D = cluster.distance_matrix()
+    L = make_layout("cyclic-bunch", cluster, p)
+
+    def run():
+        return reorder_ranks("recursive-doubling", L, D, kind=kind, rng=0)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_fig7b_report(benchmark, save_report):
+    lines = ["Fig. 7(b) — mapping algorithm overhead (seconds, log-scale in the paper)"]
+    lines.append(f"{'p':>6} {'heuristic':>12} {'scotch':>12} {'ratio':>8}")
+    gap = {}
+    for p in P_VALUES:
+        cluster = cluster_for(p)
+        D = cluster.distance_matrix()
+        L = make_layout("cyclic-bunch", cluster, p)
+        h = reorder_ranks("recursive-doubling", L, D, kind="heuristic", rng=0)
+        s = reorder_ranks("recursive-doubling", L, D, kind="scotch", rng=0)
+        gap[p] = s.total_seconds / h.total_seconds
+        lines.append(
+            f"{p:>6} {h.total_seconds:>12.4f} {s.total_seconds:>12.4f} {gap[p]:>7.1f}x"
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    save_report("fig7b_mapping_overhead.txt", "\n".join(lines))
+    # the heuristic is substantially cheaper at every scale
+    assert all(g > 2.0 for g in gap.values())
+
+
+def test_fig7b_all_heuristics_similar(benchmark, save_report):
+    """Paper §VI-C: 'our heuristics have almost the same amount of
+    overhead' — report all four plus the Bruck extension at the top p."""
+    p = P_VALUES[-1]
+    cluster = cluster_for(p)
+    D = cluster.distance_matrix()
+    L = make_layout("cyclic-bunch", cluster, p)
+    patterns = ["recursive-doubling", "ring", "binomial-bcast", "binomial-gather", "bruck"]
+    times = {}
+    for pat in patterns:
+        times[pat] = reorder_ranks(pat, L, D, kind="heuristic", rng=0).map_seconds
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [f"per-heuristic mapping time at p={p}:"]
+    lines += [f"  {pat:>20}: {t:8.4f} s" for pat, t in times.items()]
+    save_report("fig7b_per_heuristic.txt", "\n".join(lines))
+    vals = sorted(times.values())
+    assert vals[-1] < 25 * vals[0]  # same order of magnitude

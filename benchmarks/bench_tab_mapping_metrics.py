@@ -1,0 +1,84 @@
+"""Table — mapping-quality metrics across layouts, patterns and mappers.
+
+The paper argues entirely through latency; this companion table shows the
+*mechanism*: hop-bytes and worst-link congestion for every (initial
+layout, pattern) cell, before and after reordering.  It makes the Fig. 3
+story legible at a glance — e.g. cyclic layouts have ~6x the ring
+hop-bytes of block layouts, and RMH removes almost all of it.
+"""
+
+import pytest
+
+from repro.collectives.allgather_rd import RecursiveDoublingAllgather
+from repro.collectives.allgather_ring import RingAllgather
+from repro.mapping.initial import INITIAL_LAYOUTS, make_layout
+from repro.mapping.metrics import quality, schedule_max_congestion
+from repro.mapping.patterns import build_pattern
+from repro.mapping.reorder import reorder_ranks
+
+P = 512
+PATTERNS = {
+    "recursive-doubling": (RecursiveDoublingAllgather(), 1024),
+    "ring": (RingAllgather(), 65536),
+}
+
+
+@pytest.fixture(scope="module")
+def metrics_data(micro_evaluator):
+    ev = micro_evaluator
+    cluster = ev.cluster
+    p = min(P, cluster.n_cores)
+    out = {}
+    for pattern, (alg, bb) in PATTERNS.items():
+        graph = build_pattern(pattern, p)
+        sched = alg.schedule(p)
+        for lname in sorted(INITIAL_LAYOUTS):
+            L = make_layout(lname, cluster, p)
+            res = reorder_ranks(pattern, L, ev.D, rng=0)
+            out[(pattern, lname)] = {
+                "before": (
+                    quality(graph, L, ev.D),
+                    schedule_max_congestion(ev.engine, sched, L, bb),
+                ),
+                "after": (
+                    quality(graph, res.mapping, ev.D),
+                    schedule_max_congestion(ev.engine, sched, res.mapping, bb),
+                ),
+            }
+    return out, p
+
+
+def test_metrics_table(benchmark, metrics_data, save_report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    data, p = metrics_data
+    lines = [f"Table — mapping-quality metrics before/after reordering, p={p}"]
+    lines.append(
+        f"{'pattern':>20} {'layout':>16} {'hop-bytes':>22} {'max dilation':>14} "
+        f"{'worst link (MB)':>16}"
+    )
+    for (pattern, lname), rows in data.items():
+        qb, cb = rows["before"]
+        qa, ca = rows["after"]
+        lines.append(
+            f"{pattern:>20} {lname:>16} "
+            f"{qb.hop_bytes:>10.0f}->{qa.hop_bytes:<10.0f} "
+            f"{qb.max_dilation:>6.1f}->{qa.max_dilation:<6.1f} "
+            f"{cb / 1e6:>7.2f}->{ca / 1e6:<7.2f}"
+        )
+    save_report("tab_mapping_metrics.txt", "\n".join(lines))
+
+
+def test_metrics_explain_latency(benchmark, metrics_data):
+    """The quality metrics and the latency results must tell one story."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    data, p = metrics_data
+    # reordering never increases hop-bytes for its own pattern
+    for key, rows in data.items():
+        assert rows["after"][0].hop_bytes <= rows["before"][0].hop_bytes * 1.0001, key
+    # cyclic ring hop-bytes dwarf block ring hop-bytes (the Fig. 3 driver)
+    blk = data[("ring", "block-bunch")]["before"][0].hop_bytes
+    cyc = data[("ring", "cyclic-bunch")]["before"][0].hop_bytes
+    assert cyc > 2 * blk
+    # and RMH brings the excess back down to the block level
+    fixed = data[("ring", "cyclic-bunch")]["after"][0].hop_bytes
+    assert fixed < 1.1 * blk

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""OSU-style allgather latency sweep (a miniature of the paper's Fig. 3).
+
+Sweeps message sizes for every initial mapping and prints the improvement
+of the paper's heuristics and the Scotch-like baseline over the default
+MVAPICH-style algorithm selection.
+
+Run:  python examples/microbenchmark_sweep.py [--nodes 32] [--full]
+
+``--nodes`` sets the cluster size (processes = 8x nodes); ``--full``
+sweeps all 19 OSU sizes instead of the quick power-of-four subset.
+"""
+
+import argparse
+
+from repro import AllgatherEvaluator, gpc_cluster
+from repro.bench import OSU_SIZES, format_sweep_table, sweep_nonhierarchical
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=32, help="compute nodes (8 cores each)")
+    parser.add_argument("--full", action="store_true", help="sweep all 19 OSU sizes")
+    parser.add_argument(
+        "--mappers", nargs="+", default=["heuristic", "scotch"],
+        choices=["heuristic", "scotch", "greedy"],
+    )
+    args = parser.parse_args()
+
+    cluster = gpc_cluster(n_nodes=args.nodes)
+    p = cluster.n_cores
+    evaluator = AllgatherEvaluator(cluster, rng=0)
+    sizes = OSU_SIZES if args.full else [1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144]
+
+    print(f"sweeping {len(sizes)} sizes x 4 layouts x {len(args.mappers)} mappers at p={p} ...")
+    points = sweep_nonhierarchical(
+        evaluator,
+        p,
+        sizes=sizes,
+        mappers=args.mappers,
+        strategies=["initcomm", "endshfl"],
+    )
+    print(format_sweep_table(points, title=f"Non-hierarchical allgather improvement %, p={p}"))
+
+
+if __name__ == "__main__":
+    main()

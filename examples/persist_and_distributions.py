@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""The paper's §IV operational workflow: extract once, save, reuse —
+plus SLURM-style process distributions beyond the four named layouts.
+
+"We assume physical distances are extracted once, and saved for future
+references."  This example runs the extraction, persists the distance
+matrix and a reordering to disk, reloads them (with the topology
+fingerprint check), and sweeps a few `--distribution` strings the way a
+batch user would.
+
+Run:  python examples/persist_and_distributions.py [--nodes 16]
+"""
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro import AllgatherEvaluator, gpc_cluster, reorder_ranks
+from repro.topology import (
+    DistanceExtractor,
+    layout_from_distribution,
+    load_distances,
+    load_reordering,
+    save_distances,
+    save_reordering,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=16)
+    args = parser.parse_args()
+
+    cluster = gpc_cluster(n_nodes=args.nodes)
+    p = cluster.n_cores
+    workdir = Path(tempfile.mkdtemp(prefix="repro-"))
+
+    # --- extract once ...
+    D, report = DistanceExtractor(cluster).extract()
+    print(f"extracted {D.shape} distances in {report.seconds:.4f}s (one-time)")
+
+    # --- ... save for future references ...
+    dist_path = save_distances(cluster, workdir / "gpc-distances.npz")
+    print(f"saved to {dist_path}")
+
+    # --- ... and reload in a later job (fingerprint-checked)
+    D2 = load_distances(cluster, dist_path)
+    print(f"reloaded, identical: {(D2 == cluster.distance_matrix()).all()}")
+
+    # --- SLURM-style distributions beyond the four named layouts
+    ev = AllgatherEvaluator(cluster, rng=0)
+    print(f"\nallgather(64K) latency and RMH gain per --distribution, p={p}:")
+    for spec in ("block:block", "block:fcyclic", "cyclic:block", "plane=4:block"):
+        L = layout_from_distribution(cluster, p, spec)
+        base = ev.default_latency(L, 65536)
+        tuned = ev.reordered_latency(L, 65536, "heuristic", "initcomm")
+        gain = 100 * (base.seconds - tuned.seconds) / base.seconds
+        print(
+            f"  {spec:>16}: {base.seconds * 1e6:9.1f} us -> "
+            f"{tuned.seconds * 1e6:9.1f} us ({gain:+5.1f}%)"
+        )
+
+    # --- persist a reordering alongside the distances
+    L = layout_from_distribution(cluster, p, "cyclic:block")
+    res = reorder_ranks("ring", L, D2, rng=0)
+    ro_path = save_reordering(res, workdir / "ring-reordering.json")
+    loaded = load_reordering(ro_path)
+    print(
+        f"\nsaved + reloaded the {loaded.pattern} reordering "
+        f"({loaded.mapper_name}, {loaded.reordering.n_displaced()} ranks displaced)"
+    )
+    print(f"artifacts in {workdir}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Diagnosing congestion with the link profiler.
+
+Reproduces the paper's §VI-A1 diagnosis ("an initial cyclic mapping along
+with the underlying ring algorithm result in higher congestion across
+network links") mechanically: profiles the ring allgather under the
+cyclic and the RMH-reordered mappings and prints where the bytes go and
+which links melt.
+
+Run:  python examples/profile_collectives.py [--nodes 32]
+"""
+
+import argparse
+
+from repro import AllgatherEvaluator, gpc_cluster, make_layout, reorder_ranks
+from repro.collectives import RingAllgather
+from repro.simmpi import profile_schedule
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=32)
+    parser.add_argument("--block-bytes", type=int, default=65536)
+    args = parser.parse_args()
+
+    cluster = gpc_cluster(n_nodes=args.nodes)
+    p = cluster.n_cores
+    ev = AllgatherEvaluator(cluster, rng=0)
+    layout = make_layout("cyclic-scatter", cluster, p)
+    sched = RingAllgather().schedule(p)
+
+    print("=== cyclic-scatter (the paper's worst case for the ring) ===")
+    before = profile_schedule(ev.engine, sched, layout, args.block_bytes)
+    print(before.report())
+
+    res = reorder_ranks("ring", layout, ev.D, rng=0)
+    print("\n=== after RMH rank reordering ===")
+    after = profile_schedule(ev.engine, sched, res.mapping, args.block_bytes)
+    print(after.report())
+
+    hca_cut = 100 * (1 - after.bytes_by_class["HCA"] / before.bytes_by_class["HCA"])
+    speedup = before.total_seconds / after.total_seconds
+    print(
+        f"\nRMH moved {hca_cut:.0f}% of the HCA traffic onto intra-node "
+        f"channels — {speedup:.1f}x faster, which is exactly the paper's "
+        f"Fig. 3(c,d) story."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: topology-aware rank reordering in five minutes.
+
+Builds a small simulated cluster, lays processes out badly (cyclic), and
+shows the paper's §IV workflow: create a reordered communicator once,
+then call the collective on it — faster, and with the output vector still
+in the correct order.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Session, small_cluster
+
+
+def main() -> None:
+    # A 4-node cluster, 2 sockets x 2 cores each, on a 2-leaf fat-tree.
+    cluster = small_cluster()
+    print(f"cluster: {cluster}")
+
+    # A cyclic layout: consecutive ranks land on different nodes — the
+    # worst case for the ring allgather.
+    session = Session(cluster, layout="cyclic-bunch")
+    world = session.comm_world()
+    print(f"world:   {world}")
+    print(f"rank 0..3 cores: {[world.core_of_rank(r) for r in range(4)]}")
+
+    # Reorder once for the ring pattern (the paper's RMH heuristic).
+    ring_comm = world.reordered("ring")
+    print(f"reordered: {ring_comm}")
+    print(f"rank 0..3 cores: {[ring_comm.core_of_rank(r) for r in range(4)]}")
+
+    # Latency of a 64 KiB-per-rank allgather, before and after.
+    for name, comm in (("default", world), ("reordered", ring_comm)):
+        t = comm.allgather_latency(block_bytes=64 * 1024)
+        print(f"allgather 64K on {name:>9}: {t * 1e6:8.1f} us")
+
+    # The output buffer is still in original-rank order (paper §V-B):
+    out = ring_comm.allgather_data()
+    expected = np.arange(world.size) * 1000003 + 7
+    assert np.array_equal(out, np.broadcast_to(expected, out.shape))
+    print("output order verified at every process — reordering is invisible")
+
+    # The info key can switch the whole machinery off per communicator:
+    plain = session.comm_world(info={"topo_reorder": "false"})
+    assert plain.reordered("ring") is plain
+    print("info key topo_reorder=false leaves the communicator untouched")
+
+
+if __name__ == "__main__":
+    main()

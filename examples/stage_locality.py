@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Seeing the heuristics think: per-stage channel locality.
+
+The paper argues stage-wise — recursive doubling's messages double every
+stage, so the *late* stages should be node-local; block layouts get this
+exactly backwards and RDMH fixes it.  This example prints the per-stage
+channel histogram before and after reordering so the mechanism is
+visible, not just the latency delta.
+
+Run:  python examples/stage_locality.py [--nodes 16]
+"""
+
+import argparse
+
+from repro import AllgatherEvaluator, RecursiveDoublingAllgather, gpc_cluster, \
+    make_layout, reorder_ranks
+from repro.mapping import locality_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=16)
+    args = parser.parse_args()
+
+    cluster = gpc_cluster(n_nodes=args.nodes)
+    p = cluster.n_cores
+    ev = AllgatherEvaluator(cluster, rng=0)
+    L = make_layout("block-bunch", cluster, p)
+    sched = RecursiveDoublingAllgather().schedule(p)
+
+    print(f"recursive doubling, p={p}: message volume DOUBLES every stage\n")
+    print("=== block-bunch (the default): late = remote, exactly wrong ===")
+    print(locality_table(sched, L, cluster))
+
+    res = reorder_ranks("recursive-doubling", L, ev.D, rng=0)
+    print("\n=== after RDMH: the heavy late stages are node-local ===")
+    print(locality_table(sched, res.mapping, cluster))
+
+    base = ev.engine.evaluate(sched, L, 1024).total_seconds
+    tuned = ev.engine.evaluate(sched, res.mapping, 1024).total_seconds
+    print(
+        f"\nlatency at 1 KiB blocks: {base * 1e6:.0f} us -> {tuned * 1e6:.0f} us "
+        f"({100 * (base - tuned) / base:.0f}% — the Fig. 3(a) effect, explained)"
+    )
+
+
+if __name__ == "__main__":
+    main()

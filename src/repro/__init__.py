@@ -1,0 +1,100 @@
+"""repro — Topology-Aware Rank Reordering for MPI Collectives.
+
+A from-scratch Python reproduction of Mirsadeghi & Afsahi (IPDPS 2016):
+run-time MPI rank reordering that matches collective communication
+patterns (recursive doubling, ring, binomial broadcast/gather, Bruck) to
+the physical topology of a hierarchical cluster, evaluated on a simulated
+GPC-class system (dual-socket NUMA nodes on a QDR InfiniBand fat-tree).
+
+Quick tour
+----------
+>>> from repro import Session, small_cluster
+>>> sess = Session(small_cluster(), layout="cyclic-bunch")
+>>> world = sess.comm_world()
+>>> ring = world.reordered("ring")             # RMH, once at run time
+>>> ring.allgather_latency(block_bytes=65536)  # simulated seconds
+>>> ring.allgather_data()                      # verified, ordered output
+
+Packages
+--------
+- :mod:`repro.topology`    — node / fat-tree / cluster hardware models
+- :mod:`repro.simmpi`      — cost model, timing engine, virtual MPI
+- :mod:`repro.collectives` — allgather & friends as stage schedules
+- :mod:`repro.mapping`     — RDMH / RMH / BBMH / BGMH + baselines
+- :mod:`repro.evaluation`  — the paper's measurement pipeline
+- :mod:`repro.apps`        — application-level workloads
+- :mod:`repro.bench`       — OSU-style sweeps and figure reports
+"""
+
+from repro.topology import (
+    ClusterTopology,
+    DistanceExtractor,
+    FatTreeConfig,
+    FatTreeNetwork,
+    LinkClass,
+    MachineTopology,
+    gpc_cluster,
+    single_node_cluster,
+    small_cluster,
+)
+from repro.simmpi import CostModel, DataExecutor, TimingEngine
+from repro.simmpi.communicator import Session, VirtualComm
+from repro.collectives import (
+    BruckAllgather,
+    HierarchicalAllgather,
+    OrderStrategy,
+    RankReordering,
+    RecursiveDoublingAllgather,
+    RingAllgather,
+    select_allgather,
+)
+from repro.mapping import (
+    BBMH,
+    BGMH,
+    BruckMH,
+    GreedyGraphMapper,
+    RDMH,
+    RMH,
+    ScotchLikeMapper,
+    make_layout,
+    reorder_ranks,
+)
+from repro.evaluation import AdaptiveReorderer, AllgatherEvaluator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterTopology",
+    "DistanceExtractor",
+    "FatTreeConfig",
+    "FatTreeNetwork",
+    "LinkClass",
+    "MachineTopology",
+    "gpc_cluster",
+    "small_cluster",
+    "single_node_cluster",
+    "CostModel",
+    "DataExecutor",
+    "TimingEngine",
+    "Session",
+    "VirtualComm",
+    "RecursiveDoublingAllgather",
+    "RingAllgather",
+    "BruckAllgather",
+    "HierarchicalAllgather",
+    "OrderStrategy",
+    "RankReordering",
+    "select_allgather",
+    "RDMH",
+    "RMH",
+    "BBMH",
+    "BGMH",
+    "BruckMH",
+    "ScotchLikeMapper",
+    "GreedyGraphMapper",
+    "make_layout",
+    "reorder_ranks",
+    "AllgatherEvaluator",
+    "AdaptiveReorderer",
+    "__version__",
+]

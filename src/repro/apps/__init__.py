@@ -1,0 +1,30 @@
+"""Application-level workloads (paper §VI-B).
+
+The paper evaluates rank reordering on an allgather-heavy application
+(358 MPI_Allgather calls at 1024 processes).  The exact application is a
+proxy here (see DESIGN.md): what drives Fig. 5/6 is only the call profile
+— many identically-sized allgathers interleaved with compute — which
+:class:`~repro.apps.trace.AppTrace` captures exactly.  Two concrete
+workloads are provided: a neighbour-list N-body step
+(:mod:`~repro.apps.nbody`) and a row-distributed dense mat-vec iteration
+(:mod:`~repro.apps.matvec`).
+"""
+
+from repro.apps.trace import AppPhase, AppResult, AppRunner, AppTrace
+from repro.apps.nbody import NBodyApp
+from repro.apps.matvec import MatVecApp
+from repro.apps.solver import IterativeSolverApp
+from repro.apps.synthetic import SyntheticTraceConfig, generate_trace, generate_traces
+
+__all__ = [
+    "AppPhase",
+    "AppTrace",
+    "AppResult",
+    "AppRunner",
+    "NBodyApp",
+    "MatVecApp",
+    "IterativeSolverApp",
+    "SyntheticTraceConfig",
+    "generate_trace",
+    "generate_traces",
+]

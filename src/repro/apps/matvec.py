@@ -1,0 +1,63 @@
+"""Row-distributed dense mat-vec iteration (second domain workload).
+
+The canonical allgather application from the mpi4py tutorial: each rank
+owns ``rows_per_rank`` rows of a dense matrix and a slice of the vector;
+every iteration allgathers the full vector and multiplies locally.  Used
+by the examples and as a second, small-message application profile
+(iterative solvers call allgather with a few KiB per rank, the recursive-
+doubling regime, complementing the ring-regime N-body proxy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.trace import AppPhase, AppTrace
+
+__all__ = ["MatVecApp"]
+
+
+@dataclass(frozen=True)
+class MatVecApp:
+    """Configuration of the iterative mat-vec proxy."""
+
+    rows_per_rank: int = 128
+    n_processes: int = 1024
+    bytes_per_element: int = 8          # float64 vector entries
+    iterations: int = 200
+    flops_rate: float = 2.0e9
+
+    def __post_init__(self) -> None:
+        for name in ("rows_per_rank", "n_processes", "bytes_per_element", "iterations"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.flops_rate <= 0:
+            raise ValueError("flops_rate must be positive")
+
+    @property
+    def n(self) -> int:
+        """Global problem size (matrix dimension)."""
+        return self.rows_per_rank * self.n_processes
+
+    @property
+    def block_bytes(self) -> int:
+        """Per-rank allgather contribution (its vector slice)."""
+        return self.rows_per_rank * self.bytes_per_element
+
+    @property
+    def compute_seconds_per_iteration(self) -> float:
+        """Local dense mat-vec time: 2 * rows * n flops."""
+        return 2.0 * self.rows_per_rank * self.n / self.flops_rate
+
+    def trace(self) -> AppTrace:
+        """The application's communication/compute trace."""
+        return AppTrace(
+            name="matvec",
+            phases=[
+                AppPhase(
+                    n_steps=self.iterations,
+                    block_bytes=float(self.block_bytes),
+                    compute_seconds=self.compute_seconds_per_iteration,
+                )
+            ],
+        )

@@ -1,0 +1,87 @@
+"""Iterative solver proxy with mixed collectives (third domain workload).
+
+A distributed Krylov-style solver: every iteration allgathers the shared
+vector (as in the mat-vec proxy) and, every ``restart`` iterations, the
+master broadcasts a refreshed parameter block to all ranks (restart
+vectors / updated preconditioner).  This is the mixed allgather + bcast
+call profile that exercises both evaluators at once — and both of the
+paper's heuristic families (RDMH/RMH for the allgather, BBMH for the
+broadcast) inside one application run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.trace import AppPhase, AppTrace
+
+__all__ = ["IterativeSolverApp"]
+
+
+@dataclass(frozen=True)
+class IterativeSolverApp:
+    """Configuration of the solver proxy."""
+
+    rows_per_rank: int = 256
+    n_processes: int = 1024
+    bytes_per_element: int = 8
+    iterations: int = 300
+    restart: int = 30                  # bcast cadence
+    bcast_bytes: int = 1 << 20         # parameter block size
+    flops_rate: float = 2.0e9
+
+    def __post_init__(self) -> None:
+        for name in ("rows_per_rank", "n_processes", "bytes_per_element",
+                     "iterations", "restart", "bcast_bytes"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.flops_rate <= 0:
+            raise ValueError("flops_rate must be positive")
+
+    @property
+    def block_bytes(self) -> int:
+        """Per-rank allgather contribution (its vector slice)."""
+        return self.rows_per_rank * self.bytes_per_element
+
+    @property
+    def n_bcasts(self) -> int:
+        return self.iterations // self.restart
+
+    @property
+    def compute_seconds_per_iteration(self) -> float:
+        """Sparse mat-vec + vector ops: ~40 flops per local row per rank."""
+        n = self.rows_per_rank * self.n_processes
+        flops = self.rows_per_rank * 40.0 + 2.0 * self.rows_per_rank * 8.0
+        # dominated by the local sparse row sweeps against the global vector
+        flops += 0.05 * self.rows_per_rank * n / self.n_processes
+        return flops / self.flops_rate
+
+    def trace(self) -> AppTrace:
+        """Alternating allgather phases with periodic parameter bcasts."""
+        phases = []
+        for _ in range(self.n_bcasts):
+            phases.append(
+                AppPhase(
+                    n_steps=self.restart,
+                    block_bytes=float(self.block_bytes),
+                    compute_seconds=self.compute_seconds_per_iteration,
+                )
+            )
+            phases.append(
+                AppPhase(
+                    n_steps=1,
+                    block_bytes=float(self.bcast_bytes),
+                    compute_seconds=0.0,
+                    collective="bcast",
+                )
+            )
+        tail = self.iterations - self.n_bcasts * self.restart
+        if tail:
+            phases.append(
+                AppPhase(
+                    n_steps=tail,
+                    block_bytes=float(self.block_bytes),
+                    compute_seconds=self.compute_seconds_per_iteration,
+                )
+            )
+        return AppTrace(name="solver", phases=phases)

@@ -1,0 +1,110 @@
+"""Dependency-free ASCII charts for benchmark series.
+
+Renders the paper's improvement-vs-message-size curves (Fig. 3/4) and
+bar comparisons (Fig. 5/6) as plain text, so reports remain readable in
+terminals and CI logs without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["line_chart", "bar_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _fmt(v: float) -> str:
+    if abs(v) >= 1000:
+        return f"{v:.0f}"
+    return f"{v:.3g}"
+
+
+def line_chart(
+    series: Dict[str, Sequence[float]],
+    x_labels: Sequence[str],
+    title: str = "",
+    height: int = 12,
+    y_label: str = "",
+) -> str:
+    """Multi-series line chart over a shared categorical x axis.
+
+    ``series`` maps legend names to equal-length y-value lists; points of
+    different series landing in the same cell show the earlier series'
+    marker.  Returns the chart as a string.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    n = len(x_labels)
+    for name, ys in series.items():
+        if len(ys) != n:
+            raise ValueError(f"series {name!r} has {len(ys)} points, expected {n}")
+    if n < 1:
+        raise ValueError("need at least one x position")
+    if height < 3:
+        raise ValueError(f"height must be >= 3, got {height}")
+
+    all_vals = [y for ys in series.values() for y in ys]
+    lo, hi = min(all_vals), max(all_vals)
+    if lo == hi:
+        lo, hi = lo - 1.0, hi + 1.0
+    span = hi - lo
+
+    width = max(n, 2)
+    grid = [[" "] * width for _ in range(height)]
+    # zero line, if visible
+    if lo < 0 < hi:
+        zr = height - 1 - int(round((0 - lo) / span * (height - 1)))
+        for c in range(width):
+            grid[zr][c] = "-"
+    for (name, ys), marker in zip(series.items(), _MARKERS):
+        for i, y in enumerate(ys):
+            r = height - 1 - int(round((y - lo) / span * (height - 1)))
+            if grid[r][i] in (" ", "-"):
+                grid[r][i] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    gutter = max(len(_fmt(hi)), len(_fmt(lo))) + 1
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = _fmt(hi)
+        elif r == height - 1:
+            label = _fmt(lo)
+        else:
+            label = ""
+        lines.append(f"{label:>{gutter}} |" + " ".join(row))
+    lines.append(" " * gutter + " +" + "-" * (2 * width - 1))
+    # x labels, thinned to fit
+    step = max(1, n // 8)
+    xl = [""] * n
+    for i in range(0, n, step):
+        xl[i] = x_labels[i]
+    lines.append(" " * gutter + "  " + " ".join(f"{l:<1}" for l in xl))
+    legend = "  ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(f"{y_label + '  ' if y_label else ''}legend: {legend}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Dict[str, float],
+    title: str = "",
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart (for the Fig. 5/6 normalised-time panels)."""
+    if not values:
+        raise ValueError("need at least one bar")
+    if width < 8:
+        raise ValueError(f"width must be >= 8, got {width}")
+    vmax = max(abs(v) for v in values.values()) or 1.0
+    name_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, v in values.items():
+        n = int(round(abs(v) / vmax * width))
+        bar = "#" * n
+        lines.append(f"{name:>{name_w}} | {bar} {_fmt(v)}{unit}")
+    return "\n".join(lines)

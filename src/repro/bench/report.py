@@ -1,0 +1,70 @@
+"""Plain-text rendering of sweep results in the paper's figure layout."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.bench.microbench import SweepPoint
+
+__all__ = ["size_label", "format_sweep_table", "format_series_csv"]
+
+
+def size_label(nbytes: int) -> str:
+    """OSU-style size label (1, 512, 1K, 256K, ...)."""
+    if nbytes >= 1 << 20 and nbytes % (1 << 20) == 0:
+        return f"{nbytes >> 20}M"
+    if nbytes >= 1024 and nbytes % 1024 == 0:
+        return f"{nbytes >> 10}K"
+    return str(nbytes)
+
+
+def _group(points: Iterable[SweepPoint]):
+    by_panel: Dict[tuple, List[SweepPoint]] = {}
+    for pt in points:
+        by_panel.setdefault((pt.layout, pt.hierarchical, pt.intra), []).append(pt)
+    return by_panel
+
+
+def format_sweep_table(points: Sequence[SweepPoint], title: str = "") -> str:
+    """Render sweep points as per-panel tables of improvement percentages.
+
+    One panel per (layout, hierarchical, intra) — matching the sub-figures
+    of the paper's Fig. 3/4 — with one column per series
+    (Hrstc+initComm, Hrstc+endShfl, Scotch+initComm, Scotch+endShfl) and
+    one row per message size.
+    """
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    for (layout, hier, intra), pts in _group(points).items():
+        panel = f"{layout}" + (f", {intra} ({'hierarchical'})" if hier else "")
+        out.append("")
+        out.append(f"-- {panel} --")
+        series = sorted({pt.series for pt in pts})
+        sizes = sorted({pt.block_bytes for pt in pts})
+        header = f"{'size':>8} {'default(us)':>12} " + " ".join(f"{s:>16}" for s in series)
+        out.append(header)
+        cell: Dict[tuple, SweepPoint] = {(pt.block_bytes, pt.series): pt for pt in pts}
+        for size in sizes:
+            base_us = next(pt.base_us for pt in pts if pt.block_bytes == size)
+            row = [f"{size_label(size):>8}", f"{base_us:>12.1f}"]
+            for s in series:
+                pt = cell.get((size, s))
+                row.append(f"{pt.improvement_pct:>15.1f}%" if pt else " " * 16)
+            out.append(" ".join(row))
+    return "\n".join(out)
+
+
+def format_series_csv(points: Sequence[SweepPoint]) -> str:
+    """Machine-readable dump (one row per point)."""
+    lines = [
+        "layout,hierarchical,intra,block_bytes,series,algorithm,default_us,tuned_us,improvement_pct"
+    ]
+    for pt in points:
+        lines.append(
+            f"{pt.layout},{int(pt.hierarchical)},{pt.intra},{pt.block_bytes},"
+            f"{pt.series},{pt.algorithm},{pt.base_us:.3f},{pt.tuned_us:.3f},"
+            f"{pt.improvement_pct:.2f}"
+        )
+    return "\n".join(lines)

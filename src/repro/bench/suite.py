@@ -1,0 +1,136 @@
+"""Programmatic reproduction suite: every headline artefact in one call.
+
+``pytest benchmarks/ --benchmark-only`` is the full harness;
+:func:`run_suite` is the library-level equivalent for downstream users —
+it regenerates the core paper artefacts (Fig. 3/4 sweeps, the Fig. 5
+application study, the Fig. 7 overheads) at a configurable scale and
+returns everything as strings, optionally writing them to a directory.
+``python -m repro reproduce`` wraps it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.apps.nbody import NBodyApp
+from repro.apps.trace import AppRunner
+from repro.bench.microbench import sweep_hierarchical, sweep_nonhierarchical
+from repro.bench.report import format_sweep_table
+from repro.evaluation.evaluator import AllgatherEvaluator
+from repro.mapping.initial import INITIAL_LAYOUTS, make_layout
+from repro.mapping.reorder import reorder_ranks
+from repro.topology.distances import DistanceExtractor
+from repro.topology.gpc import gpc_cluster
+
+__all__ = ["SuiteResult", "run_suite", "QUICK_SIZES"]
+
+QUICK_SIZES = [1, 16, 256, 1024, 4096, 65536, 262144]
+
+
+@dataclass
+class SuiteResult:
+    """All regenerated artefacts, keyed like the paper's figures."""
+
+    scale_p: int
+    reports: Dict[str, str] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    def write(self, directory) -> List[Path]:
+        """Write each report to ``directory`` as ``<name>.txt``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = []
+        for name, text in self.reports.items():
+            path = directory / f"{name}.txt"
+            path.write_text(text + "\n")
+            paths.append(path)
+        return paths
+
+    def summary(self) -> str:
+        """One-paragraph outcome summary."""
+        return (
+            f"reproduction suite at p={self.scale_p}: "
+            f"{len(self.reports)} artefacts in {self.seconds:.1f}s "
+            f"({', '.join(sorted(self.reports))})"
+        )
+
+
+def run_suite(
+    n_nodes: int = 32,
+    app_nodes: Optional[int] = None,
+    mappers=("heuristic", "scotch"),
+    out_dir=None,
+) -> SuiteResult:
+    """Regenerate the core paper artefacts.
+
+    Parameters
+    ----------
+    n_nodes:
+        Cluster size for the micro-benchmark figures (paper: 512).
+    app_nodes:
+        Cluster size for the application figure (defaults to
+        ``n_nodes``; paper: 128).
+    mappers:
+        Which mappers to compare against the default.
+    out_dir:
+        If given, reports are also written there.
+    """
+    t0 = time.perf_counter()
+    cluster = gpc_cluster(n_nodes=n_nodes)
+    p = cluster.n_cores
+    evaluator = AllgatherEvaluator(cluster, rng=0)
+    result = SuiteResult(scale_p=p)
+
+    # Fig. 3
+    pts = sweep_nonhierarchical(
+        evaluator, p, sizes=QUICK_SIZES, mappers=list(mappers), strategies=["initcomm"]
+    )
+    result.reports["fig3_nonhierarchical"] = format_sweep_table(
+        pts, f"Fig. 3 — non-hierarchical allgather improvement %, p={p}"
+    )
+
+    # Fig. 4 (both intra-node variants)
+    pts4 = []
+    for intra in ("binomial", "linear"):
+        pts4 += sweep_hierarchical(
+            evaluator, p, sizes=QUICK_SIZES, mappers=list(mappers),
+            strategies=["initcomm"], intra=intra,
+        )
+    result.reports["fig4_hierarchical"] = format_sweep_table(
+        pts4, f"Fig. 4 — hierarchical allgather improvement %, p={p}"
+    )
+
+    # Fig. 5
+    app_cluster = cluster if app_nodes in (None, n_nodes) else gpc_cluster(app_nodes)
+    app_ev = evaluator if app_cluster is cluster else AllgatherEvaluator(app_cluster, rng=0)
+    app_p = app_cluster.n_cores
+    app = NBodyApp()
+    lines = [f"Fig. 5 — nbody application (358 allgathers), p={app_p}", ""]
+    lines.append(f"{'layout':>16} {'default(s)':>11} " + " ".join(f"{m:>11}" for m in mappers))
+    for lname in sorted(INITIAL_LAYOUTS):
+        runner = AppRunner(app_ev, make_layout(lname, app_cluster, app_p))
+        base = runner.run(app.trace(), mode="default")
+        row = [f"{lname:>16}", f"{base.total_seconds:>11.3f}"]
+        for m in mappers:
+            res = runner.run(app.trace(), mode=m)
+            row.append(f"{res.normalized_to(base):>10.3f}x")
+        lines.append(" ".join(row))
+    result.reports["fig5_application"] = "\n".join(lines)
+
+    # Fig. 7
+    D, rep = DistanceExtractor(cluster).extract()
+    lines = [f"Fig. 7 — overheads, p={p}", ""]
+    lines.append(f"distance extraction: {rep.seconds:.4f} s (one-time)")
+    L = make_layout("cyclic-bunch", cluster, p)
+    for kind in ("heuristic", "scotch"):
+        r = reorder_ranks("recursive-doubling", L, D, kind=kind, rng=0)
+        lines.append(f"mapping ({kind}): {r.total_seconds:.4f} s")
+    result.reports["fig7_overheads"] = "\n".join(lines)
+
+    result.seconds = time.perf_counter() - t0
+    if out_dir is not None:
+        result.write(out_dir)
+    return result

@@ -1,0 +1,292 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Five subcommands mirror the paper's workflow:
+
+* ``topo``      — describe a simulated cluster (structure, distance
+  ladder, cost-model calibration probes);
+* ``sweep``     — micro-benchmark sweep (Fig. 3/4 style tables);
+* ``app``       — application study (Fig. 5/6 style tables);
+* ``overheads`` — extraction + mapping overheads (Fig. 7 style);
+* ``adaptive``  — per-size adaptive reordering decisions (§VII);
+* ``bcast``     — MPI_Bcast improvement sweep (the §V BBMH claim);
+* ``profile``   — link-level congestion diagnosis of one configuration;
+* ``reproduce`` — regenerate the core paper artefacts in one command.
+
+All commands accept ``--nodes`` to size the GPC-class cluster
+(processes = 8 x nodes) and print plain-text tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.apps.matvec import MatVecApp
+from repro.apps.solver import IterativeSolverApp
+from repro.apps.nbody import NBodyApp
+from repro.apps.trace import AppRunner
+from repro.bench.microbench import OSU_SIZES, sweep_hierarchical, sweep_nonhierarchical
+from repro.bench.report import format_sweep_table
+from repro.evaluation.adaptive import AdaptiveReorderer
+from repro.evaluation.calibration import calibrate, calibration_report
+from repro.evaluation.evaluator import AllgatherEvaluator
+from repro.mapping.initial import INITIAL_LAYOUTS, make_layout
+from repro.mapping.reorder import reorder_ranks
+from repro.simmpi.costmodel import CostModel
+from repro.topology.distances import DistanceExtractor
+from repro.topology.gpc import gpc_cluster
+
+__all__ = ["main", "build_parser"]
+
+QUICK_SIZES = [1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Topology-aware rank reordering for MPI collectives (IPDPS'16 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_nodes(p):
+        p.add_argument("--nodes", type=int, default=32, help="compute nodes (8 cores each)")
+
+    p_topo = sub.add_parser("topo", help="describe the simulated cluster")
+    add_nodes(p_topo)
+
+    p_sweep = sub.add_parser("sweep", help="micro-benchmark improvement sweep (Fig. 3/4)")
+    add_nodes(p_sweep)
+    p_sweep.add_argument("--hierarchical", action="store_true")
+    p_sweep.add_argument("--intra", choices=["binomial", "linear"], default="binomial")
+    p_sweep.add_argument("--full-sizes", action="store_true", help="all 19 OSU sizes")
+    p_sweep.add_argument(
+        "--mappers", nargs="+", default=["heuristic", "scotch"],
+        choices=["heuristic", "scotch", "greedy"],
+    )
+    p_sweep.add_argument(
+        "--layouts", nargs="+", default=None, choices=sorted(INITIAL_LAYOUTS),
+    )
+
+    p_app = sub.add_parser("app", help="application study (Fig. 5/6)")
+    add_nodes(p_app)
+    p_app.add_argument("--app", choices=["nbody", "matvec", "solver"], default="nbody")
+    p_app.add_argument("--steps", type=int, default=358)
+    p_app.add_argument("--hierarchical", action="store_true")
+    p_app.add_argument("--intra", choices=["binomial", "linear"], default="binomial")
+
+    p_over = sub.add_parser("overheads", help="extraction + mapping overheads (Fig. 7)")
+    add_nodes(p_over)
+    p_over.add_argument(
+        "--pattern", default="recursive-doubling",
+        choices=["recursive-doubling", "ring", "binomial-bcast", "binomial-gather", "bruck"],
+    )
+
+    p_ad = sub.add_parser("adaptive", help="per-size adaptive reordering decisions")
+    add_nodes(p_ad)
+    p_ad.add_argument("--layout", default="cyclic-bunch", choices=sorted(INITIAL_LAYOUTS))
+
+    p_bc = sub.add_parser("bcast", help="MPI_Bcast improvement sweep (BBMH / scatter-allgather)")
+    add_nodes(p_bc)
+    p_bc.add_argument("--layout", default="cyclic-scatter", choices=sorted(INITIAL_LAYOUTS))
+
+    p_prof = sub.add_parser("profile", help="link-level congestion diagnosis")
+    add_nodes(p_prof)
+    p_prof.add_argument("--layout", default="cyclic-scatter", choices=sorted(INITIAL_LAYOUTS))
+    p_prof.add_argument("--block-bytes", type=int, default=65536)
+    p_prof.add_argument("--reordered", action="store_true", help="profile after reordering")
+
+    p_rep = sub.add_parser("reproduce", help="regenerate the core paper artefacts")
+    add_nodes(p_rep)
+    p_rep.add_argument("--out", default=None, help="directory to write the reports to")
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_topo(args) -> int:
+    from repro.topology.visualize import render_node, render_tree, render_wiring
+
+    cluster = gpc_cluster(n_nodes=args.nodes)
+    print(cluster)
+    print()
+    print(render_wiring(cluster))
+    print()
+    print(render_tree(cluster))
+    print()
+    print(render_node(cluster, 0))
+    print()
+    cm = CostModel()
+    print(cm.describe())
+    print()
+    row = cluster.distance_row(0)
+    print("distance ladder from core 0:")
+    seen = set()
+    for core in range(cluster.n_cores):
+        d = float(row[core])
+        if d not in seen:
+            seen.add(d)
+            print(f"  {cluster.channel_of(0, core):>6}: distance {d:.1f} (e.g. core {core})")
+    print()
+    print("calibration probes (simulated ping-pong):")
+    print(calibration_report(calibrate(cluster, cm)))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    cluster = gpc_cluster(n_nodes=args.nodes)
+    p = cluster.n_cores
+    ev = AllgatherEvaluator(cluster, rng=0)
+    sizes = OSU_SIZES if args.full_sizes else QUICK_SIZES
+    if args.hierarchical:
+        layouts = args.layouts or ["block-bunch", "block-scatter"]
+        points = sweep_hierarchical(
+            ev, p, layouts=layouts, sizes=sizes, mappers=args.mappers, intra=args.intra
+        )
+        title = f"Hierarchical ({args.intra}) allgather improvement %, p={p}"
+    else:
+        layouts = args.layouts or sorted(INITIAL_LAYOUTS)
+        points = sweep_nonhierarchical(
+            ev, p, layouts=layouts, sizes=sizes, mappers=args.mappers
+        )
+        title = f"Non-hierarchical allgather improvement %, p={p}"
+    print(format_sweep_table(points, title=title))
+    return 0
+
+
+def _cmd_app(args) -> int:
+    cluster = gpc_cluster(n_nodes=args.nodes)
+    p = cluster.n_cores
+    ev = AllgatherEvaluator(cluster, rng=0)
+    if args.app == "nbody":
+        trace = NBodyApp(steps=args.steps).trace()
+    elif args.app == "matvec":
+        trace = MatVecApp(n_processes=p, iterations=args.steps).trace()
+    else:
+        trace = IterativeSolverApp(n_processes=p, iterations=args.steps).trace()
+    print(
+        f"{trace.name}: {trace.n_allgathers} allgathers, p={p}, "
+        f"hierarchical={args.hierarchical}\n"
+    )
+    print(f"{'layout':>16} {'default(s)':>11} {'Hrstc(s)':>10} {'Scotch(s)':>10} {'Hrstc norm':>11}")
+    layouts = sorted(INITIAL_LAYOUTS)
+    for lname in layouts:
+        runner = AppRunner(ev, make_layout(lname, cluster, p))
+        rows = {}
+        for mode in ("default", "heuristic", "scotch"):
+            rows[mode] = runner.run(
+                trace, mode=mode, hierarchical=args.hierarchical, intra=args.intra
+            )
+        print(
+            f"{lname:>16} {rows['default'].total_seconds:>11.3f} "
+            f"{rows['heuristic'].total_seconds:>10.3f} "
+            f"{rows['scotch'].total_seconds:>10.3f} "
+            f"{rows['heuristic'].normalized_to(rows['default']):>11.3f}"
+        )
+    return 0
+
+
+def _cmd_overheads(args) -> int:
+    cluster = gpc_cluster(n_nodes=args.nodes)
+    p = cluster.n_cores
+    D, report = DistanceExtractor(cluster).extract()
+    print(f"distance extraction at p={p}: {report.seconds:.4f} s (one-time)")
+    L = make_layout("cyclic-bunch", cluster, p)
+    print(f"\nmapping overheads for pattern {args.pattern!r}:")
+    for kind in ("heuristic", "scotch", "greedy"):
+        res = reorder_ranks(args.pattern, L, D, kind=kind, rng=0)
+        extra = f" (graph build {res.graph_seconds:.4f} s)" if res.graph_seconds else ""
+        print(f"  {kind:>10}: {res.total_seconds:.4f} s{extra}")
+    return 0
+
+
+def _cmd_adaptive(args) -> int:
+    cluster = gpc_cluster(n_nodes=args.nodes)
+    p = cluster.n_cores
+    ev = AllgatherEvaluator(cluster, rng=0)
+    ad = AdaptiveReorderer(ev, make_layout(args.layout, cluster, p))
+    print(f"adaptive decisions on {args.layout}, p={p}\n")
+    print(f"{'size':>8} {'default(us)':>12} {'reordered(us)':>14} {'choice':>10}")
+    for bb in QUICK_SIZES:
+        d = ad.decide(bb)
+        choice = "reordered" if d.use_reordered else "default"
+        print(
+            f"{bb:>8} {d.default_seconds * 1e6:>12.1f} "
+            f"{d.reordered_seconds * 1e6:>14.1f} {choice:>10}"
+        )
+    return 0
+
+
+def _cmd_bcast(args) -> int:
+    from repro.evaluation.bcast import BcastEvaluator
+
+    cluster = gpc_cluster(n_nodes=args.nodes)
+    p = cluster.n_cores
+    ev = BcastEvaluator(cluster, rng=0)
+    L = make_layout(args.layout, cluster, p)
+    print(f"MPI_Bcast improvement on {args.layout}, p={p}\n")
+    print(f"{'size':>10} {'algorithm':>28} {'default(us)':>12} {'tuned(us)':>11} {'gain':>7}")
+    for mb in (256, 1024, 4096, 16384, 65536, 262144, 1 << 20):
+        base = ev.default_latency(L, mb)
+        tuned = ev.reordered_latency(L, mb, "heuristic")
+        gain = 100 * (base.seconds - tuned.seconds) / base.seconds
+        print(
+            f"{mb:>10} {base.algorithm:>28} {base.seconds * 1e6:>12.1f} "
+            f"{tuned.seconds * 1e6:>11.1f} {gain:>6.1f}%"
+        )
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.collectives.registry import select_allgather, pattern_of
+    from repro.simmpi.profiler import profile_schedule
+
+    cluster = gpc_cluster(n_nodes=args.nodes)
+    p = cluster.n_cores
+    ev = AllgatherEvaluator(cluster, rng=0)
+    L = make_layout(args.layout, cluster, p)
+    alg = select_allgather(p, args.block_bytes)
+    mapping = L
+    tag = "default mapping"
+    if args.reordered:
+        res = reorder_ranks(pattern_of(alg), L, ev.D, rng=0)
+        mapping = res.mapping
+        tag = f"reordered ({res.mapper_name})"
+    print(f"{alg.name} @ {args.block_bytes} B on {args.layout} [{tag}], p={p}\n")
+    prof = profile_schedule(ev.engine, alg.schedule(p), mapping, args.block_bytes)
+    print(prof.report())
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.bench.suite import run_suite
+
+    result = run_suite(n_nodes=args.nodes, out_dir=args.out)
+    for name in sorted(result.reports):
+        print(result.reports[name])
+        print()
+    print(result.summary())
+    return 0
+
+
+_COMMANDS = {
+    "topo": _cmd_topo,
+    "sweep": _cmd_sweep,
+    "app": _cmd_app,
+    "overheads": _cmd_overheads,
+    "adaptive": _cmd_adaptive,
+    "bcast": _cmd_bcast,
+    "profile": _cmd_profile,
+    "reproduce": _cmd_reproduce,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

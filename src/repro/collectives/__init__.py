@@ -1,0 +1,74 @@
+"""Collective communication algorithms compiled to stage schedules.
+
+The allgather family (recursive doubling, ring, Bruck, hierarchical), the
+binomial/linear broadcast and gather building blocks, the MVAPICH-like
+selection registry, and the order-restoration machinery for rank
+reordering.
+"""
+
+from repro.collectives.schedule import CollectiveAlgorithm, Schedule, Stage, make_stage
+from repro.collectives.allgather_rd import RecursiveDoublingAllgather, rd_blocks_owned
+from repro.collectives.allgather_ring import RingAllgather
+from repro.collectives.allgather_bruck import BruckAllgather
+from repro.collectives.allgather_rd_nonpow2 import FoldedRecursiveDoublingAllgather
+from repro.collectives.bcast_binomial import BinomialBroadcast
+from repro.collectives.gather_binomial import BinomialGather
+from repro.collectives.linear import LinearBroadcast, LinearGather
+from repro.collectives.scatter_allgather import BinomialScatter, ScatterAllgatherBroadcast
+from repro.collectives.hierarchical import HierarchicalAllgather, contiguous_groups
+from repro.collectives.multilevel import MultiLevelAllgather, socket_groups_for
+from repro.collectives.allreduce import (
+    RabenseifnerAllreduce,
+    RecursiveDoublingAllreduce,
+    simulate_allreduce,
+)
+from repro.collectives.reduce import BinomialReduce, simulate_reduce
+from repro.collectives.registry import (
+    DEFAULT_RD_THRESHOLD_BYTES,
+    pattern_of,
+    select_allgather,
+    select_hierarchical_allgather,
+)
+from repro.collectives.correctness import (
+    OrderStrategy,
+    RankReordering,
+    end_shuffle_seconds,
+    execute_reordered_allgather,
+    init_comm_stage,
+)
+
+__all__ = [
+    "CollectiveAlgorithm",
+    "Schedule",
+    "Stage",
+    "make_stage",
+    "RecursiveDoublingAllgather",
+    "rd_blocks_owned",
+    "RingAllgather",
+    "BruckAllgather",
+    "FoldedRecursiveDoublingAllgather",
+    "BinomialReduce",
+    "simulate_reduce",
+    "BinomialBroadcast",
+    "BinomialGather",
+    "LinearBroadcast",
+    "LinearGather",
+    "BinomialScatter",
+    "ScatterAllgatherBroadcast",
+    "HierarchicalAllgather",
+    "contiguous_groups",
+    "MultiLevelAllgather",
+    "socket_groups_for",
+    "RecursiveDoublingAllreduce",
+    "RabenseifnerAllreduce",
+    "simulate_allreduce",
+    "DEFAULT_RD_THRESHOLD_BYTES",
+    "pattern_of",
+    "select_allgather",
+    "select_hierarchical_allgather",
+    "OrderStrategy",
+    "RankReordering",
+    "init_comm_stage",
+    "end_shuffle_seconds",
+    "execute_reordered_allgather",
+]

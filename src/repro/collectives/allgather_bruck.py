@@ -1,0 +1,68 @@
+"""Bruck allgather (paper §VII future work, Thakur et al. [17]).
+
+``ceil(log2 p)`` stages for *any* communicator size: in stage ``s`` rank
+``i`` sends its lowest ``min(2^s, p - 2^s)`` accumulated blocks to rank
+``(i - 2^s) mod p`` and receives the matching set from ``(i + 2^s) mod p``.
+After the last stage every rank holds all ``p`` blocks, rotated by its own
+rank — the algorithm's inherent final local rotation, priced through
+``Schedule.local_copy_units``.
+
+The paper lists extending the heuristics to Bruck as future work; we
+implement both the algorithm and a matching heuristic
+(:mod:`repro.mapping.bruckmh`).
+
+In the data executor's absolute-slot model the rotation is implicit (slots
+are absolute block ids), so :meth:`stages` is directly verifiable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.collectives.schedule import CollectiveAlgorithm, Schedule, Stage
+from repro.util.bits import ceil_log2
+
+__all__ = ["BruckAllgather"]
+
+
+class BruckAllgather(CollectiveAlgorithm):
+    """Bruck's log-round allgather for arbitrary ``p``."""
+
+    name = "bruck"
+
+    def stages(self, p: int) -> Iterator[Stage]:
+        self.validate_p(p)
+        for s in range(ceil_log2(p)):
+            dist = 1 << s
+            count = min(dist, p - dist)
+            src = np.arange(p, dtype=np.int64)
+            dst = (src - dist) % p
+            blocks = [tuple((i + j) % p for j in range(count)) for i in range(p)]
+            yield Stage(
+                src=src,
+                dst=dst,
+                units=np.full(p, float(count)),
+                blocks=blocks,
+                label=f"bruck:stage{s}",
+            )
+
+    def schedule(self, p: int) -> Schedule:
+        """Timing view: same stages without block lists, plus the rotation."""
+        self.validate_p(p)
+        stages = []
+        ranks = np.arange(p, dtype=np.int64)
+        for s in range(ceil_log2(p)):
+            dist = 1 << s
+            count = min(dist, p - dist)
+            stages.append(
+                Stage(
+                    src=ranks,
+                    dst=(ranks - dist) % p,
+                    units=np.full(p, float(count)),
+                    label=f"bruck:stage{s}",
+                )
+            )
+        # Every rank but 0 rotates its full output buffer at the end.
+        return Schedule(p=p, stages=stages, local_copy_units=float(p), name=self.name)

@@ -1,0 +1,81 @@
+"""Recursive-doubling allgather (paper §II, Fig. 1).
+
+``log2(p)`` stages; in stage ``s`` rank ``i`` exchanges with rank
+``i XOR 2^s`` all ``2^s`` blocks it has accumulated so far, so message
+volume doubles every stage.  Power-of-two process counts only, as in the
+paper ("recursive doubling is mainly used for a power-of-two number of
+processes").
+
+RDMH (:mod:`repro.mapping.rdmh`) is the mapping heuristic fine-tuned for
+this pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.collectives.schedule import CollectiveAlgorithm, Schedule, Stage
+from repro.util.bits import ilog2, is_power_of_two
+
+__all__ = ["RecursiveDoublingAllgather", "rd_blocks_owned"]
+
+
+def rd_blocks_owned(rank: int, stage: int) -> Tuple[int, ...]:
+    """Blocks rank ``rank`` owns *entering* stage ``stage``.
+
+    After ``s`` completed exchanges, the low ``s`` bits of the block ids a
+    rank owns range over all values while the high bits match its own rank.
+    """
+    base = rank & ~((1 << stage) - 1)
+    return tuple(base | j for j in range(1 << stage))
+
+
+class RecursiveDoublingAllgather(CollectiveAlgorithm):
+    """The classic recursive-doubling allgather."""
+
+    name = "recursive-doubling"
+
+    def validate_p(self, p: int) -> None:
+        super().validate_p(p)
+        if not is_power_of_two(p):
+            raise ValueError(
+                f"recursive doubling requires a power-of-two communicator, got p={p}"
+            )
+
+    def stages(self, p: int) -> Iterator[Stage]:
+        self.validate_p(p)
+        k = ilog2(p)
+        for s in range(k):
+            dist = 1 << s
+            src = np.arange(p, dtype=np.int64)
+            dst = src ^ dist
+            blocks = [rd_blocks_owned(int(i), s) for i in range(p)]
+            units = np.full(p, float(dist))
+            yield Stage(
+                src=src, dst=dst, units=units, blocks=blocks, label=f"rd:stage{s}"
+            )
+
+    def schedule(self, p: int) -> Schedule:
+        """Timing view: identical, but skips building the block lists."""
+        self.validate_p(p)
+        k = ilog2(p)
+        stages = []
+        ranks = np.arange(p, dtype=np.int64)
+        for s in range(k):
+            dist = 1 << s
+            stages.append(
+                Stage(
+                    src=ranks,
+                    dst=ranks ^ dist,
+                    units=np.full(p, float(dist)),
+                    label=f"rd:stage{s}",
+                )
+            )
+        return Schedule(p=p, stages=stages, name=self.name)
+
+    @staticmethod
+    def partner(rank: int, stage: int) -> int:
+        """Exchange partner of ``rank`` in ``stage`` (used by RDMH & tests)."""
+        return rank ^ (1 << stage)

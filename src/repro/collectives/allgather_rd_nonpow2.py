@@ -1,0 +1,113 @@
+"""Recursive-doubling allgather for arbitrary communicator sizes.
+
+The classic remedy for recursive doubling's power-of-two restriction
+(MPICH's approach for reduce-style collectives, Thakur et al. [17]):
+with ``p = p' + r`` processes where ``p' = 2^floor(log2 p)``,
+
+1. **fold** — each of the first ``r`` "excess" ranks sends its block to
+   a partner among the surviving ranks, which then represents both;
+2. **core** — plain recursive doubling among the ``p'`` survivors, each
+   carrying one or two blocks per virtual slot;
+3. **unfold** — every survivor ships the full result to the excess rank
+   it represents.
+
+The fold/unfold rounds cost one extra small and one extra full-vector
+message, which is why libraries prefer Bruck's algorithm for small
+messages at non-power-of-two sizes (our registry does too); this class
+exists to complete the algorithm family and for the comparison tests.
+
+Ranks ``p' .. p-1`` are the excess ranks, represented by ranks
+``0 .. r-1`` respectively.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.collectives.allgather_rd import rd_blocks_owned
+from repro.collectives.schedule import CollectiveAlgorithm, Schedule, Stage, make_stage
+from repro.util.bits import ilog2, is_power_of_two
+
+__all__ = ["FoldedRecursiveDoublingAllgather"]
+
+
+class FoldedRecursiveDoublingAllgather(CollectiveAlgorithm):
+    """Fold / recursive-double / unfold allgather for any ``p >= 2``."""
+
+    name = "recursive-doubling-folded"
+
+    @staticmethod
+    def _split(p: int) -> Tuple[int, int]:
+        """(p', r): the power-of-two core size and the excess count."""
+        p_core = 1 << (p.bit_length() - 1)
+        if p_core == p:
+            return p, 0
+        return p_core, p - p_core
+
+    def _virtual_blocks(self, survivor: int, p: int) -> Tuple[int, ...]:
+        """Blocks the survivor holds after the fold (own + represented)."""
+        p_core, r = self._split(p)
+        blocks: Tuple[int, ...] = (survivor,)
+        if survivor < r:
+            blocks += (p_core + survivor,)
+        return blocks
+
+    def stages(self, p: int) -> Iterator[Stage]:
+        self.validate_p(p)
+        p_core, r = self._split(p)
+
+        # 1. fold: excess rank p'+i sends its block to survivor i
+        if r:
+            msgs = [(p_core + i, i, (p_core + i,)) for i in range(r)]
+            yield make_stage(msgs, label="rdf:fold")
+
+        # 2. recursive doubling over the survivors; virtual slot j of a
+        # survivor expands to one or two world blocks
+        for s in range(ilog2(p_core)):
+            dist = 1 << s
+            msgs = []
+            for i in range(p_core):
+                blocks: Tuple[int, ...] = ()
+                for slot in rd_blocks_owned(i, s):
+                    blocks += self._virtual_blocks(slot, p)
+                msgs.append((i, i ^ dist, blocks))
+            yield make_stage(msgs, label=f"rdf:stage{s}")
+
+        # 3. unfold: survivors ship the complete vector to their excess rank
+        if r:
+            payload = tuple(range(p))
+            msgs = [(i, p_core + i, payload) for i in range(r)]
+            yield make_stage(msgs, label="rdf:unfold")
+
+    def schedule(self, p: int) -> Schedule:
+        """Timing view (no block materialisation)."""
+        self.validate_p(p)
+        p_core, r = self._split(p)
+        stages: List[Stage] = []
+        if r:
+            ex = np.arange(r, dtype=np.int64)
+            stages.append(
+                Stage(src=p_core + ex, dst=ex, units=np.ones(r), label="rdf:fold")
+            )
+        ranks = np.arange(p_core, dtype=np.int64)
+        # survivors 0..r-1 carry 2 blocks per virtual slot
+        for s in range(ilog2(p_core)):
+            dist = 1 << s
+            units = np.array(
+                [
+                    sum(len(self._virtual_blocks(slot, p)) for slot in rd_blocks_owned(i, s))
+                    for i in range(p_core)
+                ],
+                dtype=np.float64,
+            )
+            stages.append(
+                Stage(src=ranks, dst=ranks ^ dist, units=units, label=f"rdf:stage{s}")
+            )
+        if r:
+            ex = np.arange(r, dtype=np.int64)
+            stages.append(
+                Stage(src=ex, dst=p_core + ex, units=np.full(r, float(p)), label="rdf:unfold")
+            )
+        return Schedule(p=p, stages=stages, name=self.name)

@@ -1,0 +1,58 @@
+"""Ring allgather (paper §II).
+
+``p - 1`` stages; in every stage rank ``i`` sends one block to rank
+``i + 1 (mod p)`` and receives one from ``i - 1``: its own block first,
+then whatever arrived in the previous stage.  Every stage has the exact
+same message shape, so the timing view compresses to one stage with
+``repeat = p - 1``.
+
+The ring is the one allgather algorithm that needs *no* order-restoration
+mechanism under rank reordering (paper §V-B): each stage delivers exactly
+one block, whose correct output offset the receiver computes from the
+mapping array and stores directly.  In the slot model of the data executor
+this inline placement is the identity — see
+:mod:`repro.collectives.correctness`.
+
+RMH (:mod:`repro.mapping.rmh`) is the matching heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.collectives.schedule import CollectiveAlgorithm, Schedule, Stage
+
+__all__ = ["RingAllgather"]
+
+
+class RingAllgather(CollectiveAlgorithm):
+    """The logical-ring allgather; works for any communicator size."""
+
+    name = "ring"
+
+    #: the in-algorithm offset fix makes reordering free of restoration cost
+    supports_inline_placement = True
+
+    def stages(self, p: int) -> Iterator[Stage]:
+        self.validate_p(p)
+        src = np.arange(p, dtype=np.int64)
+        dst = (src + 1) % p
+        units = np.ones(p)
+        for t in range(p - 1):
+            blocks = [((i - t) % p,) for i in range(p)]
+            yield Stage(src=src, dst=dst, units=units, blocks=blocks, label=f"ring:stage{t}")
+
+    def schedule(self, p: int) -> Schedule:
+        """Timing view: one representative stage repeated ``p - 1`` times."""
+        self.validate_p(p)
+        src = np.arange(p, dtype=np.int64)
+        stage = Stage(
+            src=src,
+            dst=(src + 1) % p,
+            units=np.ones(p),
+            repeat=p - 1,
+            label="ring:stage*",
+        )
+        return Schedule(p=p, stages=[stage], name=self.name)

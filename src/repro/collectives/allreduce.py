@@ -1,0 +1,127 @@
+"""MPI_Allreduce algorithms (paper §VII future work).
+
+The paper names extending the heuristics to MPI_Allreduce as future work;
+both classic algorithms are provided so the RDMH/RMH heuristics can be
+applied to their patterns:
+
+* **recursive-doubling allreduce** — ``log2 p`` stages, the *full* vector
+  exchanged every stage (latency-optimal, small messages).  Identical
+  communication pattern to recursive-doubling allgather except for the
+  constant message size, so RDMH applies directly.
+* **Rabenseifner** (reduce-scatter + allgather) — bandwidth-optimal for
+  large vectors: a reverse-doubling reduce-scatter with halving message
+  sizes followed by a recursive-doubling allgather with doubling sizes.
+
+Reductions do not fit the data executor's slot-copy model, so these
+classes provide only the timing view; numerical correctness is verified
+separately via :func:`simulate_allreduce`, a direct reference simulation
+of the message/reduce steps on real numpy vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List
+
+import numpy as np
+
+from repro.collectives.schedule import CollectiveAlgorithm, Schedule, Stage
+from repro.util.bits import ilog2, is_power_of_two
+
+__all__ = ["RecursiveDoublingAllreduce", "RabenseifnerAllreduce", "simulate_allreduce"]
+
+
+class RecursiveDoublingAllreduce(CollectiveAlgorithm):
+    """Full-vector exchange-and-reduce over the hypercube pattern."""
+
+    name = "allreduce-rd"
+
+    def validate_p(self, p: int) -> None:
+        super().validate_p(p)
+        if not is_power_of_two(p):
+            raise ValueError(f"recursive-doubling allreduce requires power-of-two p, got {p}")
+
+    def stages(self, p: int) -> Iterator[Stage]:
+        raise NotImplementedError(
+            "allreduce involves reductions; use schedule() for timing and "
+            "simulate_allreduce() for numerical verification"
+        )
+
+    def schedule(self, p: int) -> Schedule:
+        self.validate_p(p)
+        ranks = np.arange(p, dtype=np.int64)
+        stages = [
+            Stage(
+                src=ranks,
+                dst=ranks ^ (1 << s),
+                units=np.ones(p),
+                label=f"ar-rd:stage{s}",
+            )
+            for s in range(ilog2(p))
+        ]
+        return Schedule(p=p, stages=stages, name=self.name)
+
+
+class RabenseifnerAllreduce(CollectiveAlgorithm):
+    """Reduce-scatter (halving) followed by allgather (doubling)."""
+
+    name = "allreduce-rabenseifner"
+
+    def validate_p(self, p: int) -> None:
+        super().validate_p(p)
+        if not is_power_of_two(p):
+            raise ValueError(f"Rabenseifner allreduce requires power-of-two p, got {p}")
+
+    def stages(self, p: int) -> Iterator[Stage]:
+        raise NotImplementedError(
+            "allreduce involves reductions; use schedule() for timing and "
+            "simulate_allreduce() for numerical verification"
+        )
+
+    def schedule(self, p: int) -> Schedule:
+        self.validate_p(p)
+        k = ilog2(p)
+        ranks = np.arange(p, dtype=np.int64)
+        stages: List[Stage] = []
+        # Reduce-scatter: message sizes halve (units are fractions of the vector).
+        for s in range(k):
+            stages.append(
+                Stage(
+                    src=ranks,
+                    dst=ranks ^ (1 << s),
+                    units=np.full(p, 1.0 / (1 << (s + 1))),
+                    label=f"ar-rs:stage{s}",
+                )
+            )
+        # Allgather: message sizes double back up.
+        for s in range(k - 1, -1, -1):
+            stages.append(
+                Stage(
+                    src=ranks,
+                    dst=ranks ^ (1 << s),
+                    units=np.full(p, 1.0 / (1 << (s + 1))),
+                    label=f"ar-ag:stage{s}",
+                )
+            )
+        return Schedule(p=p, stages=stages, name=self.name)
+
+
+def simulate_allreduce(
+    inputs: np.ndarray, op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add
+) -> np.ndarray:
+    """Reference recursive-doubling allreduce on real vectors.
+
+    ``inputs`` has shape (p, n); returns the (p, n) result every rank ends
+    with.  Executes the exact stage/partner structure of
+    :class:`RecursiveDoublingAllreduce`, verifying its pattern is a valid
+    allreduce (every rank combines every contribution exactly once).
+    """
+    vals = np.array(inputs, copy=True)
+    p = vals.shape[0]
+    if not is_power_of_two(p):
+        raise ValueError(f"power-of-two p required, got {p}")
+    for s in range(ilog2(p)):
+        dist = 1 << s
+        snapshot = vals.copy()
+        for i in range(p):
+            vals[i] = op(snapshot[i], snapshot[i ^ dist])
+    return vals

@@ -1,0 +1,58 @@
+"""Binomial-tree broadcast (paper §V-A3).
+
+``ceil(log2 p)`` stages with a fixed message size throughout — the property
+BBMH exploits ("we do not need to worry about the size of communicated
+messages", §V-A3).  The number of concurrent pair-wise transfers doubles
+every stage, so later stages are the contention-critical ones.
+
+Used standalone for MPI_Bcast and as phase 3 of the hierarchical allgather
+(where the payload is the whole gathered vector).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.collectives import binomial
+from repro.collectives.schedule import CollectiveAlgorithm, Stage, make_stage
+
+__all__ = ["BinomialBroadcast"]
+
+
+class BinomialBroadcast(CollectiveAlgorithm):
+    """Binomial broadcast from rank ``root`` (default 0).
+
+    Parameters
+    ----------
+    root:
+        Broadcasting rank; other ranks are handled through relative-rank
+        rotation, as in MPICH.
+    payload_blocks:
+        Block ids each message carries.  Defaults to ``(0,)`` — one unit,
+        the plain MPI_Bcast case.  The hierarchical allgather passes the
+        full block vector.
+    """
+
+    name = "binomial-bcast"
+
+    def __init__(self, root: int = 0, payload_blocks: Tuple[int, ...] = (0,)) -> None:
+        if root < 0:
+            raise ValueError(f"root must be >= 0, got {root}")
+        if not payload_blocks:
+            raise ValueError("payload_blocks must be non-empty")
+        self.root = root
+        self.payload_blocks = tuple(payload_blocks)
+
+    def _absolute(self, rel_rank: int, p: int) -> int:
+        return (rel_rank + self.root) % p
+
+    def stages(self, p: int) -> Iterator[Stage]:
+        self.validate_p(p)
+        if self.root >= p:
+            raise ValueError(f"root {self.root} outside communicator of size {p}")
+        for s, edges in enumerate(binomial.bcast_edges_by_stage(p)):
+            msgs = [
+                (self._absolute(par, p), self._absolute(child, p), self.payload_blocks)
+                for par, child in edges
+            ]
+            yield make_stage(msgs, label=f"bbcast:stage{s}")

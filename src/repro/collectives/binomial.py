@@ -1,0 +1,101 @@
+"""Binomial-tree structure shared by broadcast, gather and their heuristics.
+
+The tree is the one the paper's Algorithms 4 and 5 traverse, rooted at rank
+0 (any root via relative-rank rotation): the children of rank ``r`` are
+``r + 2^j`` for ``j = 0, 1, 2, ...`` while bit ``j`` of ``r`` is clear (and
+the child exists).  The subtree of child ``r + 2^j`` is the contiguous rank
+range ``[r + 2^j, r + 2^(j+1))`` clipped to ``p``.
+
+Broadcast sends down the tree, big subtrees first: the edge at bit ``j``
+fires in stage ``k - 1 - j`` (``k = ceil(log2 p)``), so stage 0 has one
+message and the last stage has ``p/2`` — the contention growth the paper's
+BBMH heuristic targets.  Gather runs the same edges in the reverse order
+with message sizes equal to subtree sizes — the growth BGMH targets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.util.bits import ceil_log2
+
+__all__ = [
+    "children",
+    "parent",
+    "subtree_range",
+    "subtree_size",
+    "bcast_edges_by_stage",
+    "gather_edges_by_stage",
+    "tree_edges",
+]
+
+
+def children(rank: int, p: int) -> List[Tuple[int, int]]:
+    """Children of ``rank`` as (bit, child) pairs, smallest subtree first."""
+    if not 0 <= rank < p:
+        raise ValueError(f"rank {rank} out of range [0, {p})")
+    out = []
+    i = 1
+    while (rank & i) == 0 and rank + i < p:
+        out.append((i.bit_length() - 1, rank + i))
+        i <<= 1
+    return out
+
+
+def parent(rank: int) -> int:
+    """Parent of a non-root rank: clear its lowest set bit."""
+    if rank <= 0:
+        raise ValueError("rank 0 is the root; it has no parent")
+    return rank & (rank - 1)
+
+
+def subtree_range(rank: int, p: int) -> range:
+    """Ranks in the subtree rooted at ``rank`` (a contiguous range)."""
+    if not 0 <= rank < p:
+        raise ValueError(f"rank {rank} out of range [0, {p})")
+    if rank == 0:
+        return range(0, p)
+    low = rank & (-rank)  # lowest set bit
+    return range(rank, min(rank + low, p))
+
+
+def subtree_size(rank: int, p: int) -> int:
+    """Size of the subtree rooted at ``rank``."""
+    return len(subtree_range(rank, p))
+
+
+def tree_edges(p: int) -> Iterator[Tuple[int, int, int]]:
+    """All (bit, parent, child) edges of the binomial tree over ``p`` ranks."""
+    for r in range(p):
+        for bit, c in children(r, p):
+            yield bit, r, c
+
+
+def bcast_edges_by_stage(p: int) -> List[List[Tuple[int, int]]]:
+    """Broadcast edge schedule: ``stages[s]`` lists (parent, child) pairs.
+
+    Stage ``s`` fires the edges with bit ``k - 1 - s``; a parent always
+    holds the data before sending because it received it on a higher bit.
+    """
+    if p < 1:
+        raise ValueError(f"need p >= 1, got {p}")
+    k = ceil_log2(p) if p > 1 else 0
+    stages: List[List[Tuple[int, int]]] = [[] for _ in range(k)]
+    for bit, r, c in tree_edges(p):
+        stages[k - 1 - bit].append((r, c))
+    return [st for st in stages if st]
+
+
+def gather_edges_by_stage(p: int) -> List[List[Tuple[int, int]]]:
+    """Gather edge schedule: ``stages[s]`` lists (child, parent) pairs.
+
+    The reverse of broadcast: bit ``s`` edges fire in stage ``s``, so a
+    child has absorbed its whole subtree before forwarding it.
+    """
+    if p < 1:
+        raise ValueError(f"need p >= 1, got {p}")
+    k = ceil_log2(p) if p > 1 else 0
+    stages: List[List[Tuple[int, int]]] = [[] for _ in range(k)]
+    for bit, r, c in tree_edges(p):
+        stages[bit].append((c, r))
+    return [st for st in stages if st]

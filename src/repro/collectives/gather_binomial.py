@@ -1,0 +1,69 @@
+"""Binomial-tree gather (paper §V-A4).
+
+The reverse of the binomial broadcast: leaf edges fire first, and a child
+forwards its whole accumulated subtree to its parent, so message sizes grow
+toward the root — the weight gradient BGMH exploits ("we want to pick the
+heaviest edge of the tree each time").
+
+Used standalone for MPI_Gather and as phase 1 of the hierarchical
+allgather.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Tuple
+
+from repro.collectives import binomial
+from repro.collectives.schedule import CollectiveAlgorithm, Stage, make_stage
+
+__all__ = ["BinomialGather"]
+
+
+class BinomialGather(CollectiveAlgorithm):
+    """Binomial gather to rank ``root`` (default 0).
+
+    Parameters
+    ----------
+    root:
+        Gathering rank (relative-rank rotation for non-zero roots).
+    block_of:
+        Maps a rank to the tuple of block ids it contributes; defaults to
+        ``(rank,)``.  The hierarchical allgather overrides it to translate
+        node-local ranks into world blocks.
+    """
+
+    name = "binomial-gather"
+
+    def __init__(
+        self,
+        root: int = 0,
+        block_of: Optional[Callable[[int], Tuple[int, ...]]] = None,
+    ) -> None:
+        if root < 0:
+            raise ValueError(f"root must be >= 0, got {root}")
+        self.root = root
+        self.block_of = block_of if block_of is not None else (lambda r: (r,))
+
+    def _absolute(self, rel_rank: int, p: int) -> int:
+        return (rel_rank + self.root) % p
+
+    def _subtree_blocks(self, rel_rank: int, p: int) -> Tuple[int, ...]:
+        blocks: Tuple[int, ...] = ()
+        for member in binomial.subtree_range(rel_rank, p):
+            blocks += tuple(self.block_of(self._absolute(member, p)))
+        return blocks
+
+    def stages(self, p: int) -> Iterator[Stage]:
+        self.validate_p(p)
+        if self.root >= p:
+            raise ValueError(f"root {self.root} outside communicator of size {p}")
+        for s, edges in enumerate(binomial.gather_edges_by_stage(p)):
+            msgs = [
+                (
+                    self._absolute(child, p),
+                    self._absolute(par, p),
+                    self._subtree_blocks(child, p),
+                )
+                for child, par in edges
+            ]
+            yield make_stage(msgs, label=f"bgather:stage{s}")

@@ -1,0 +1,231 @@
+"""Hierarchical (leader-based) allgather (paper §II).
+
+Three phases over node groups:
+
+1. **gather** — every node's processes gather their blocks into the node
+   leader (binomial tree or linear, the paper's NL / L variants);
+2. **exchange** — the leaders run a recursive-doubling or ring allgather
+   of the per-node slices;
+3. **broadcast** — each leader broadcasts the full vector to its node
+   (binomial or linear).
+
+The group structure (which ranks share a node) comes from the physical
+layout, so it is a constructor argument rather than something derived from
+rank arithmetic; rank reordering for the hierarchical case permutes ranks
+*within* groups and permutes the *leader order*, never the group
+membership (paper §VI-A2: reordering "is applied to node-leaders and local
+processes separately").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.collectives import binomial
+from repro.collectives.allgather_rd import rd_blocks_owned
+from repro.collectives.schedule import CollectiveAlgorithm, Schedule, Stage, make_stage
+from repro.util.bits import ilog2, is_power_of_two
+
+__all__ = ["HierarchicalAllgather", "contiguous_groups"]
+
+
+def contiguous_groups(p: int, group_size: int) -> List[List[int]]:
+    """Equal contiguous rank groups (the block-mapped node layout)."""
+    if p % group_size:
+        raise ValueError(f"p={p} not divisible by group size {group_size}")
+    return [list(range(g * group_size, (g + 1) * group_size)) for g in range(p // group_size)]
+
+
+def _stage_from_triples(
+    msgs: List[Tuple[int, int, int]], blocks: Optional[List[Tuple[int, ...]]], label: str
+) -> Stage:
+    """Build a stage from (src, dst, units) triples, blocks optional."""
+    src = np.array([m[0] for m in msgs], dtype=np.int64)
+    dst = np.array([m[1] for m in msgs], dtype=np.int64)
+    units = np.array([m[2] for m in msgs], dtype=np.float64)
+    return Stage(src=src, dst=dst, units=units, blocks=blocks, label=label)
+
+
+class HierarchicalAllgather(CollectiveAlgorithm):
+    """Leader-based allgather over explicit node groups.
+
+    Parameters
+    ----------
+    groups:
+        Partition of ``range(p)``; ``groups[g][0]`` is the leader of group
+        ``g``, and the leader-phase rank of group ``g`` is ``g`` itself —
+        so permuting the *order of the lists* is exactly leader-level rank
+        reordering, and permuting *within* a list is intra-node reordering.
+    leader_alg:
+        ``"rd"`` (power-of-two group count) or ``"ring"``.
+    intra:
+        ``"binomial"`` (the paper's non-linear NL variant) or ``"linear"``.
+    """
+
+    name = "hierarchical"
+
+    def __init__(
+        self,
+        groups: Sequence[Sequence[int]],
+        leader_alg: str = "rd",
+        intra: str = "binomial",
+    ) -> None:
+        if leader_alg not in ("rd", "ring"):
+            raise ValueError(f"leader_alg must be 'rd' or 'ring', got {leader_alg!r}")
+        if intra not in ("binomial", "linear"):
+            raise ValueError(f"intra must be 'binomial' or 'linear', got {intra!r}")
+        self.groups = [list(g) for g in groups]
+        if any(len(g) == 0 for g in self.groups):
+            raise ValueError("empty group")
+        self.leader_alg = leader_alg
+        self.intra = intra
+        self.p = sum(len(g) for g in self.groups)
+        flat = sorted(r for g in self.groups for r in g)
+        if flat != list(range(self.p)):
+            raise ValueError("groups must partition range(p)")
+        if leader_alg == "rd" and not is_power_of_two(len(self.groups)):
+            raise ValueError(
+                f"rd leader exchange requires a power-of-two group count, got {len(self.groups)}"
+            )
+        self.name = f"hierarchical[{leader_alg},{intra}]"
+
+    # ------------------------------------------------------------------
+    @property
+    def leaders(self) -> List[int]:
+        return [g[0] for g in self.groups]
+
+    def _check_p(self, p: int) -> None:
+        if p != self.p:
+            raise ValueError(f"schedule built for p={self.p}, asked for p={p}")
+
+    # ------------------------------------------------------------------
+    # phase 1: intra-group gather
+    # ------------------------------------------------------------------
+    def _gather_stages(self, with_blocks: bool) -> Iterator[Stage]:
+        if self.intra == "linear":
+            msgs: List[Tuple[int, int, int]] = []
+            blocks: List[Tuple[int, ...]] = []
+            for g in self.groups:
+                root = g[0]
+                for r in g[1:]:
+                    msgs.append((r, root, 1))
+                    blocks.append((r,))
+            if msgs:
+                yield _stage_from_triples(msgs, blocks if with_blocks else None, "hier:gather")
+            return
+        # Binomial: merge the stage-s edges of every group into one stage.
+        per_group = [binomial.gather_edges_by_stage(len(g)) for g in self.groups]
+        max_stages = max((len(st) for st in per_group), default=0)
+        for s in range(max_stages):
+            msgs = []
+            blocks = []
+            for g, group_stages in zip(self.groups, per_group):
+                if s < len(group_stages):
+                    m = len(g)
+                    for child, par in group_stages[s]:
+                        sub = binomial.subtree_range(child, m)
+                        msgs.append((g[child], g[par], len(sub)))
+                        if with_blocks:
+                            blocks.append(tuple(g[x] for x in sub))
+            if msgs:
+                yield _stage_from_triples(
+                    msgs, blocks if with_blocks else None, f"hier:gather{s}"
+                )
+
+    # ------------------------------------------------------------------
+    # phase 2: leader exchange
+    # ------------------------------------------------------------------
+    def _leader_stages(self, with_blocks: bool) -> Iterator[Stage]:
+        G = len(self.groups)
+        if G < 2:
+            return
+        leaders = self.leaders
+        if self.leader_alg == "rd":
+            for s in range(ilog2(G)):
+                dist = 1 << s
+                msgs = []
+                blocks = []
+                for i in range(G):
+                    owned_groups = rd_blocks_owned(i, s)
+                    units = sum(len(self.groups[grp]) for grp in owned_groups)
+                    msgs.append((leaders[i], leaders[i ^ dist], units))
+                    if with_blocks:
+                        blk: Tuple[int, ...] = ()
+                        for grp in owned_groups:
+                            blk += tuple(self.groups[grp])
+                        blocks.append(blk)
+                yield _stage_from_triples(
+                    msgs, blocks if with_blocks else None, f"hier:leaders-rd{s}"
+                )
+        else:
+            for t in range(G - 1):
+                msgs = []
+                blocks = []
+                for i in range(G):
+                    grp = (i - t) % G
+                    msgs.append((leaders[i], leaders[(i + 1) % G], len(self.groups[grp])))
+                    if with_blocks:
+                        blocks.append(tuple(self.groups[grp]))
+                yield _stage_from_triples(
+                    msgs, blocks if with_blocks else None, f"hier:leaders-ring{t}"
+                )
+
+    # ------------------------------------------------------------------
+    # phase 3: intra-group broadcast of the full vector
+    # ------------------------------------------------------------------
+    def _bcast_stages(self, with_blocks: bool) -> Iterator[Stage]:
+        payload = tuple(range(self.p)) if with_blocks else None
+        if self.intra == "linear":
+            msgs = []
+            for g in self.groups:
+                root = g[0]
+                msgs.extend((root, r, self.p) for r in g[1:])
+            if msgs:
+                blocks = [payload] * len(msgs) if with_blocks else None
+                yield _stage_from_triples(msgs, blocks, "hier:bcast")
+            return
+        per_group = [binomial.bcast_edges_by_stage(len(g)) for g in self.groups]
+        max_stages = max((len(st) for st in per_group), default=0)
+        for s in range(max_stages):
+            msgs = []
+            for g, group_stages in zip(self.groups, per_group):
+                if s < len(group_stages):
+                    msgs.extend((g[par], g[child], self.p) for par, child in group_stages[s])
+            if msgs:
+                blocks = [payload] * len(msgs) if with_blocks else None
+                yield _stage_from_triples(msgs, blocks, f"hier:bcast{s}")
+
+    # ------------------------------------------------------------------
+    def stages(self, p: int) -> Iterator[Stage]:
+        self._check_p(p)
+        yield from self._gather_stages(with_blocks=True)
+        yield from self._leader_stages(with_blocks=True)
+        yield from self._bcast_stages(with_blocks=True)
+
+    def schedule(self, p: int) -> Schedule:
+        """Timing view; compresses the leader ring when groups are uniform."""
+        self._check_p(p)
+        stages: List[Stage] = list(self._gather_stages(with_blocks=False))
+
+        G = len(self.groups)
+        sizes = {len(g) for g in self.groups}
+        if self.leader_alg == "ring" and G >= 2 and len(sizes) == 1:
+            m = sizes.pop()
+            leaders = np.array(self.leaders, dtype=np.int64)
+            nxt = np.array([self.leaders[(i + 1) % G] for i in range(G)], dtype=np.int64)
+            stages.append(
+                Stage(
+                    src=leaders,
+                    dst=nxt,
+                    units=np.full(G, float(m)),
+                    repeat=G - 1,
+                    label="hier:leaders-ring*",
+                )
+            )
+        else:
+            stages.extend(self._leader_stages(with_blocks=False))
+
+        stages.extend(self._bcast_stages(with_blocks=False))
+        return Schedule(p=p, stages=stages, name=self.name)

@@ -1,0 +1,66 @@
+"""Linear (direct) gather and broadcast (paper §II).
+
+"In the linear design, all ranks directly send (receive) data to (from)
+the root" — a single logical stage in which the root's own injection /
+extraction channel serialises all transfers.  The timing engine captures
+that serialisation naturally: every message shares the root's core link,
+so its byte load is the whole payload.
+
+Because there is no structured pattern, there is nothing for a mapping
+heuristic to optimise — the reason the paper sees little improvement for
+the linear intra-node phases (Fig. 4(c,d) commentary).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Tuple
+
+from repro.collectives.schedule import CollectiveAlgorithm, Stage, make_stage
+
+__all__ = ["LinearGather", "LinearBroadcast"]
+
+
+class LinearGather(CollectiveAlgorithm):
+    """Every non-root rank sends its contribution directly to the root."""
+
+    name = "linear-gather"
+
+    def __init__(
+        self,
+        root: int = 0,
+        block_of: Optional[Callable[[int], Tuple[int, ...]]] = None,
+    ) -> None:
+        if root < 0:
+            raise ValueError(f"root must be >= 0, got {root}")
+        self.root = root
+        self.block_of = block_of if block_of is not None else (lambda r: (r,))
+
+    def stages(self, p: int) -> Iterator[Stage]:
+        self.validate_p(p)
+        if self.root >= p:
+            raise ValueError(f"root {self.root} outside communicator of size {p}")
+        msgs = [
+            (r, self.root, tuple(self.block_of(r))) for r in range(p) if r != self.root
+        ]
+        yield make_stage(msgs, label="lgather")
+
+
+class LinearBroadcast(CollectiveAlgorithm):
+    """The root sends the payload directly to every other rank."""
+
+    name = "linear-bcast"
+
+    def __init__(self, root: int = 0, payload_blocks: Tuple[int, ...] = (0,)) -> None:
+        if root < 0:
+            raise ValueError(f"root must be >= 0, got {root}")
+        if not payload_blocks:
+            raise ValueError("payload_blocks must be non-empty")
+        self.root = root
+        self.payload_blocks = tuple(payload_blocks)
+
+    def stages(self, p: int) -> Iterator[Stage]:
+        self.validate_p(p)
+        if self.root >= p:
+            raise ValueError(f"root {self.root} outside communicator of size {p}")
+        msgs = [(self.root, r, self.payload_blocks) for r in range(p) if r != self.root]
+        yield make_stage(msgs, label="lbcast")

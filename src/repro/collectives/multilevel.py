@@ -1,0 +1,220 @@
+"""Multi-level (socket + node) hierarchical allgather (extension).
+
+The paper's hierarchical allgather has one leader level (nodes); its §VII
+points at "systems having a more complicated intra-node topology" where
+a second level pays off, and its related work (Ma et al. [6], [19])
+builds exactly such distance-aware multi-level collectives.  This class
+adds the socket level:
+
+1. gather within each *socket* to the socket leader;
+2. gather from socket leaders to the *node* leader;
+3. allgather (RD/ring) across node leaders;
+4. broadcast from node leaders to socket leaders;
+5. broadcast within each socket.
+
+Groups are a nested partition ``nodes = [[socket, socket, ...], ...]``
+where each socket is a list of world ranks and the first rank of the
+first socket of a node is the node leader.  As with
+:class:`~repro.collectives.hierarchical.HierarchicalAllgather`, permuting
+list orders *is* rank reordering at the corresponding level.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.collectives import binomial
+from repro.collectives.allgather_rd import rd_blocks_owned
+from repro.collectives.schedule import CollectiveAlgorithm, Schedule, Stage
+from repro.util.bits import ilog2, is_power_of_two
+
+__all__ = ["MultiLevelAllgather", "socket_groups_for"]
+
+
+def socket_groups_for(p: int, cores_per_node: int, cores_per_socket: int) -> List[List[List[int]]]:
+    """Contiguous nested groups for a block layout."""
+    if p % cores_per_node:
+        raise ValueError(f"p={p} not divisible by node size {cores_per_node}")
+    if cores_per_node % cores_per_socket:
+        raise ValueError("node size not divisible by socket size")
+    nodes = []
+    for n0 in range(0, p, cores_per_node):
+        node = []
+        for s0 in range(n0, n0 + cores_per_node, cores_per_socket):
+            node.append(list(range(s0, s0 + cores_per_socket)))
+        nodes.append(node)
+    return nodes
+
+
+def _stage(msgs: List[Tuple[int, int, int]], blocks, label: str) -> Stage:
+    src = np.array([m[0] for m in msgs], dtype=np.int64)
+    dst = np.array([m[1] for m in msgs], dtype=np.int64)
+    units = np.array([m[2] for m in msgs], dtype=np.float64)
+    return Stage(src=src, dst=dst, units=units, blocks=blocks, label=label)
+
+
+class MultiLevelAllgather(CollectiveAlgorithm):
+    """Three-level leader-based allgather over nested node/socket groups."""
+
+    name = "multilevel"
+
+    def __init__(
+        self,
+        nodes: Sequence[Sequence[Sequence[int]]],
+        leader_alg: str = "rd",
+        intra: str = "binomial",
+    ) -> None:
+        if leader_alg not in ("rd", "ring"):
+            raise ValueError(f"leader_alg must be 'rd' or 'ring', got {leader_alg!r}")
+        if intra not in ("binomial", "linear"):
+            raise ValueError(f"intra must be 'binomial' or 'linear', got {intra!r}")
+        self.nodes = [[list(s) for s in node] for node in nodes]
+        if any(len(node) == 0 or any(len(s) == 0 for s in node) for node in self.nodes):
+            raise ValueError("empty node or socket group")
+        self.leader_alg = leader_alg
+        self.intra = intra
+        flat = sorted(r for node in self.nodes for s in node for r in s)
+        self.p = len(flat)
+        if flat != list(range(self.p)):
+            raise ValueError("nested groups must partition range(p)")
+        if leader_alg == "rd" and not is_power_of_two(len(self.nodes)):
+            raise ValueError(
+                f"rd leader exchange requires a power-of-two node count, got {len(self.nodes)}"
+            )
+        self.name = f"multilevel[{leader_alg},{intra}]"
+
+    # ------------------------------------------------------------------
+    @property
+    def node_leaders(self) -> List[int]:
+        return [node[0][0] for node in self.nodes]
+
+    def _node_ranks(self, node) -> List[int]:
+        return [r for s in node for r in s]
+
+    def _check_p(self, p: int) -> None:
+        if p != self.p:
+            raise ValueError(f"schedule built for p={self.p}, asked for p={p}")
+
+    # ------------------------------------------------------------------
+    def _tree_stages(
+        self,
+        groups: List[Tuple[List[int], List[Tuple[int, ...]]]],
+        gather: bool,
+        with_blocks: bool,
+        label: str,
+        payload: Optional[Tuple[int, ...]] = None,
+    ) -> Iterator[Stage]:
+        """Merged per-group binomial/linear gather or bcast stages.
+
+        ``groups`` pairs each member list with the block-sets its members
+        contribute (gather) — for broadcast, ``payload`` gives the common
+        message content instead.
+        """
+        if self.intra == "linear":
+            msgs, blocks = [], []
+            for members, blocksets in groups:
+                root = members[0]
+                for idx, r in enumerate(members[1:], start=1):
+                    if gather:
+                        msgs.append((r, root, len(blocksets[idx])))
+                        blocks.append(blocksets[idx])
+                    else:
+                        msgs.append((root, r, len(payload)))
+                        blocks.append(payload)
+            if msgs:
+                yield _stage(msgs, blocks if with_blocks else None, label)
+            return
+
+        per_group = [
+            binomial.gather_edges_by_stage(len(m)) if gather else binomial.bcast_edges_by_stage(len(m))
+            for m, _ in groups
+        ]
+        max_stages = max((len(st) for st in per_group), default=0)
+        for s in range(max_stages):
+            msgs, blocks = [], []
+            for (members, blocksets), stages in zip(groups, per_group):
+                if s >= len(stages):
+                    continue
+                m = len(members)
+                for a, b in stages[s]:
+                    if gather:
+                        child, par = a, b
+                        blk: Tuple[int, ...] = ()
+                        for x in binomial.subtree_range(child, m):
+                            blk += blocksets[x]
+                        msgs.append((members[child], members[par], len(blk)))
+                        blocks.append(blk)
+                    else:
+                        par, child = a, b
+                        msgs.append((members[par], members[child], len(payload)))
+                        blocks.append(payload)
+            if msgs:
+                yield _stage(msgs, blocks if with_blocks else None, f"{label}{s}")
+
+    def _leader_stages(self, with_blocks: bool) -> Iterator[Stage]:
+        G = len(self.nodes)
+        if G < 2:
+            return
+        leaders = self.node_leaders
+        node_blocks = [tuple(self._node_ranks(node)) for node in self.nodes]
+        if self.leader_alg == "rd":
+            for s in range(ilog2(G)):
+                dist = 1 << s
+                msgs, blocks = [], []
+                for i in range(G):
+                    blk: Tuple[int, ...] = ()
+                    for grp in rd_blocks_owned(i, s):
+                        blk += node_blocks[grp]
+                    msgs.append((leaders[i], leaders[i ^ dist], len(blk)))
+                    blocks.append(blk)
+                yield _stage(msgs, blocks if with_blocks else None, f"ml:leaders-rd{s}")
+        else:
+            for t in range(G - 1):
+                msgs, blocks = [], []
+                for i in range(G):
+                    blk = node_blocks[(i - t) % G]
+                    msgs.append((leaders[i], leaders[(i + 1) % G], len(blk)))
+                    blocks.append(blk)
+                yield _stage(msgs, blocks if with_blocks else None, f"ml:leaders-ring{t}")
+
+    # ------------------------------------------------------------------
+    def _all_stages(self, with_blocks: bool) -> Iterator[Stage]:
+        # 1. socket gather: every member contributes its own block
+        socket_groups = [
+            (s, [(r,) for r in s]) for node in self.nodes for s in node if len(s) > 1
+        ]
+        if socket_groups:
+            yield from self._tree_stages(socket_groups, True, with_blocks, "ml:sgather")
+
+        # 2. node gather over socket leaders: each contributes its socket
+        node_groups = []
+        for node in self.nodes:
+            if len(node) > 1:
+                members = [s[0] for s in node]
+                node_groups.append((members, [tuple(s) for s in node]))
+        if node_groups:
+            yield from self._tree_stages(node_groups, True, with_blocks, "ml:ngather")
+
+        # 3. node-leader exchange
+        yield from self._leader_stages(with_blocks)
+
+        # 4. broadcast full vector down to socket leaders
+        payload = tuple(range(self.p)) if with_blocks else tuple(range(self.p))
+        if node_groups:
+            yield from self._tree_stages(
+                [(m, b) for m, b in node_groups], False, with_blocks, "ml:nbcast", payload
+            )
+
+        # 5. broadcast within sockets
+        if socket_groups:
+            yield from self._tree_stages(socket_groups, False, with_blocks, "ml:sbcast", payload)
+
+    def stages(self, p: int) -> Iterator[Stage]:
+        self._check_p(p)
+        yield from self._all_stages(with_blocks=True)
+
+    def schedule(self, p: int) -> Schedule:
+        self._check_p(p)
+        return Schedule(p=p, stages=list(self._all_stages(with_blocks=False)), name=self.name)

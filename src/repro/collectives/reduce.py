@@ -1,0 +1,82 @@
+"""MPI_Reduce over the binomial tree (family completion).
+
+The reduction mirror of the binomial gather: the same tree, the same
+stage order (leaves first), but every message carries the *full vector*
+(partial sums combine in place rather than concatenating), so the
+message size is constant — which makes BGMH's heaviest-edge ordering
+unnecessary and BBMH's fixed-size rationale apply instead.  Together
+with :mod:`repro.collectives.allreduce` this closes the reduction side
+of the collective family the paper's heuristics serve.
+
+Like allreduce, reductions do not fit the slot-copy data executor;
+:func:`simulate_reduce` verifies the pattern numerically instead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.collectives import binomial
+from repro.collectives.schedule import CollectiveAlgorithm, Schedule, Stage, make_stage
+
+__all__ = ["BinomialReduce", "simulate_reduce"]
+
+
+class BinomialReduce(CollectiveAlgorithm):
+    """Binomial-tree reduction to rank ``root`` (default 0)."""
+
+    name = "binomial-reduce"
+
+    def __init__(self, root: int = 0) -> None:
+        if root < 0:
+            raise ValueError(f"root must be >= 0, got {root}")
+        self.root = root
+
+    def stages(self, p: int) -> Iterator[Stage]:
+        raise NotImplementedError(
+            "reductions combine payloads; use schedule() for timing and "
+            "simulate_reduce() for numerical verification"
+        )
+
+    def schedule(self, p: int) -> Schedule:
+        self.validate_p(p)
+        if self.root >= p:
+            raise ValueError(f"root {self.root} outside communicator of size {p}")
+        stages = []
+        for s, edges in enumerate(binomial.gather_edges_by_stage(p)):
+            src = np.array([(c + self.root) % p for c, _ in edges], dtype=np.int64)
+            dst = np.array([(r + self.root) % p for _, r in edges], dtype=np.int64)
+            stages.append(
+                Stage(src=src, dst=dst, units=np.ones(src.size), label=f"breduce:stage{s}")
+            )
+        return Schedule(p=p, stages=stages, name=self.name)
+
+
+def simulate_reduce(
+    inputs: np.ndarray,
+    root: int = 0,
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+) -> np.ndarray:
+    """Reference binomial reduction on real vectors.
+
+    ``inputs`` has shape (p, n); returns the vector rank ``root`` ends
+    with.  Replays the exact edge/stage structure of
+    :class:`BinomialReduce`, so a pass proves the schedule combines every
+    contribution exactly once.
+    """
+    vals = np.array(inputs, copy=True)
+    p = vals.shape[0]
+    if not 0 <= root < p:
+        raise ValueError(f"root {root} out of range [0, {p})")
+    combined = np.ones(p, dtype=bool)  # each rank starts holding itself
+    for edges in binomial.gather_edges_by_stage(p):
+        for child, parent in edges:
+            c = (child + root) % p
+            r = (parent + root) % p
+            vals[r] = op(vals[r], vals[c])
+            combined[c] = False
+    if combined.sum() != 1:  # pragma: no cover - structural invariant
+        raise RuntimeError("reduction tree left stray contributions")
+    return vals[root]

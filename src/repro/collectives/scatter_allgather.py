@@ -1,0 +1,79 @@
+"""Scatter-allgather broadcast (paper §V-A3, Thakur et al. [17]).
+
+"For medium and large messages, broadcast is commonly implemented by a
+scatter-allgather algorithm."  The broadcast payload is split into ``p``
+slices; a binomial scatter pushes each slice to its owner, then an
+allgather (ring or recursive doubling) spreads all slices everywhere.
+
+The paper needs no dedicated heuristic for it: the scatter phase shares
+the binomial-gather pattern (BGMH, edges reversed) and the allgather
+phase is covered by RDMH/RMH.  We implement it so the bcast-side
+experiments and the ablation benches can exercise the full algorithm.
+
+In the schedule, block ``j`` denotes the ``j``-th slice of the broadcast
+payload and one *unit* is one slice (``1/p`` of the full message).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.collectives import binomial
+from repro.collectives.allgather_rd import RecursiveDoublingAllgather
+from repro.collectives.allgather_ring import RingAllgather
+from repro.collectives.schedule import CollectiveAlgorithm, Schedule, Stage, make_stage
+from repro.util.bits import is_power_of_two
+
+__all__ = ["BinomialScatter", "ScatterAllgatherBroadcast"]
+
+
+class BinomialScatter(CollectiveAlgorithm):
+    """Binomial scatter from rank 0: the reverse of the binomial gather.
+
+    The message to child ``c`` carries the slices destined to ``c``'s
+    whole subtree, so sizes *halve* as the tree unfolds.
+    """
+
+    name = "binomial-scatter"
+
+    def stages(self, p: int) -> Iterator[Stage]:
+        self.validate_p(p)
+        for s, edges in enumerate(binomial.bcast_edges_by_stage(p)):
+            msgs: List[Tuple[int, int, Tuple[int, ...]]] = []
+            for par, child in edges:
+                blocks = tuple(binomial.subtree_range(child, p))
+                msgs.append((par, child, blocks))
+            yield make_stage(msgs, label=f"bscatter:stage{s}")
+
+
+class ScatterAllgatherBroadcast(CollectiveAlgorithm):
+    """Binomial scatter followed by a ring or RD allgather of the slices."""
+
+    name = "scatter-allgather-bcast"
+
+    def __init__(self, allgather: str = "ring") -> None:
+        if allgather not in ("ring", "rd"):
+            raise ValueError(f"allgather must be 'ring' or 'rd', got {allgather!r}")
+        self.allgather_kind = allgather
+        self.name = f"scatter-allgather-bcast[{allgather}]"
+
+    def _allgather(self) -> CollectiveAlgorithm:
+        return RingAllgather() if self.allgather_kind == "ring" else RecursiveDoublingAllgather()
+
+    def validate_p(self, p: int) -> None:
+        super().validate_p(p)
+        if self.allgather_kind == "rd" and not is_power_of_two(p):
+            raise ValueError(f"rd allgather phase requires power-of-two p, got {p}")
+
+    def stages(self, p: int) -> Iterator[Stage]:
+        self.validate_p(p)
+        yield from BinomialScatter().stages(p)
+        yield from self._allgather().stages(p)
+
+    def schedule(self, p: int) -> Schedule:
+        self.validate_p(p)
+        stages = list(BinomialScatter().stages(p))
+        # Strip blocks from the scatter stages; keep the allgather compressed.
+        stages = [Stage(s.src, s.dst, s.units, label=s.label) for s in stages]
+        stages.extend(self._allgather().schedule(p).stages)
+        return Schedule(p=p, stages=stages, name=self.name)

@@ -1,0 +1,163 @@
+"""Schedule IR shared by every collective algorithm.
+
+A collective is compiled to a :class:`Schedule`: an ordered list of
+:class:`Stage` objects, each holding the point-to-point messages that fly
+concurrently in that stage (the paper's "collectives are a series of
+point-to-point communications scheduled over a sequence of stages", §II).
+
+Messages live in **rank space**: ``src``/``dst`` are communicator ranks.
+The binding of ranks to physical cores (the mapping array ``M``) is applied
+later, by the timing engine or the data executor — that separation is what
+makes rank reordering a pure post-processing step, exactly as in the paper.
+
+Message payloads are described as *blocks*: block ``j`` is the input
+contribution of rank ``j``.  A message's size is ``units x block_bytes``
+where ``units`` is usually the number of blocks it carries (recursive
+doubling doubles it every stage).  The data executor uses the block lists
+to move real data; the timing engine only needs ``units``.
+
+Ring-like algorithms repeat an identically-shaped stage many times; they
+set ``Stage.repeat`` so the engine prices the stage once and multiplies,
+while :meth:`CollectiveAlgorithm.stages` still yields every stage with its
+exact per-stage blocks for data execution.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Stage", "Schedule", "CollectiveAlgorithm", "make_stage"]
+
+
+@dataclass
+class Stage:
+    """One synchronous round of point-to-point messages.
+
+    Attributes
+    ----------
+    src, dst:
+        int64 arrays of communicator ranks (equal length, no self-messages).
+    units:
+        float64 array; message size in units of the base block size.
+    blocks:
+        Optional per-message tuples of block ids (required by the data
+        executor, ignored by the timing engine).  When present,
+        ``len(blocks[i]) == units[i]`` for allgather-family schedules.
+    repeat:
+        The stage's cost is multiplied by this (identical-shape rounds).
+    label:
+        Human-readable phase tag (e.g. ``"rd:stage2"``) for reports.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    units: np.ndarray
+    blocks: Optional[List[Tuple[int, ...]]] = None
+    repeat: int = 1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.src = np.asarray(self.src, dtype=np.int64)
+        self.dst = np.asarray(self.dst, dtype=np.int64)
+        self.units = np.asarray(self.units, dtype=np.float64)
+        if not (self.src.shape == self.dst.shape == self.units.shape):
+            raise ValueError("src, dst and units must have identical shapes")
+        if self.src.ndim != 1:
+            raise ValueError("stage arrays must be 1-D")
+        if self.src.size == 0:
+            raise ValueError("a stage needs at least one message")
+        if np.any(self.src == self.dst):
+            raise ValueError("self-message in stage")
+        if self.blocks is not None and len(self.blocks) != self.src.size:
+            raise ValueError("blocks must have one entry per message")
+        if self.repeat < 1:
+            raise ValueError(f"repeat must be >= 1, got {self.repeat}")
+
+    @property
+    def n_messages(self) -> int:
+        """Messages in one instance of this stage."""
+        return int(self.src.size)
+
+    def total_units(self) -> float:
+        """Payload units moved by this stage including repeats."""
+        return float(self.units.sum()) * self.repeat
+
+
+def make_stage(
+    msgs: Sequence[Tuple[int, int, Tuple[int, ...]]],
+    label: str = "",
+    repeat: int = 1,
+) -> Stage:
+    """Build a stage from (src, dst, blocks) triples."""
+    if not msgs:
+        raise ValueError("a stage needs at least one message")
+    src = np.array([m[0] for m in msgs], dtype=np.int64)
+    dst = np.array([m[1] for m in msgs], dtype=np.int64)
+    blocks = [tuple(m[2]) for m in msgs]
+    units = np.array([len(b) for b in blocks], dtype=np.float64)
+    return Stage(src=src, dst=dst, units=units, blocks=blocks, repeat=repeat, label=label)
+
+
+@dataclass
+class Schedule:
+    """A full collective: ordered stages plus local-copy accounting.
+
+    ``local_copy_units`` is per-process local data movement inherent to the
+    algorithm itself (e.g. Bruck's final rotation), in block units; the
+    order-restoration copies of endShfl are accounted separately by
+    :mod:`repro.collectives.correctness`.
+    """
+
+    p: int
+    stages: List[Stage] = field(default_factory=list)
+    local_copy_units: float = 0.0
+    name: str = ""
+
+    def n_stages(self) -> int:
+        """Number of stage rounds including repeats."""
+        return sum(s.repeat for s in self.stages)
+
+    def n_messages(self) -> int:
+        """Total messages including repeats."""
+        return sum(s.n_messages * s.repeat for s in self.stages)
+
+    def total_units(self) -> float:
+        """Total payload units moved."""
+        return sum(s.total_units() for s in self.stages)
+
+    def max_rank(self) -> int:
+        """Largest rank referenced (sanity checks)."""
+        return max(
+            (int(max(s.src.max(initial=0), s.dst.max(initial=0))) for s in self.stages),
+            default=0,
+        )
+
+
+class CollectiveAlgorithm(ABC):
+    """Base class for collective algorithms.
+
+    Subclasses implement :meth:`stages` — the exact per-round message lists
+    with block payloads.  :meth:`schedule` defaults to materialising those
+    stages; algorithms whose rounds are shape-identical override it to emit
+    compressed (``repeat > 1``) schedules for the timing engine.
+    """
+
+    #: short identifier used by the registry and reports
+    name: str = "abstract"
+
+    @abstractmethod
+    def stages(self, p: int) -> Iterator[Stage]:
+        """Yield every stage with exact blocks (data-execution view)."""
+
+    def schedule(self, p: int) -> Schedule:
+        """Timing view; default materialises :meth:`stages` uncompressed."""
+        return Schedule(p=p, stages=list(self.stages(p)), name=self.name)
+
+    def validate_p(self, p: int) -> None:
+        """Reject communicator sizes the algorithm cannot handle."""
+        if p < 2:
+            raise ValueError(f"{self.name} needs at least 2 processes, got {p}")

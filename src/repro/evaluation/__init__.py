@@ -1,0 +1,28 @@
+"""End-to-end evaluation: the paper's experimental pipeline in one place.
+
+:class:`~repro.evaluation.evaluator.AllgatherEvaluator` reproduces the
+measurement flow of §VI: pick the MVAPICH-style algorithm for the message
+size, reorder ranks with a chosen mapper, price the collective plus the
+order-restoration mechanism on the simulated cluster, and report
+improvement over the default mapping.  The adaptive reorderer
+(:mod:`~repro.evaluation.adaptive`) implements the paper's §VII "adaptive
+version" future-work idea on top of it.
+"""
+
+from repro.evaluation.evaluator import AllgatherEvaluator, LatencyReport
+from repro.evaluation.adaptive import AdaptiveReorderer, AdaptiveDecision
+from repro.evaluation.bcast import BcastEvaluator, BcastReport, select_bcast
+from repro.evaluation.calibration import ChannelProbe, calibrate, calibration_report
+
+__all__ = [
+    "AllgatherEvaluator",
+    "LatencyReport",
+    "AdaptiveReorderer",
+    "AdaptiveDecision",
+    "BcastEvaluator",
+    "BcastReport",
+    "select_bcast",
+    "ChannelProbe",
+    "calibrate",
+    "calibration_report",
+]

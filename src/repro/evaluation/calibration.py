@@ -1,0 +1,116 @@
+"""Cost-model calibration probes (ping-pong style micro-measurements).
+
+Derives the *effective* per-channel latency and bandwidth the timing
+engine realises — the numbers an OSU latency/bandwidth suite would
+measure on the simulated machine — by pricing single messages and
+saturating streams over each channel class.  Used to verify that the
+constants in :mod:`repro.simmpi.costmodel` produce the behaviour table
+documented there, and handy when re-calibrating the model for a
+different target system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.collectives.schedule import Stage
+from repro.simmpi.costmodel import CostModel
+from repro.simmpi.engine import TimingEngine
+from repro.topology.cluster import ClusterTopology
+
+__all__ = ["ChannelProbe", "calibrate", "calibration_report"]
+
+
+@dataclass(frozen=True)
+class ChannelProbe:
+    """Measured behaviour of one channel."""
+
+    channel: str
+    latency_us: float          # zero-byte one-way latency
+    pair_bandwidth_gbs: float  # single-pair large-message bandwidth
+    loaded_bandwidth_gbs: float  # per-pair bandwidth with the channel saturated
+
+
+def _pair_for_channel(cluster: ClusterTopology, channel: str) -> Tuple[int, int]:
+    """A representative (src, dst) core pair for each channel class."""
+    cps = cluster.machine.cores_per_socket
+    cpn = cluster.cores_per_node
+    if channel == "smem":
+        if cps < 2:
+            raise ValueError("need >= 2 cores per socket for an smem probe")
+        return 0, 1
+    if channel == "qpi":
+        if cluster.machine.n_sockets < 2:
+            raise ValueError("need >= 2 sockets for a qpi probe")
+        return 0, cps
+    if channel == "internode":
+        if cluster.n_nodes < 2:
+            raise ValueError("need >= 2 nodes for an internode probe")
+        return 0, cpn
+    raise ValueError(f"unknown channel {channel!r}")
+
+
+def _saturating_stage(cluster: ClusterTopology, channel: str) -> Stage:
+    """A stage that saturates the channel's shared resource."""
+    cps = cluster.machine.cores_per_socket
+    cpn = cluster.cores_per_node
+    if channel == "smem":
+        # all pairs within socket 0
+        src = np.arange(0, cps - cps % 2, 2)
+        return Stage(src=src, dst=src + 1, units=np.ones(src.size))
+    if channel == "qpi":
+        src = np.arange(cps)
+        return Stage(src=src, dst=src + cps, units=np.ones(cps))
+    # internode: the whole node streams out through its HCA
+    src = np.arange(cpn)
+    return Stage(src=src, dst=src + cpn, units=np.ones(cpn))
+
+
+def calibrate(
+    cluster: ClusterTopology,
+    cost_model: Optional[CostModel] = None,
+    probe_bytes: float = 4 << 20,
+) -> Dict[str, ChannelProbe]:
+    """Probe every channel class of ``cluster``.
+
+    ``latency_us`` uses a 1-byte message (the α side); bandwidths use
+    ``probe_bytes`` messages (the β side), with and without channel load.
+    """
+    engine = TimingEngine(cluster, cost_model)
+    ranks = np.arange(cluster.n_cores, dtype=np.int64)
+    out: Dict[str, ChannelProbe] = {}
+    for channel in ("smem", "qpi", "internode"):
+        try:
+            a, b = _pair_for_channel(cluster, channel)
+        except ValueError:
+            continue
+        single = Stage(src=np.array([a]), dst=np.array([b]), units=np.ones(1))
+        lat = engine.stage_time(single, ranks, 1.0).seconds
+        t_big = engine.stage_time(single, ranks, probe_bytes).seconds
+        pair_bw = probe_bytes / max(t_big - lat, 1e-12)
+        loaded = _saturating_stage(cluster, channel)
+        t_loaded = engine.stage_time(loaded, ranks, probe_bytes).seconds
+        loaded_bw = probe_bytes / max(t_loaded - lat, 1e-12)
+        out[channel] = ChannelProbe(
+            channel=channel,
+            latency_us=lat * 1e6,
+            pair_bandwidth_gbs=pair_bw / 1e9,
+            loaded_bandwidth_gbs=loaded_bw / 1e9,
+        )
+    return out
+
+
+def calibration_report(probes: Dict[str, ChannelProbe]) -> str:
+    """Format probes as the OSU-style table."""
+    lines = [
+        f"{'channel':>10} {'latency(us)':>12} {'pair BW(GB/s)':>14} {'loaded BW(GB/s)':>16}"
+    ]
+    for name, p in probes.items():
+        lines.append(
+            f"{name:>10} {p.latency_us:>12.2f} {p.pair_bandwidth_gbs:>14.2f} "
+            f"{p.loaded_bandwidth_gbs:>16.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Mapping foundations: the free-core pool and the mapper interface.
+
+All four paper heuristics are instances of one greedy scheme (paper
+Algorithm 1): fix rank 0 on its current core, then repeatedly pick the
+next process by a pattern-specific priority and place it on the *free core
+closest to a reference core*.  :class:`CorePool` implements the shared
+"find_closest_to" step — including the paper's random tie-breaking — and
+:class:`Mapper` is the interface every mapping algorithm (heuristics and
+baselines alike) implements.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.util.rng import RngLike, make_rng
+from repro.util.validation import check_permutation
+
+__all__ = ["CorePool", "Mapper"]
+
+
+class CorePool:
+    """Free-core bookkeeping with closest-core queries.
+
+    Parameters
+    ----------
+    D:
+        Core-by-core distance matrix (full cluster indexing).
+    cores:
+        The candidate cores — exactly the cores the job's processes occupy
+        (reordering never migrates a process to an unused core).
+    rng:
+        Tie-break source.  The paper breaks distance ties randomly; pass
+        ``tie_break="first"`` for deterministic lowest-id behaviour in
+        tests.
+    """
+
+    def __init__(
+        self,
+        D: np.ndarray,
+        cores: Sequence[int],
+        rng: RngLike = 0,
+        tie_break: str = "random",
+    ) -> None:
+        if tie_break not in ("random", "first"):
+            raise ValueError(f"tie_break must be 'random' or 'first', got {tie_break!r}")
+        self.D = np.asarray(D)
+        self.cores = np.asarray(cores, dtype=np.int64)
+        if self.cores.size == 0:
+            raise ValueError("empty core set")
+        if np.unique(self.cores).size != self.cores.size:
+            raise ValueError("duplicate cores in pool")
+        if self.cores.max() >= self.D.shape[0] or self.cores.min() < 0:
+            raise ValueError("core id outside the distance matrix")
+        self.free = np.ones(self.cores.size, dtype=bool)
+        self._pos: Dict[int, int] = {int(c): i for i, c in enumerate(self.cores)}
+        self.rng = make_rng(rng)
+        self.tie_break = tie_break
+
+    @property
+    def n_free(self) -> int:
+        return int(self.free.sum())
+
+    def is_free(self, core: int) -> bool:
+        """True iff ``core`` has not been assigned yet."""
+        return bool(self.free[self._pos[int(core)]])
+
+    def take(self, core: int) -> None:
+        """Mark ``core`` as assigned."""
+        pos = self._pos.get(int(core))
+        if pos is None:
+            raise KeyError(f"core {core} is not in the pool")
+        if not self.free[pos]:
+            raise ValueError(f"core {core} already taken")
+        self.free[pos] = False
+
+    def closest_free(self, ref_core: int) -> int:
+        """The paper's ``find_closest_to``: free core nearest ``ref_core``.
+
+        Ties are broken randomly ("if more than one core satisfy this
+        condition, one of them is chosen randomly", §V-A) or by lowest id.
+        """
+        free_cores = self.cores[self.free]
+        if free_cores.size == 0:
+            raise RuntimeError("no free cores left")
+        dist = self.D[int(ref_core), free_cores]
+        best = dist.min()
+        if self.tie_break == "first":
+            return int(free_cores[int(np.argmin(dist))])
+        candidates = free_cores[dist == best]
+        return int(candidates[self.rng.integers(candidates.size)])
+
+
+class Mapper(ABC):
+    """Interface of every mapping algorithm.
+
+    ``map`` consumes the initial layout (``layout[old_rank] = core``) and
+    the distance matrix and produces the mapping array ``M`` with
+    ``M[new_rank] = core`` — the paper's output ("a mapping array M
+    representing the new rank for each process").  The cores of ``M`` are
+    exactly those of ``layout`` and ``M[0] == layout[0]`` (rank 0 is fixed
+    on its current core, Algorithm 1 step 1).
+    """
+
+    #: pattern key this mapper is fine-tuned for ("*" = pattern-agnostic)
+    pattern: str = "*"
+    #: short display name for reports
+    name: str = "mapper"
+
+    @abstractmethod
+    def map(self, layout: Sequence[int], D: np.ndarray, rng: RngLike = 0) -> np.ndarray:
+        """Compute the mapping array ``M``."""
+
+    # ------------------------------------------------------------------
+    # shared plumbing for subclasses
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _setup(layout: Sequence[int], D: np.ndarray, rng: RngLike, tie_break: str):
+        """Common Algorithm-1 initialisation: fix rank 0, open the pool."""
+        L = np.asarray(layout, dtype=np.int64)
+        if L.size < 1:
+            raise ValueError("empty layout")
+        M = np.full(L.size, -1, dtype=np.int64)
+        M[0] = L[0]
+        pool = CorePool(D, L, rng=rng, tie_break=tie_break)
+        pool.take(int(L[0]))
+        return L, M, pool
+
+    @staticmethod
+    def _finish(M: np.ndarray, layout: np.ndarray) -> np.ndarray:
+        """Validate the result is a complete mapping over the same cores."""
+        if np.any(M < 0):
+            missing = np.flatnonzero(M < 0)[:4].tolist()
+            raise RuntimeError(f"mapper left ranks unmapped: {missing}")
+        if sorted(M.tolist()) != sorted(layout.tolist()):
+            raise RuntimeError("mapper produced cores outside the layout")
+        return M

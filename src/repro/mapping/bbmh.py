@@ -1,0 +1,76 @@
+"""BBMH — mapping heuristic for binomial broadcast (paper Algorithm 4).
+
+Broadcast messages have a fixed size, so only the traversal order matters.
+The paper evaluates a depth-first traversal that visits *smaller subtrees
+first*: the number of concurrent pair-wise transfers doubles every
+broadcast stage, so later-stage (small-subtree) edges are the
+contention-prone ones and deserve the close placements.  Each node is
+mapped as close as possible to its tree parent, and the recursion makes
+every fresh placement the reference for its own subtree.
+
+``traversal`` selects between the paper's pick and the two alternatives
+discussed in §V-A3, for the ablation bench:
+
+* ``"small-first"`` — the paper's choice (Algorithm 4 exactly);
+* ``"large-first"`` — visit big subtrees first (the rationale of
+  Subramoni et al. [10]: prioritise ranks many others depend on);
+* ``"bft"`` — breadth-first by broadcast stage.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.collectives import binomial
+from repro.mapping.base import Mapper
+from repro.util.rng import RngLike
+
+__all__ = ["BBMH"]
+
+_TRAVERSALS = ("small-first", "large-first", "bft")
+
+
+class BBMH(Mapper):
+    """Binomial-broadcast mapping heuristic; valid for any process count."""
+
+    pattern = "binomial-bcast"
+    name = "bbmh"
+
+    def __init__(self, traversal: str = "small-first", tie_break: str = "random") -> None:
+        if traversal not in _TRAVERSALS:
+            raise ValueError(f"traversal must be one of {_TRAVERSALS}, got {traversal!r}")
+        self.traversal = traversal
+        self.tie_break = tie_break
+
+    def map(self, layout: Sequence[int], D: np.ndarray, rng: RngLike = 0) -> np.ndarray:
+        L, M, pool = self._setup(layout, D, rng, self.tie_break)
+        p = L.size
+
+        if self.traversal == "bft":
+            # Stage order: every child close to its parent, earliest
+            # broadcast stages first.
+            for edges in binomial.bcast_edges_by_stage(p):
+                for par, child in edges:
+                    target = pool.closest_free(int(M[par]))
+                    pool.take(target)
+                    M[child] = target
+            return self._finish(M, L)
+
+        # Depth-first recursion of Algorithm 4.  The tree height is
+        # ceil(log2 p), so plain recursion is safe at any realistic p.
+        reverse = self.traversal == "large-first"
+
+        def rec(ref_rank: int) -> None:
+            kids = binomial.children(ref_rank, p)  # small subtrees first
+            if reverse:
+                kids = list(reversed(kids))
+            for _bit, child in kids:
+                target = pool.closest_free(int(M[ref_rank]))
+                pool.take(target)
+                M[child] = target
+                rec(child)
+
+        rec(0)
+        return self._finish(M, L)

@@ -1,0 +1,58 @@
+"""BGMH — mapping heuristic for binomial gather (paper Algorithm 5).
+
+In a binomial gather the message over an edge equals the child's whole
+subtree, so edge weights grow toward the root.  BGMH therefore picks the
+*heaviest remaining edge* each time and maps its unmapped endpoint next to
+the mapped one — the same rationale as Hoefler & Snir's general greedy
+mapper, but with the edge order derived in closed form from the tree
+structure instead of a process-topology graph (paper §V-A4).
+
+Concretely: for ``i = p/2, p/4, ..., 1`` and every already-placed
+reference ``r`` with ``r + i < p``, place rank ``r + i`` as close as
+possible to ``r``; every new placement joins the reference set.  The
+reference set is snapshotted per ``i`` so a rank placed at step ``i``
+first becomes a reference at the next (smaller) ``i`` — exactly the
+binomial-tree edges.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.mapping.base import Mapper
+from repro.util.bits import ceil_log2
+from repro.util.rng import RngLike
+
+__all__ = ["BGMH"]
+
+
+class BGMH(Mapper):
+    """Binomial-gather mapping heuristic; valid for any process count."""
+
+    pattern = "binomial-gather"
+    name = "bgmh"
+
+    def __init__(self, tie_break: str = "random") -> None:
+        self.tie_break = tie_break
+
+    def map(self, layout: Sequence[int], D: np.ndarray, rng: RngLike = 0) -> np.ndarray:
+        L, M, pool = self._setup(layout, D, rng, self.tie_break)
+        p = L.size
+        if p == 1:
+            return self._finish(M, L)
+
+        refs = [0]  # the set V of potential reference cores
+        i = 1 << (ceil_log2(p) - 1)
+        while i > 0:
+            for ref in list(refs):  # snapshot: new placements join at the next i
+                new_rank = ref + i
+                if new_rank >= p:
+                    continue
+                target = pool.closest_free(int(M[ref]))
+                pool.take(target)
+                M[new_rank] = target
+                refs.append(new_rank)
+            i //= 2
+        return self._finish(M, L)

@@ -1,0 +1,90 @@
+"""BruckMH — mapping heuristic for the Bruck allgather pattern.
+
+The paper's §VII names extending the heuristics to Bruck as future work;
+this is that extension, built on the same Algorithm-1 scheme.  Bruck's
+stage-``s`` exchange pairs rank ``r`` with ``(r ± 2^s) mod p`` and its
+send count doubles with ``s`` (capped near the end for non-power-of-two
+sizes), so — exactly like RDMH — the heuristic prioritises the partners
+of the *latest* stages and promotes the reference after two placements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.mapping.base import Mapper
+from repro.util.bits import ceil_log2
+from repro.util.rng import RngLike
+
+__all__ = ["BruckMH"]
+
+
+class BruckMH(Mapper):
+    """Bruck-pattern mapping heuristic; valid for any process count."""
+
+    pattern = "bruck"
+    name = "bruckmh"
+
+    def __init__(self, update_after: int = 2, tie_break: str = "random") -> None:
+        if update_after < 1:
+            raise ValueError(f"update_after must be >= 1, got {update_after}")
+        self.update_after = update_after
+        self.tie_break = tie_break
+
+    @staticmethod
+    def _partners(rank: int, p: int) -> List[int]:
+        """Partners of ``rank`` ordered by decreasing stage (message size)."""
+        out: List[int] = []
+        for s in reversed(range(ceil_log2(p))):
+            dist = 1 << s
+            for cand in ((rank + dist) % p, (rank - dist) % p):
+                if cand != rank and cand not in out:
+                    out.append(cand)
+        return out
+
+    def map(self, layout: Sequence[int], D: np.ndarray, rng: RngLike = 0) -> np.ndarray:
+        L, M, pool = self._setup(layout, D, rng, self.tie_break)
+        p = L.size
+        if p == 1:
+            return self._finish(M, L)
+
+        mapped = np.zeros(p, dtype=bool)
+        mapped[0] = True
+        mapped_order = [0]
+        ref = 0
+        placed_for_ref = 0
+        n_mapped = 1
+        while n_mapped < p:
+            new_rank = self._first_unmapped_partner(ref, p, mapped)
+            if new_rank is None:
+                new_rank, ref = self._rewind(mapped_order, mapped, p)
+                placed_for_ref = 0
+            target = pool.closest_free(int(M[ref]))
+            pool.take(target)
+            M[new_rank] = target
+            mapped[new_rank] = True
+            mapped_order.append(new_rank)
+            n_mapped += 1
+            placed_for_ref += 1
+            if placed_for_ref >= self.update_after:
+                ref = new_rank
+                placed_for_ref = 0
+        return self._finish(M, L)
+
+    def _first_unmapped_partner(self, ref: int, p: int, mapped: np.ndarray) -> Optional[int]:
+        for cand in self._partners(ref, p):
+            if not mapped[cand]:
+                return cand
+        return None
+
+    def _rewind(self, mapped_order, mapped: np.ndarray, p: int):
+        """Most recent placement with an unmapped partner (or any unmapped)."""
+        for r in reversed(mapped_order):
+            cand = self._first_unmapped_partner(r, p, mapped)
+            if cand is not None:
+                return cand, r
+        # Fully disconnected leftovers cannot happen (the shift graph is
+        # connected), but keep a hard failure just in case.
+        raise RuntimeError("no rank with unmapped partners, yet ranks remain")

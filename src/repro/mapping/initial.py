@@ -1,0 +1,104 @@
+"""Initial process layouts (paper §VI-A).
+
+Resource managers offer many ways to lay a job out; the paper evaluates
+the four classic ones, combining an inter-node policy with an intra-node
+policy:
+
+* **block** — adjacent ranks fill a node before moving to the next;
+* **cyclic** — adjacent ranks round-robin across nodes;
+* **bunch** — within a node, consecutive ranks fill a socket first;
+* **scatter** — within a node, consecutive ranks round-robin across
+  sockets.
+
+A layout is an array ``L`` with ``L[rank] = global core id``.  All four
+use the same core set (the first ``ceil(p / cores_per_node)`` nodes,
+fully subscribed when ``p`` divides evenly), so reordering between them
+is purely a rank relabelling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.topology.cluster import ClusterTopology
+
+__all__ = [
+    "block_bunch",
+    "block_scatter",
+    "cyclic_bunch",
+    "cyclic_scatter",
+    "INITIAL_LAYOUTS",
+    "make_layout",
+]
+
+
+def _nodes_needed(cluster: ClusterTopology, p: int) -> int:
+    if p < 1:
+        raise ValueError(f"need p >= 1, got {p}")
+    if p > cluster.n_cores:
+        raise ValueError(f"p={p} exceeds the cluster's {cluster.n_cores} cores")
+    return -(-p // cluster.cores_per_node)
+
+
+def _local_core(cluster: ClusterTopology, j: np.ndarray, intra: str) -> np.ndarray:
+    """Within-node core index of the ``j``-th rank placed on a node."""
+    if intra == "bunch":
+        return j
+    # scatter: round-robin over sockets, then over cores within a socket
+    ns = cluster.machine.n_sockets
+    cps = cluster.machine.cores_per_socket
+    return (j % ns) * cps + j // ns
+
+
+def _layout(cluster: ClusterTopology, p: int, inter: str, intra: str) -> np.ndarray:
+    n_nodes = _nodes_needed(cluster, p)
+    r = np.arange(p, dtype=np.int64)
+    if inter == "block":
+        node = r // cluster.cores_per_node
+        j = r % cluster.cores_per_node
+    else:  # cyclic
+        node = r % n_nodes
+        j = r // n_nodes
+    local = _local_core(cluster, j, intra)
+    if np.any(local >= cluster.cores_per_node):  # pragma: no cover - guarded by p check
+        raise ValueError("layout overflows a node")
+    return node * cluster.cores_per_node + local
+
+
+def block_bunch(cluster: ClusterTopology, p: int) -> np.ndarray:
+    """Fill nodes in rank order, sockets first within each node."""
+    return _layout(cluster, p, "block", "bunch")
+
+
+def block_scatter(cluster: ClusterTopology, p: int) -> np.ndarray:
+    """Fill nodes in rank order, round-robin over sockets within a node."""
+    return _layout(cluster, p, "block", "scatter")
+
+
+def cyclic_bunch(cluster: ClusterTopology, p: int) -> np.ndarray:
+    """Round-robin ranks across nodes, sockets filled first within a node."""
+    return _layout(cluster, p, "cyclic", "bunch")
+
+
+def cyclic_scatter(cluster: ClusterTopology, p: int) -> np.ndarray:
+    """Round-robin across nodes and across sockets within each node."""
+    return _layout(cluster, p, "cyclic", "scatter")
+
+
+INITIAL_LAYOUTS: Dict[str, Callable[[ClusterTopology, int], np.ndarray]] = {
+    "block-bunch": block_bunch,
+    "block-scatter": block_scatter,
+    "cyclic-bunch": cyclic_bunch,
+    "cyclic-scatter": cyclic_scatter,
+}
+
+
+def make_layout(name: str, cluster: ClusterTopology, p: int) -> np.ndarray:
+    """Build a named layout."""
+    try:
+        fn = INITIAL_LAYOUTS[name]
+    except KeyError:
+        raise KeyError(f"unknown layout {name!r}; known: {sorted(INITIAL_LAYOUTS)}")
+    return fn(cluster, p)

@@ -1,0 +1,74 @@
+"""Mapping-quality metrics, independent of the timing engine.
+
+Classic topology-aware-mapping objectives: hop-bytes (weighted
+communication volume times distance), dilation (per-edge distance), and
+schedule-level link congestion.  Used by tests to assert that a heuristic
+actually improves its target pattern and by the ablation benches to
+compare mappers without going through latency simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.collectives.schedule import Schedule
+from repro.mapping.patterns import PatternGraph
+from repro.simmpi.engine import TimingEngine
+
+__all__ = ["hop_bytes", "dilation_stats", "schedule_max_congestion", "MappingQuality", "quality"]
+
+
+def hop_bytes(graph: PatternGraph, mapping: Sequence[int], D: np.ndarray) -> float:
+    """Σ over edges of weight × distance between the mapped endpoints."""
+    M = np.asarray(mapping, dtype=np.int64)
+    if graph.n_edges == 0:
+        return 0.0
+    return float(np.sum(graph.weight * np.asarray(D)[M[graph.src], M[graph.dst]]))
+
+
+def dilation_stats(graph: PatternGraph, mapping: Sequence[int], D: np.ndarray):
+    """(mean, max) unweighted edge distance under the mapping."""
+    M = np.asarray(mapping, dtype=np.int64)
+    if graph.n_edges == 0:
+        return 0.0, 0.0
+    d = np.asarray(D)[M[graph.src], M[graph.dst]]
+    return float(d.mean()), float(d.max())
+
+
+def schedule_max_congestion(
+    engine: TimingEngine, schedule: Schedule, mapping: Sequence[int], block_bytes: float
+) -> float:
+    """Largest per-link byte load over all stages (repeats not multiplied)."""
+    M = np.asarray(mapping, dtype=np.int64)
+    worst = 0.0
+    for stage in schedule.stages:
+        worst = max(worst, float(engine.link_loads(stage, M, block_bytes).max()))
+    return worst
+
+
+@dataclass(frozen=True)
+class MappingQuality:
+    """Bundle of the three metrics for one (pattern, mapping) pair."""
+
+    hop_bytes: float
+    mean_dilation: float
+    max_dilation: float
+
+    def __str__(self) -> str:
+        return (
+            f"hop-bytes={self.hop_bytes:.1f} "
+            f"dilation(mean/max)={self.mean_dilation:.2f}/{self.max_dilation:.2f}"
+        )
+
+
+def quality(graph: PatternGraph, mapping: Sequence[int], D: np.ndarray) -> MappingQuality:
+    """Compute all metrics at once."""
+    mean_d, max_d = dilation_stats(graph, mapping, D)
+    return MappingQuality(
+        hop_bytes=hop_bytes(graph, mapping, D),
+        mean_dilation=mean_d,
+        max_dilation=max_d,
+    )

@@ -1,0 +1,143 @@
+"""Pairwise-swap refinement of mappings (extension).
+
+A local-search post-pass applicable to *any* mapper's output: repeatedly
+swap the cores of two ranks when doing so lowers the pattern's hop-bytes.
+The paper's heuristics are construction-only (greedy, one placement per
+rank); this refiner quantifies how much a cheap improvement phase adds on
+top — the classic construction-vs-refinement question in topology mapping
+(cf. Hoefler & Snir [3]).  The refinement ablation bench compares raw vs
+refined heuristics on quality, latency and cost.
+
+The swap neighbourhood is restricted to ranks incident to the heaviest
+stretched edges, so a pass is ``O(k · p)`` rather than ``O(p^2)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mapping.patterns import PatternGraph
+from repro.util.rng import RngLike, make_rng
+
+__all__ = ["SwapRefiner", "RefinementResult"]
+
+
+@dataclass(frozen=True)
+class RefinementResult:
+    """Outcome of one refinement run."""
+
+    mapping: np.ndarray
+    initial_hop_bytes: float
+    final_hop_bytes: float
+    swaps: int
+    passes: int
+
+    @property
+    def improvement_pct(self) -> float:
+        if self.initial_hop_bytes == 0:
+            return 0.0
+        return 100.0 * (self.initial_hop_bytes - self.final_hop_bytes) / self.initial_hop_bytes
+
+
+class SwapRefiner:
+    """Hop-bytes-descent refinement over rank-pair swaps.
+
+    Parameters
+    ----------
+    graph:
+        The communication pattern whose hop-bytes is minimised.
+    max_passes:
+        Upper bound on sweeps over the candidate set.
+    candidates_per_pass:
+        How many of the heaviest stretched edges seed each sweep.
+    """
+
+    def __init__(
+        self,
+        graph: PatternGraph,
+        max_passes: int = 4,
+        candidates_per_pass: int = 64,
+    ) -> None:
+        if max_passes < 1:
+            raise ValueError(f"max_passes must be >= 1, got {max_passes}")
+        if candidates_per_pass < 1:
+            raise ValueError(f"candidates_per_pass must be >= 1, got {candidates_per_pass}")
+        self.graph = graph
+        self.max_passes = max_passes
+        self.candidates_per_pass = candidates_per_pass
+        self._adj = graph.adjacency()
+
+    # ------------------------------------------------------------------
+    def _rank_cost(self, rank: int, M: np.ndarray, D: np.ndarray) -> float:
+        """Hop-bytes of all edges incident to ``rank`` under ``M``."""
+        total = 0.0
+        for nb, w in self._adj[rank]:
+            total += w * D[M[rank], M[nb]]
+        return total
+
+    def _swap_gain(self, a: int, b: int, M: np.ndarray, D: np.ndarray) -> float:
+        """Hop-bytes saved by swapping the cores of ranks ``a`` and ``b``."""
+        before = self._rank_cost(a, M, D) + self._rank_cost(b, M, D)
+        M[a], M[b] = M[b], M[a]
+        after = self._rank_cost(a, M, D) + self._rank_cost(b, M, D)
+        M[a], M[b] = M[b], M[a]
+        # edges between a and b are counted twice on both sides — harmless
+        # for the sign of the gain (their contribution changes by the same
+        # amount in both terms).
+        return before - after
+
+    # ------------------------------------------------------------------
+    def refine(
+        self, mapping: Sequence[int], D: np.ndarray, rng: RngLike = 0
+    ) -> RefinementResult:
+        """Refine ``mapping`` in place-semantics-free fashion (copy)."""
+        M = np.asarray(mapping, dtype=np.int64).copy()
+        D = np.asarray(D)
+        generator = make_rng(rng)
+        g = self.graph
+        if g.n_edges == 0:
+            return RefinementResult(M, 0.0, 0.0, 0, 0)
+
+        def total_hop_bytes() -> float:
+            return float(np.sum(g.weight * D[M[g.src], M[g.dst]]))
+
+        initial = total_hop_bytes()
+        swaps = 0
+        passes = 0
+        for _ in range(self.max_passes):
+            passes += 1
+            improved = False
+            # seed with the heaviest stretched edges under the current M
+            stretch = g.weight * D[M[g.src], M[g.dst]]
+            order = np.argsort(stretch)[::-1][: self.candidates_per_pass]
+            seeds = set()
+            for e in order:
+                seeds.add(int(g.src[e]))
+                seeds.add(int(g.dst[e]))
+            partners = generator.permutation(M.size)
+            for a in seeds:
+                # try swapping a with each of a small random partner sample
+                best_gain, best_b = 0.0, -1
+                for b in partners[:32]:
+                    b = int(b)
+                    if b == a:
+                        continue
+                    gain = self._swap_gain(a, b, M, D)
+                    if gain > best_gain + 1e-12:
+                        best_gain, best_b = gain, b
+                if best_b >= 0:
+                    M[a], M[best_b] = M[best_b], M[a]
+                    swaps += 1
+                    improved = True
+            if not improved:
+                break
+        return RefinementResult(
+            mapping=M,
+            initial_hop_bytes=initial,
+            final_hop_bytes=total_hop_bytes(),
+            swaps=swaps,
+            passes=passes,
+        )

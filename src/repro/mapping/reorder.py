@@ -1,0 +1,130 @@
+"""Run-time rank reordering (paper §IV).
+
+The top of the mapping stack: given a communication-pattern name, an
+initial layout and the distance matrix, produce a
+:class:`~repro.collectives.correctness.RankReordering` — timing both the
+mapping algorithm itself and (for the graph-based baselines) the
+pattern-graph construction, since avoiding that construction is one of
+the heuristics' selling points (§V, Fig. 7b).
+
+"The whole rank reordering process happens only once at run-time": callers
+cache the returned reordering per (communicator, pattern) and reuse it for
+every subsequent collective call, which is what
+:class:`repro.simmpi.communicator.VirtualComm` does.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Type
+
+import numpy as np
+
+from repro.collectives.correctness import RankReordering
+from repro.mapping.base import Mapper
+from repro.mapping.bbmh import BBMH
+from repro.mapping.bgmh import BGMH
+from repro.mapping.bruckmh import BruckMH
+from repro.mapping.greedy import GreedyGraphMapper
+from repro.mapping.patterns import build_pattern
+from repro.mapping.rdmh import RDMH
+from repro.mapping.rmh import RMH
+from repro.mapping.scotch import ScotchLikeMapper
+from repro.util.rng import RngLike
+
+__all__ = ["HEURISTICS", "MAPPER_KINDS", "ReorderResult", "reorder_ranks"]
+
+#: The paper's fine-tuned heuristic for each communication pattern.
+HEURISTICS: Dict[str, Type[Mapper]] = {
+    "recursive-doubling": RDMH,
+    "ring": RMH,
+    "binomial-bcast": BBMH,
+    "binomial-gather": BGMH,
+    "bruck": BruckMH,
+}
+
+MAPPER_KINDS = ("heuristic", "scotch", "greedy")
+
+
+@dataclass
+class ReorderResult:
+    """Outcome of one reordering: the permutation plus its overheads."""
+
+    reordering: RankReordering
+    pattern: str
+    mapper_name: str
+    map_seconds: float
+    graph_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Full mapping overhead (graph construction + mapping)."""
+        return self.map_seconds + self.graph_seconds
+
+    @property
+    def mapping(self) -> np.ndarray:
+        return self.reordering.mapping
+
+
+def reorder_ranks(
+    pattern: str,
+    layout: Sequence[int],
+    D: np.ndarray,
+    kind: str = "heuristic",
+    rng: RngLike = 0,
+    **mapper_kwargs,
+) -> ReorderResult:
+    """Compute a rank reordering for ``pattern``.
+
+    Parameters
+    ----------
+    pattern:
+        One of :data:`HEURISTICS`'s keys ("recursive-doubling", "ring",
+        "binomial-bcast", "binomial-gather", "bruck").
+    layout:
+        Initial layout ``L[old_rank] = core``.
+    D:
+        Core-by-core distance matrix of the cluster.
+    kind:
+        ``"heuristic"`` — the paper's fine-tuned mapper for the pattern;
+        ``"scotch"`` — the Scotch-like recursive-bipartitioning baseline;
+        ``"greedy"`` — the Hoefler-Snir-style greedy baseline.
+    mapper_kwargs:
+        Forwarded to the mapper constructor (e.g. ``tie_break="first"``,
+        ``traversal=...``, ``update_after=...``).
+    """
+    if kind not in MAPPER_KINDS:
+        raise ValueError(f"kind must be one of {MAPPER_KINDS}, got {kind!r}")
+    L = np.asarray(layout, dtype=np.int64)
+    p = L.size
+
+    graph_seconds = 0.0
+    if kind == "heuristic":
+        try:
+            mapper_cls = HEURISTICS[pattern]
+        except KeyError:
+            raise KeyError(f"no fine-tuned heuristic for pattern {pattern!r}")
+        mapper: Mapper = mapper_cls(**mapper_kwargs)
+    else:
+        # General-purpose mappers must build the process-topology graph
+        # first — that construction is part of their measured overhead.
+        t0 = time.perf_counter()
+        graph = build_pattern(pattern, p)
+        graph_seconds = time.perf_counter() - t0
+        if kind == "scotch":
+            mapper = ScotchLikeMapper(graph, **mapper_kwargs)
+        else:
+            mapper = GreedyGraphMapper(graph, **mapper_kwargs)
+
+    t0 = time.perf_counter()
+    M = mapper.map(L, D, rng=rng)
+    map_seconds = time.perf_counter() - t0
+
+    return ReorderResult(
+        reordering=RankReordering(layout=L, mapping=M),
+        pattern=pattern,
+        mapper_name=mapper.name,
+        map_seconds=map_seconds,
+        graph_seconds=graph_seconds,
+    )

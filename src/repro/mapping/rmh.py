@@ -1,0 +1,40 @@
+"""RMH — mapping heuristic for the ring (paper Algorithm 3).
+
+In the ring every rank talks to exactly one fixed successor in all
+``p - 1`` stages, so the heuristic is a simple chain: map rank 1 as close
+as possible to rank 0, rank 2 as close as possible to rank 1, and so on,
+updating the reference at every step.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.mapping.base import Mapper
+from repro.util.rng import RngLike
+
+__all__ = ["RMH"]
+
+
+class RMH(Mapper):
+    """Ring mapping heuristic; valid for any process count."""
+
+    pattern = "ring"
+    name = "rmh"
+
+    def __init__(self, tie_break: str = "random") -> None:
+        self.tie_break = tie_break
+
+    def map(self, layout: Sequence[int], D: np.ndarray, rng: RngLike = 0) -> np.ndarray:
+        L, M, pool = self._setup(layout, D, rng, self.tie_break)
+        p = L.size
+        ref = 0
+        for _ in range(p - 1):
+            new_rank = (ref + 1) % p
+            target = pool.closest_free(int(M[ref]))
+            pool.take(target)
+            M[new_rank] = target
+            ref = new_rank
+        return self._finish(M, L)

@@ -1,0 +1,67 @@
+"""Simulated MPI runtime substrate.
+
+The stand-in for MVAPICH-on-InfiniBand: a congestion-aware cost model
+(:mod:`~repro.simmpi.costmodel`), a vectorised stage-synchronous timing
+engine (:mod:`~repro.simmpi.engine`), a data executor that moves real
+payloads for correctness testing (:mod:`~repro.simmpi.data`), and an
+mpi4py-flavoured communicator facade (:mod:`~repro.simmpi.communicator`).
+"""
+
+from repro.simmpi.costmodel import CostModel, DEFAULT_ALPHA, DEFAULT_BETA
+from repro.simmpi.engine import StageTiming, TimingEngine, TimingResult
+from repro.simmpi.data import DataExecutor, ScheduleExecutionError
+from repro.simmpi.eventsim import EventDrivenEngine, EventTimingResult
+from repro.simmpi.noise import (
+    JitterResult,
+    degrade_links,
+    degrade_node_hca,
+    degrade_random_cables,
+    evaluate_with_jitter,
+    no_degradation,
+)
+from repro.simmpi.profiler import HotLink, ScheduleProfile, profile_schedule
+from repro.simmpi.traceexport import (
+    MessageEvent,
+    export_chrome_trace,
+    record_timeline,
+    to_chrome_trace,
+)
+
+
+def __getattr__(name):
+    # Session/VirtualComm import lazily to avoid a circular import with
+    # repro.evaluation (which itself imports repro.simmpi).
+    if name in ("Session", "VirtualComm"):
+        from repro.simmpi import communicator
+
+        return getattr(communicator, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Session",
+    "VirtualComm",
+    "CostModel",
+    "DEFAULT_ALPHA",
+    "DEFAULT_BETA",
+    "TimingEngine",
+    "TimingResult",
+    "EventDrivenEngine",
+    "EventTimingResult",
+    "StageTiming",
+    "DataExecutor",
+    "ScheduleExecutionError",
+    "ScheduleProfile",
+    "HotLink",
+    "profile_schedule",
+    "no_degradation",
+    "degrade_links",
+    "degrade_node_hca",
+    "degrade_random_cables",
+    "JitterResult",
+    "evaluate_with_jitter",
+    "MessageEvent",
+    "record_timeline",
+    "to_chrome_trace",
+    "export_chrome_trace",
+]

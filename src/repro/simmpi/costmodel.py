@@ -1,0 +1,136 @@
+"""Per-channel communication cost model.
+
+Each directed link carries an α (per-traversal latency) and β (seconds per
+byte) taken from its :class:`~repro.topology.cluster.LinkClass`.  The model
+is a congestion-aware α-β (Hockney) model:
+
+* a message's latency term is the sum of the α of every link on its route
+  (switch hops add latency — "messages that pass across a larger number of
+  links suffer more", paper §I);
+* its bandwidth term is governed by the *most contended* link of the
+  route: if a link must carry ``B`` bytes in a stage, fair sharing drains
+  it in ``β·B`` seconds, so the message finishes no earlier than
+  ``max over route links of β_link · B_link``.
+
+The default constants are order-of-magnitude calibrations for the paper's
+GPC hardware (2009-era dual-socket Xeons, QDR InfiniBand), producing the
+per-pair / aggregate bandwidths that drive every relative result in the
+paper:
+
+==================  =======================================================
+channel             behaviour
+==================  =======================================================
+intra-socket pair   ~3 GB/s (private per-core copy-path links)
+cross-socket pair   ~2.2 GB/s (per-core QPI lane is the slowest hop)
+socket aggregate    ~16 GB/s memory bus shared by all messages touching
+                    the socket (each crossing counts; an intra-socket
+                    message crosses twice)
+inter-node pair     ~2.7 GB/s (QDR InfiniBand)
+node aggregate      the single HCA serialises all the node's network
+                    traffic — the paper's dominant contention effect
+==================  =======================================================
+
+Absolute values do not matter for the reproduction — only their ordering
+and rough ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.topology.cluster import LinkClass
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["CostModel", "DEFAULT_ALPHA", "DEFAULT_BETA"]
+
+#: Per-link-traversal latency (seconds).
+DEFAULT_ALPHA: Dict[LinkClass, float] = {
+    LinkClass.SMEM: 150e-9,       # core <-> L3/memory complex
+    LinkClass.MEM: 0.0,           # capacity only; latency lives in SMEM
+    LinkClass.QPI: 250e-9,        # cross-socket hop
+    LinkClass.HCA: 700e-9,        # PCIe + HCA processing
+    LinkClass.LEAF_LINE: 120e-9,  # IB switch hop
+    LinkClass.LINE_SPINE: 120e-9,
+}
+
+#: Seconds per byte (1 / bandwidth).
+DEFAULT_BETA: Dict[LinkClass, float] = {
+    LinkClass.SMEM: 1.0 / 3.0e9,        # per-pair shared-memory copy path
+    LinkClass.MEM: 1.0 / 16.0e9,        # per-socket aggregate memory bus
+    LinkClass.QPI: 1.0 / 2.2e9,         # per-core cross-socket lane
+    LinkClass.HCA: 1.0 / 2.7e9,         # QDR IB effective ~2.7 GB/s
+    LinkClass.LEAF_LINE: 1.0 / 2.7e9,
+    LinkClass.LINE_SPINE: 1.0 / 2.7e9,
+}
+
+
+@dataclass
+class CostModel:
+    """α-β-with-congestion model over link classes.
+
+    Parameters
+    ----------
+    alpha, beta:
+        Per-class overrides merged over the defaults.
+    copy_alpha, copy_beta:
+        Local memory-copy cost (used for endShfl shuffles and Bruck's final
+        rotation): ``copy_alpha + bytes * copy_beta`` per moved block.
+    stage_overhead:
+        Fixed per-stage cost (progress-engine / synchronisation slack).
+    """
+
+    alpha: Dict[LinkClass, float] = field(default_factory=dict)
+    beta: Dict[LinkClass, float] = field(default_factory=dict)
+    copy_alpha: float = 50e-9
+    copy_beta: float = 1.0 / 8.0e9   # streaming memcpy ~8 GB/s
+    stage_overhead: float = 100e-9
+
+    def __post_init__(self) -> None:
+        merged_a = dict(DEFAULT_ALPHA)
+        merged_a.update(self.alpha)
+        merged_b = dict(DEFAULT_BETA)
+        merged_b.update(self.beta)
+        self.alpha = merged_a
+        self.beta = merged_b
+        for cls in LinkClass:
+            check_nonnegative(f"alpha[{cls.name}]", self.alpha[cls])
+            check_positive(f"beta[{cls.name}]", self.beta[cls])
+        check_nonnegative("copy_alpha", self.copy_alpha)
+        check_positive("copy_beta", self.copy_beta)
+        check_nonnegative("stage_overhead", self.stage_overhead)
+
+    # ------------------------------------------------------------------
+    def alpha_by_class(self) -> np.ndarray:
+        """α indexed by LinkClass value (dense array for vectorisation)."""
+        out = np.zeros(len(LinkClass), dtype=np.float64)
+        for cls in LinkClass:
+            out[int(cls)] = self.alpha[cls]
+        return out
+
+    def beta_by_class(self) -> np.ndarray:
+        """β indexed by LinkClass value."""
+        out = np.zeros(len(LinkClass), dtype=np.float64)
+        for cls in LinkClass:
+            out[int(cls)] = self.beta[cls]
+        return out
+
+    def copy_cost(self, nbytes: float) -> float:
+        """Cost of one local memory move of ``nbytes`` bytes."""
+        if nbytes <= 0:
+            return 0.0
+        return self.copy_alpha + nbytes * self.copy_beta
+
+    def describe(self) -> str:
+        """Tabular summary (for reports)."""
+        lines = ["link class     alpha (us)   bandwidth (GB/s)"]
+        for cls in LinkClass:
+            lines.append(
+                f"{cls.name:<13} {self.alpha[cls] * 1e6:>9.3f}   {1.0 / self.beta[cls] / 1e9:>12.2f}"
+            )
+        lines.append(
+            f"{'memcpy':<13} {self.copy_alpha * 1e6:>9.3f}   {1.0 / self.copy_beta / 1e9:>12.2f}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Failure injection and noise robustness.
+
+Real clusters are not uniform: cables degrade, adapters retrain to lower
+rates, and OS noise jitters every stage.  This module provides
+
+* **link degradation builders** — per-link bandwidth-scale vectors to
+  feed the engines' ``link_beta_scale`` (a factor of ``k`` divides that
+  link's bandwidth by ``k``), targeting random network cables, specific
+  nodes' HCAs, or whole link classes;
+* **jittered evaluation** — repeated pricing with multiplicative
+  log-normal noise on stage times, to check that a comparison (e.g.
+  "reordered beats default") survives realistic timing variance.
+
+Used by ``benchmarks/bench_ext_degraded.py`` and the robustness tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.collectives.schedule import Schedule
+from repro.simmpi.costmodel import CostModel
+from repro.simmpi.engine import TimingEngine
+from repro.topology.cluster import ClusterTopology, LinkClass
+from repro.util.rng import RngLike, make_rng
+
+__all__ = [
+    "no_degradation",
+    "degrade_links",
+    "degrade_node_hca",
+    "degrade_random_cables",
+    "JitterResult",
+    "evaluate_with_jitter",
+]
+
+
+def no_degradation(cluster: ClusterTopology) -> np.ndarray:
+    """The identity scale vector (all links at full bandwidth)."""
+    return np.ones(cluster.n_links)
+
+
+def degrade_links(
+    cluster: ClusterTopology, link_ids: Iterable[int], factor: float
+) -> np.ndarray:
+    """Divide the bandwidth of specific links by ``factor``."""
+    if factor < 1.0:
+        raise ValueError(f"degradation factor must be >= 1, got {factor}")
+    scale = no_degradation(cluster)
+    for lid in link_ids:
+        if not 0 <= lid < cluster.n_links:
+            raise ValueError(f"link id {lid} out of range")
+        scale[lid] = factor
+    return scale
+
+
+def degrade_node_hca(
+    cluster: ClusterTopology, nodes: Iterable[int], factor: float
+) -> np.ndarray:
+    """Degrade the HCA (both directions) of the given nodes.
+
+    Models an adapter that retrained to a lower rate — a common real
+    fault that makes one node a collective-wide straggler.
+    """
+    ids = []
+    for node in nodes:
+        if not 0 <= node < cluster.n_nodes:
+            raise ValueError(f"node {node} out of range")
+        ids.append(int(cluster.hca_up(node)))
+        ids.append(int(cluster.hca_down(node)))
+    return degrade_links(cluster, ids, factor)
+
+
+def degrade_random_cables(
+    cluster: ClusterTopology, fraction: float, factor: float, rng: RngLike = 0
+) -> np.ndarray:
+    """Degrade a random fraction of the fat-tree's switch cables."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    n_net = cluster.network.n_links
+    k = int(round(fraction * n_net))
+    picks = make_rng(rng).choice(n_net, size=k, replace=False) if k else []
+    return degrade_links(cluster, [int(x) for x in picks], factor)
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JitterResult:
+    """Distribution of jittered schedule latencies."""
+
+    mean_seconds: float
+    std_seconds: float
+    min_seconds: float
+    max_seconds: float
+    n_trials: int
+
+
+def evaluate_with_jitter(
+    engine: TimingEngine,
+    schedule: Schedule,
+    mapping: Sequence[int],
+    block_bytes: float,
+    sigma: float = 0.2,
+    n_trials: int = 25,
+    rng: RngLike = 0,
+) -> JitterResult:
+    """Price a schedule under multiplicative log-normal stage noise.
+
+    Every stage instance (repeats included) draws an independent factor
+    ``exp(N(0, sigma))`` — the coarse signature of OS noise and network
+    background traffic.  Returns the latency distribution.
+    """
+    if sigma < 0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    generator = make_rng(rng)
+    M = np.asarray(mapping, dtype=np.int64)
+
+    base = [engine.stage_time(s, M, block_bytes) for s in schedule.stages]
+    copy = engine.cost.copy_cost(schedule.local_copy_units * block_bytes)
+    totals = np.empty(n_trials)
+    for t in range(n_trials):
+        total = copy
+        for st in base:
+            factors = np.exp(generator.normal(0.0, sigma, size=st.repeat))
+            total += st.seconds * float(factors.sum())
+        totals[t] = total
+    return JitterResult(
+        mean_seconds=float(totals.mean()),
+        std_seconds=float(totals.std()),
+        min_seconds=float(totals.min()),
+        max_seconds=float(totals.max()),
+        n_trials=n_trials,
+    )

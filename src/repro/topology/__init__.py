@@ -1,0 +1,57 @@
+"""Hardware topology substrate.
+
+Models everything the paper's heuristics and evaluation need from the
+physical system:
+
+* :mod:`repro.topology.hardware` — the intra-node hierarchy (sockets/NUMA
+  domains, cores), playing the role hwloc plays in the paper;
+* :mod:`repro.topology.fattree` — the InfiniBand fat-tree network (leaf /
+  line / spine switches, link multiplicities, deterministic up/down
+  routing), playing the role of the IB subnet tools;
+* :mod:`repro.topology.cluster` — the unified cluster: one directed link
+  graph spanning cores, sockets, HCAs and switches, with per-link channel
+  classes, routes and the core-to-core distance matrix;
+* :mod:`repro.topology.distances` — the simulated one-time distance
+  extraction step (paper §IV / Fig. 7a);
+* :mod:`repro.topology.gpc` — ready-made cluster configurations, including
+  the SciNet GPC system of the paper's evaluation.
+"""
+
+from repro.topology.hardware import MachineTopology
+from repro.topology.fattree import FatTreeNetwork, FatTreeConfig
+from repro.topology.cluster import ClusterTopology, LinkClass
+from repro.topology.distances import DistanceExtractor, ExtractionReport
+from repro.topology.gpc import gpc_cluster, small_cluster, single_node_cluster
+from repro.topology.persist import (
+    load_distances,
+    load_reordering,
+    save_distances,
+    save_reordering,
+    topology_fingerprint,
+)
+from repro.topology.slurm import Distribution, layout_from_distribution, parse_distribution
+from repro.topology.visualize import render_node, render_tree, render_wiring
+
+__all__ = [
+    "MachineTopology",
+    "FatTreeNetwork",
+    "FatTreeConfig",
+    "ClusterTopology",
+    "LinkClass",
+    "DistanceExtractor",
+    "ExtractionReport",
+    "gpc_cluster",
+    "small_cluster",
+    "single_node_cluster",
+    "Distribution",
+    "parse_distribution",
+    "layout_from_distribution",
+    "topology_fingerprint",
+    "save_distances",
+    "load_distances",
+    "save_reordering",
+    "load_reordering",
+    "render_node",
+    "render_tree",
+    "render_wiring",
+]

@@ -1,0 +1,384 @@
+"""Unified cluster topology: one directed link graph over the whole system.
+
+Every communication channel the paper cares about is a *link* with a dense
+integer id and a :class:`LinkClass`:
+
+* ``SMEM``       per-core copy-path links (core <-> its socket's L3/memory
+  complex) — they bound a single pair's shared-memory bandwidth;
+* ``MEM``        one shared memory-bus link per socket — every message
+  touching the socket crosses it (twice for an intra-socket message: the
+  sender's write and the receiver's read), bounding the socket's
+  *aggregate* messaging bandwidth;
+* ``QPI``        per-core lanes crossed when a message changes sockets
+  inside a node (the inter-socket interconnect);
+* ``HCA``        node <-> leaf switch (the node's InfiniBand adapter,
+  shared by all the node's processes — the big serialisation point);
+* ``LEAF_LINE`` / ``LINE_SPINE``  fat-tree switch cables.
+
+A message from core *a* to core *b* follows the unique deterministic route
+through this graph (up the source node's hierarchy, across the fat-tree,
+down the destination's).  Two things fall out of the same structure:
+
+* the **distance matrix** ``D`` the heuristics consume (paper §IV): the
+  sum of per-class weights along the route, giving the strict hierarchy
+  same-socket < cross-socket < same-leaf < same-line < cross-spine;
+* the **route matrix** the timing engine consumes: per-message padded rows
+  of directed link ids, so per-stage link loads are a single
+  ``np.bincount``.
+
+Routes are fully vectorised; the per-node-pair network segment is
+precomputed once (``O(n_nodes^2)`` int32, ~4 MB for the paper's 512-node
+runs).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.topology.fattree import FatTreeConfig, FatTreeNetwork
+from repro.topology.hardware import MachineTopology
+from repro.util.validation import check_positive
+
+__all__ = ["LinkClass", "ClusterTopology", "MAX_ROUTE_LEN", "DEFAULT_DISTANCE_WEIGHTS"]
+
+#: Maximum number of directed links on any core-to-core route: core-up,
+#: src-mem, qpi-up, hca-up, 4 network links, hca-down, qpi-down, dst-mem,
+#: core-down.
+MAX_ROUTE_LEN = 12
+
+
+class LinkClass(IntEnum):
+    """Channel class of a directed link (orders the cost hierarchy)."""
+
+    SMEM = 0
+    MEM = 1
+    QPI = 2
+    HCA = 3
+    LEAF_LINE = 4
+    LINE_SPINE = 5
+
+
+#: Per-class contribution to the physical distance metric.  Chosen so the
+#: route sums produce the strictly increasing ladder
+#: 0 (self) < 1 (same socket) < 3 (cross socket) < 5 (same leaf)
+#: < 7 (same line switch) < 9 (via spine).  The shared memory bus does not
+#: count towards distance (it is a capacity, not a locality level).
+DEFAULT_DISTANCE_WEIGHTS: Dict[LinkClass, float] = {
+    LinkClass.SMEM: 0.5,
+    LinkClass.MEM: 0.0,
+    LinkClass.QPI: 1.0,
+    LinkClass.HCA: 2.0,
+    LinkClass.LEAF_LINE: 1.0,
+    LinkClass.LINE_SPINE: 1.0,
+}
+
+
+class ClusterTopology:
+    """A cluster of identical nodes attached to a fat-tree network.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of compute nodes in use (must fit the network's capacity).
+    machine:
+        Per-node topology (sockets x cores).
+    network:
+        The fat-tree; nodes fill leaves in order (node ``i`` hangs off leaf
+        ``i // nodes_per_leaf``), which is how schedulers allocate
+        contiguous jobs on GPC.
+    distance_weights:
+        Optional override of :data:`DEFAULT_DISTANCE_WEIGHTS`.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        machine: Optional[MachineTopology] = None,
+        network: Optional[FatTreeNetwork] = None,
+        distance_weights: Optional[Dict[LinkClass, float]] = None,
+    ) -> None:
+        check_positive("n_nodes", n_nodes)
+        self.machine = machine if machine is not None else MachineTopology()
+        if network is None:
+            # Size a default network just big enough for the requested nodes.
+            cfg = FatTreeConfig(
+                n_leaves=max(1, -(-n_nodes // FatTreeConfig().nodes_per_leaf)),
+            )
+            network = FatTreeNetwork(cfg)
+        self.network = network
+        cap = network.config.max_nodes
+        if n_nodes > cap:
+            raise ValueError(f"{n_nodes} nodes exceed network capacity {cap}")
+        self.n_nodes = int(n_nodes)
+        self.cores_per_node = self.machine.n_cores
+        self.n_cores = self.n_nodes * self.cores_per_node
+        self.weights = dict(DEFAULT_DISTANCE_WEIGHTS)
+        if distance_weights:
+            self.weights.update(distance_weights)
+
+        # ---- directed link id layout -------------------------------------
+        net = network.n_links
+        n_sockets_total = self.n_nodes * self.machine.n_sockets
+        self._hca_up0 = net
+        self._hca_dn0 = net + self.n_nodes
+        self._mem0 = net + 2 * self.n_nodes                    # one per socket
+        self._qpi_up0 = self._mem0 + n_sockets_total           # one per core
+        self._qpi_dn0 = self._qpi_up0 + self.n_cores
+        self._core_up0 = self._qpi_dn0 + self.n_cores
+        self._core_dn0 = self._core_up0 + self.n_cores
+        self.n_links = self._core_dn0 + self.n_cores
+
+        # ---- per-link class table ----------------------------------------
+        cls = np.empty(self.n_links, dtype=np.int8)
+        for lid in range(net):
+            cls[lid] = (
+                LinkClass.LEAF_LINE if network.is_leaf_line(lid) else LinkClass.LINE_SPINE
+            )
+        cls[self._hca_up0 : self._mem0] = LinkClass.HCA
+        cls[self._mem0 : self._qpi_up0] = LinkClass.MEM
+        cls[self._qpi_up0 : self._core_up0] = LinkClass.QPI
+        cls[self._core_up0 :] = LinkClass.SMEM
+        self.link_class = cls
+
+        self._net_routes: Optional[np.ndarray] = None
+        self._distance_matrix: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # core / node / socket arithmetic
+    # ------------------------------------------------------------------
+    def node_of(self, core) -> np.ndarray:
+        """Node index of global core id(s)."""
+        return np.asarray(core, dtype=np.int64) // self.cores_per_node
+
+    def local_core(self, core) -> np.ndarray:
+        """Within-node core index of global core id(s)."""
+        return np.asarray(core, dtype=np.int64) % self.cores_per_node
+
+    def socket_of(self, core) -> np.ndarray:
+        """Socket index (within the node) of global core id(s)."""
+        return self.local_core(core) // self.machine.cores_per_socket
+
+    def global_socket_of(self, core) -> np.ndarray:
+        """Globally unique socket index of global core id(s)."""
+        return self.node_of(core) * self.machine.n_sockets + self.socket_of(core)
+
+    def leaf_of_node(self, node) -> np.ndarray:
+        """Leaf switch of node id(s)."""
+        return np.asarray(node, dtype=np.int64) // self.network.config.nodes_per_leaf
+
+    def leaf_of(self, core) -> np.ndarray:
+        """Leaf switch of global core id(s)."""
+        return self.leaf_of_node(self.node_of(core))
+
+    def cores_of_node(self, node: int) -> range:
+        """Global core ids on ``node``."""
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.n_nodes})")
+        start = node * self.cores_per_node
+        return range(start, start + self.cores_per_node)
+
+    # ------------------------------------------------------------------
+    # link ids (scalar and vectorised — all accept arrays)
+    # ------------------------------------------------------------------
+    def hca_up(self, node):
+        """Directed link id: node hub -> leaf switch (the HCA send side)."""
+        return self._hca_up0 + np.asarray(node, dtype=np.int64)
+
+    def hca_down(self, node):
+        """Directed link id: leaf switch -> node hub (the HCA receive side)."""
+        return self._hca_dn0 + np.asarray(node, dtype=np.int64)
+
+    def mem_bus(self, core):
+        """Shared memory-bus link of the socket hosting ``core``."""
+        return self._mem0 + self.global_socket_of(core)
+
+    def qpi_up(self, core):
+        """Per-core QPI lane leaving the core's socket."""
+        return self._qpi_up0 + np.asarray(core, dtype=np.int64)
+
+    def qpi_down(self, core):
+        """Per-core QPI lane entering the core's socket."""
+        return self._qpi_dn0 + np.asarray(core, dtype=np.int64)
+
+    def core_up(self, core):
+        """Directed link id: core -> its socket's L3/memory complex."""
+        return self._core_up0 + np.asarray(core, dtype=np.int64)
+
+    def core_down(self, core):
+        """Directed link id: socket's L3/memory complex -> core."""
+        return self._core_dn0 + np.asarray(core, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # network segment routes (node pair -> up to 4 switch-level links)
+    # ------------------------------------------------------------------
+    def _build_net_routes(self) -> np.ndarray:
+        """Precompute the fat-tree segment for every ordered node pair.
+
+        Returns an int32 array of shape (n_nodes, n_nodes, 4) holding
+        [leaf-line up, line-spine up, line-spine down, leaf-line down],
+        ``-1``-padded; same-node and same-leaf pairs are fully ``-1``
+        (their messages never enter the switch fabric beyond the leaf).
+        """
+        cfg = self.network.config
+        n = self.n_nodes
+        na = np.arange(n, dtype=np.int64)[:, None]
+        nb = np.arange(n, dtype=np.int64)[None, :]
+        leaf_a = na // cfg.nodes_per_leaf
+        leaf_b = nb // cfg.nodes_per_leaf
+        # Destination-based choices (mirrors FatTreeNetwork.route).
+        port = nb % (cfg.n_core_switches * cfg.leaf_uplinks_per_core)
+        core = port // cfg.leaf_uplinks_per_core
+        up_cable = port % cfg.leaf_uplinks_per_core
+        dn_cable = nb % cfg.leaf_uplinks_per_core
+        line_src = leaf_a % cfg.lines_per_core
+        line_dst = leaf_b % cfg.lines_per_core
+        spine = leaf_b % cfg.spines_per_core
+        ls_cable = nb % cfg.line_spine_multiplicity
+
+        net = self.network
+        ll_up = net._ll_up0 + ((leaf_a * cfg.n_core_switches + core) * cfg.leaf_uplinks_per_core + up_cable)
+        ll_dn = net._ll_dn0 + ((leaf_b * cfg.n_core_switches + core) * cfg.leaf_uplinks_per_core + dn_cable)
+        ls_up = net._ls_up0 + (
+            ((core * cfg.lines_per_core + line_src) * cfg.spines_per_core + spine)
+            * cfg.line_spine_multiplicity
+            + ls_cable
+        )
+        ls_dn = net._ls_dn0 + (
+            ((core * cfg.lines_per_core + line_dst) * cfg.spines_per_core + spine)
+            * cfg.line_spine_multiplicity
+            + ls_cable
+        )
+
+        routes = np.full((n, n, 4), -1, dtype=np.int32)
+        diff_leaf = leaf_a != leaf_b
+        same_line = line_src == line_dst
+        routes[..., 0] = np.where(diff_leaf, ll_up, -1)
+        routes[..., 1] = np.where(diff_leaf & ~same_line, ls_up, -1)
+        routes[..., 2] = np.where(diff_leaf & ~same_line, ls_dn, -1)
+        routes[..., 3] = np.where(diff_leaf, ll_dn, -1)
+        return routes
+
+    @property
+    def net_routes(self) -> np.ndarray:
+        """Lazily built per-node-pair network segment table."""
+        if self._net_routes is None:
+            self._net_routes = self._build_net_routes()
+        return self._net_routes
+
+    # ------------------------------------------------------------------
+    # full routes
+    # ------------------------------------------------------------------
+    def route_matrix(self, src: Sequence[int], dst: Sequence[int]) -> np.ndarray:
+        """Padded directed-link routes for a batch of messages.
+
+        Parameters are global core ids (equal length); self-messages are
+        rejected because no collective schedule emits them.  Returns an
+        int64 array of shape ``(n_msgs, MAX_ROUTE_LEN)``, ``-1``-padded.
+        An intra-socket message crosses its socket's memory bus twice
+        (sender write + receiver read), so the bus id appears in both the
+        source-side and destination-side columns.
+        """
+        s = np.asarray(src, dtype=np.int64)
+        d = np.asarray(dst, dtype=np.int64)
+        if s.shape != d.shape or s.ndim != 1:
+            raise ValueError("src and dst must be equal-length 1-D arrays")
+        if np.any(s == d):
+            raise ValueError("self-message (src == dst) has no route")
+        if s.size and (s.min() < 0 or d.min() < 0 or max(s.max(), d.max()) >= self.n_cores):
+            raise ValueError("core id out of range")
+
+        node_s, node_d = self.node_of(s), self.node_of(d)
+        inter_node = node_s != node_d
+        # QPI lanes are crossed only when changing sockets inside a node.
+        cross_socket = (~inter_node) & (self.socket_of(s) != self.socket_of(d))
+
+        rows = np.full((s.size, MAX_ROUTE_LEN), -1, dtype=np.int64)
+        rows[:, 0] = self.core_up(s)
+        rows[:, 1] = self.mem_bus(s)
+        rows[:, 2] = np.where(cross_socket, self.qpi_up(s), -1)
+        rows[:, 3] = np.where(inter_node, self.hca_up(node_s), -1)
+        rows[:, 4:8] = self.net_routes[node_s, node_d]
+        rows[:, 8] = np.where(inter_node, self.hca_down(node_d), -1)
+        rows[:, 9] = np.where(cross_socket, self.qpi_down(d), -1)
+        rows[:, 10] = self.mem_bus(d)
+        rows[:, 11] = self.core_down(d)
+        return rows
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """Readable single-message route (list of directed link ids)."""
+        row = self.route_matrix([src], [dst])[0]
+        return [int(x) for x in row if x >= 0]
+
+    # ------------------------------------------------------------------
+    # distances
+    # ------------------------------------------------------------------
+    def _pair_distance(self, s: np.ndarray, d: np.ndarray) -> np.ndarray:
+        """Vectorised core-to-core distance (no route materialisation)."""
+        w = self.weights
+        node_s, node_d = self.node_of(s), self.node_of(d)
+        gsock_s, gsock_d = self.global_socket_of(s), self.global_socket_of(d)
+        leaf_s, leaf_d = self.leaf_of_node(node_s), self.leaf_of_node(node_d)
+        lines = self.network.config.lines_per_core
+        line_s, line_d = leaf_s % lines, leaf_d % lines
+
+        out = np.zeros(np.broadcast(s, d).shape, dtype=np.float64)
+        same_core = s == d
+        diff_node = node_s != node_d
+        cross_socket = (~diff_node) & (gsock_s != gsock_d)
+        diff_leaf = leaf_s != leaf_d
+        diff_line = diff_leaf & (line_s != line_d)
+
+        out += np.where(same_core, 0.0, 2 * w[LinkClass.SMEM])
+        out += np.where(cross_socket, 2 * w[LinkClass.QPI], 0.0)
+        out += np.where(diff_node, 2 * w[LinkClass.HCA], 0.0)
+        out += np.where(diff_leaf, 2 * w[LinkClass.LEAF_LINE], 0.0)
+        out += np.where(diff_line, 2 * w[LinkClass.LINE_SPINE], 0.0)
+        return out
+
+    def distance(self, src, dst) -> np.ndarray:
+        """Distance between core id(s) ``src`` and ``dst`` (broadcasting)."""
+        s = np.asarray(src, dtype=np.int64)
+        d = np.asarray(dst, dtype=np.int64)
+        return self._pair_distance(s, d)
+
+    def distance_row(self, core: int) -> np.ndarray:
+        """Distances from ``core`` to every core (length ``n_cores``)."""
+        all_cores = np.arange(self.n_cores, dtype=np.int64)
+        return self._pair_distance(np.int64(core), all_cores)
+
+    def distance_matrix(self) -> np.ndarray:
+        """The full core-by-core distance matrix ``D`` (float32, cached).
+
+        This is the object the paper extracts once via hwloc + IB tools and
+        saves for future reference (§IV).
+        """
+        if self._distance_matrix is None:
+            cores = np.arange(self.n_cores, dtype=np.int64)
+            self._distance_matrix = self._pair_distance(
+                cores[:, None], cores[None, :]
+            ).astype(np.float32)
+        return self._distance_matrix
+
+    # ------------------------------------------------------------------
+    # channel classification (reporting / tests)
+    # ------------------------------------------------------------------
+    def channel_of(self, src: int, dst: int) -> str:
+        """Coarse name of the dominant channel between two cores."""
+        if not (0 <= src < self.n_cores and 0 <= dst < self.n_cores):
+            raise ValueError("core id out of range")
+        if src == dst:
+            return "self"
+        if self.node_of(src) == self.node_of(dst):
+            return "smem" if self.socket_of(src) == self.socket_of(dst) else "qpi"
+        leaf_s, leaf_d = int(self.leaf_of(src)), int(self.leaf_of(dst))
+        hops = self.network.switch_hops(leaf_s, leaf_d)
+        return {0: "leaf", 2: "line", 4: "spine"}[hops]
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterTopology({self.n_nodes} nodes x {self.cores_per_node} cores = "
+            f"{self.n_cores} cores; {self.network.describe()})"
+        )

@@ -1,0 +1,121 @@
+"""Simulated one-time physical-distance extraction (paper §IV, Fig. 7a).
+
+On the real system the paper extracts core-to-core distances once, using
+hwloc for the intra-node part and InfiniBand subnet tools for the inter-node
+part, then saves the matrix for future reference.  Here the hardware is a
+model, but the extraction step still *does the work*: each process walks the
+hwloc-like object tree of its node to locate its core, queries the simulated
+subnet manager for its node's switch coordinates, and the per-rank position
+records are then combined into the full distance matrix.  The cost is linear
+in the number of processes (as in Fig. 7a) plus a vectorised O(p^2) matrix
+assembly.
+
+:class:`DistanceExtractor` is the public entry point; it returns both the
+matrix and an :class:`ExtractionReport` with the measured wall time, which
+``benchmarks/bench_fig7_overheads.py`` uses to regenerate Fig. 7(a).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.topology.cluster import ClusterTopology
+
+__all__ = ["DistanceExtractor", "ExtractionReport", "CorePosition"]
+
+
+@dataclass(frozen=True)
+class CorePosition:
+    """Physical coordinates of one process, as a real extraction would see.
+
+    Combines the hwloc view (node, socket, core) with the subnet-manager
+    view (leaf switch, line switch).
+    """
+
+    core: int
+    node: int
+    socket: int
+    local_core: int
+    leaf: int
+    line: int
+
+
+@dataclass(frozen=True)
+class ExtractionReport:
+    """Outcome of one extraction run."""
+
+    n_processes: int
+    seconds: float
+    per_process_seconds: float
+
+
+class DistanceExtractor:
+    """Extracts the core-to-core distance matrix for a set of processes.
+
+    Parameters
+    ----------
+    cluster:
+        The system to interrogate.
+    """
+
+    def __init__(self, cluster: ClusterTopology) -> None:
+        self.cluster = cluster
+
+    # ------------------------------------------------------------------
+    def locate(self, core: int) -> CorePosition:
+        """Locate one core the way a process would at start-up.
+
+        Walks the node's hwloc-like object tree to find the Core object
+        (what ``hwloc_get_obj_by_type`` + ancestor walks do in the paper's
+        implementation), then asks the network model for the node's switch
+        coordinates (what ``ibtracert``-style tools provide).
+        """
+        cl = self.cluster
+        if not 0 <= core < cl.n_cores:
+            raise ValueError(f"core {core} out of range [0, {cl.n_cores})")
+        node = int(cl.node_of(core))
+        local = int(cl.local_core(core))
+        tree = cl.machine.object_tree()
+        socket = -1
+        found = False
+        for obj in tree.walk():
+            if obj.kind == "Package":
+                socket = obj.os_index
+            elif obj.kind == "Core" and obj.os_index == local:
+                found = True
+                break
+        if not found:  # pragma: no cover - structural invariant
+            raise RuntimeError(f"core {local} not present in machine tree")
+        leaf = int(cl.leaf_of_node(node))
+        line = cl.network.line_of_leaf(leaf)
+        return CorePosition(core=core, node=node, socket=socket, local_core=local, leaf=leaf, line=line)
+
+    def gather_positions(self, cores: Optional[List[int]] = None) -> List[CorePosition]:
+        """Per-process position records (the allgathered extraction data)."""
+        if cores is None:
+            cores = list(range(self.cluster.n_cores))
+        return [self.locate(c) for c in cores]
+
+    def extract(
+        self, cores: Optional[List[int]] = None
+    ) -> Tuple[np.ndarray, ExtractionReport]:
+        """Run the full one-time extraction.
+
+        Returns the distance matrix restricted to ``cores`` (all cores by
+        default, in the given order) and the timing report.
+        """
+        t0 = time.perf_counter()
+        positions = self.gather_positions(cores)
+        idx = np.array([p.core for p in positions], dtype=np.int64)
+        dist = self.cluster.distance(idx[:, None], idx[None, :]).astype(np.float32)
+        dt = time.perf_counter() - t0
+        report = ExtractionReport(
+            n_processes=len(positions),
+            seconds=dt,
+            per_process_seconds=dt / max(1, len(positions)),
+        )
+        return dist, report

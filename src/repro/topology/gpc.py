@@ -1,0 +1,82 @@
+"""Ready-made cluster configurations.
+
+:func:`gpc_cluster` reconstructs the SciNet GPC system the paper evaluated
+on (§VI): dual-socket quad-core Xeon nodes (each socket a NUMA domain with
+a shared L3) on a QDR InfiniBand fat-tree — 36-port leaf switches serving
+30 nodes each with 3 parallel uplinks into one line switch of each of two
+core switches; each core switch internally 18 line + 9 spine switches with
+2 parallel cables per line-spine pair.
+
+The paper's largest runs use 4096 processes = 512 fully subscribed nodes,
+which is what ``gpc_cluster()`` returns by default; pass ``n_nodes`` for
+the smaller 1024/2048-process configurations of Fig. 5-7.
+"""
+
+from __future__ import annotations
+
+from repro.topology.cluster import ClusterTopology
+from repro.topology.fattree import FatTreeConfig, FatTreeNetwork
+from repro.topology.hardware import MachineTopology
+
+__all__ = ["gpc_cluster", "small_cluster", "single_node_cluster"]
+
+#: Cores per GPC node (2 sockets x 4 cores).
+GPC_CORES_PER_NODE = 8
+
+
+def gpc_cluster(n_nodes: int = 512) -> ClusterTopology:
+    """The paper's GPC system, sized to ``n_nodes`` compute nodes.
+
+    ``n_nodes=512`` hosts the 4096-process experiments; 128 and 256 host
+    the 1024- and 2048-process ones.
+    """
+    machine = MachineTopology(n_sockets=2, cores_per_socket=4)
+    nodes_per_leaf = 30
+    n_leaves = max(2, -(-n_nodes // nodes_per_leaf))
+    network = FatTreeNetwork(
+        FatTreeConfig(
+            n_leaves=n_leaves,
+            nodes_per_leaf=nodes_per_leaf,
+            n_core_switches=2,
+            lines_per_core=18,
+            spines_per_core=9,
+            leaf_uplinks_per_core=3,
+            line_spine_multiplicity=2,
+        )
+    )
+    return ClusterTopology(n_nodes=n_nodes, machine=machine, network=network)
+
+
+def small_cluster(
+    n_nodes: int = 4,
+    n_sockets: int = 2,
+    cores_per_socket: int = 2,
+    nodes_per_leaf: int = 2,
+) -> ClusterTopology:
+    """A laptop-scale cluster for tests and examples.
+
+    Defaults: 4 nodes x 4 cores on 2 leaf switches — big enough to exercise
+    every channel class (smem, QPI, leaf, line/spine) yet small enough for
+    exhaustive property tests.
+    """
+    machine = MachineTopology(n_sockets=n_sockets, cores_per_socket=cores_per_socket)
+    n_leaves = max(2, -(-n_nodes // nodes_per_leaf))
+    network = FatTreeNetwork(
+        FatTreeConfig(
+            n_leaves=n_leaves,
+            nodes_per_leaf=nodes_per_leaf,
+            n_core_switches=2,
+            lines_per_core=3,
+            spines_per_core=2,
+            leaf_uplinks_per_core=2,
+            line_spine_multiplicity=1,
+        )
+    )
+    return ClusterTopology(n_nodes=n_nodes, machine=machine, network=network)
+
+
+def single_node_cluster(n_sockets: int = 2, cores_per_socket: int = 4) -> ClusterTopology:
+    """One node only — for intra-node (BGMH/BBMH) experiments."""
+    machine = MachineTopology(n_sockets=n_sockets, cores_per_socket=cores_per_socket)
+    network = FatTreeNetwork(FatTreeConfig(n_leaves=1, nodes_per_leaf=1))
+    return ClusterTopology(n_nodes=1, machine=machine, network=network)

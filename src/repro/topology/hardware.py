@@ -1,0 +1,129 @@
+"""Intra-node hardware model (the role hwloc plays in the paper).
+
+A compute node is modelled as a small tree: machine -> sockets (each a NUMA
+domain with a shared L3) -> cores.  The paper's GPC nodes are two quad-core
+Xeon sockets; :class:`MachineTopology` is parameterised so tests and the
+future-work experiments ("systems having a more complicated intra-node
+topology with a larger number of cores per node", paper §VII) can model
+wider nodes too.
+
+Distances follow the hwloc convention the paper relies on: hierarchy level
+at which two cores first share an ancestor.  The concrete weights live in
+:class:`~repro.topology.cluster.ClusterTopology`; this module only answers
+structural queries (which socket a core is on, which cores share a socket,
+an hwloc-like object tree for the simulated extraction step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+from repro.util.validation import check_positive
+
+__all__ = ["MachineTopology", "TopoObject"]
+
+
+@dataclass
+class TopoObject:
+    """One vertex of the hwloc-like object tree.
+
+    ``kind`` is an hwloc-ish type string ("Machine", "Package", "L3",
+    "Core"); ``os_index`` numbers objects of the same kind within the
+    machine.  The tree exists so the simulated distance-extraction step
+    (:mod:`repro.topology.distances`) has something real to traverse, the
+    way the paper's implementation walks the hwloc topology.
+    """
+
+    kind: str
+    os_index: int
+    children: List["TopoObject"] = field(default_factory=list)
+
+    def walk(self) -> Iterator["TopoObject"]:
+        """Depth-first iterator over this object and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TopoObject({self.kind}#{self.os_index}, {len(self.children)} children)"
+
+
+class MachineTopology:
+    """Topology of a single compute node.
+
+    Parameters
+    ----------
+    n_sockets:
+        Number of CPU packages; each is its own NUMA domain with a shared
+        L3 cache (matching the paper's GPC nodes).
+    cores_per_socket:
+        Cores per package.
+    """
+
+    def __init__(self, n_sockets: int = 2, cores_per_socket: int = 4) -> None:
+        check_positive("n_sockets", n_sockets)
+        check_positive("cores_per_socket", cores_per_socket)
+        self.n_sockets = int(n_sockets)
+        self.cores_per_socket = int(cores_per_socket)
+
+    @property
+    def n_cores(self) -> int:
+        """Total cores in the node."""
+        return self.n_sockets * self.cores_per_socket
+
+    def socket_of(self, core: int) -> int:
+        """Socket index hosting local core index ``core``."""
+        if not 0 <= core < self.n_cores:
+            raise ValueError(f"core {core} out of range [0, {self.n_cores})")
+        return core // self.cores_per_socket
+
+    def cores_of_socket(self, socket: int) -> range:
+        """Local core indices belonging to ``socket``."""
+        if not 0 <= socket < self.n_sockets:
+            raise ValueError(f"socket {socket} out of range [0, {self.n_sockets})")
+        start = socket * self.cores_per_socket
+        return range(start, start + self.cores_per_socket)
+
+    def same_socket(self, a: int, b: int) -> bool:
+        """True iff local cores ``a`` and ``b`` share a socket."""
+        return self.socket_of(a) == self.socket_of(b)
+
+    def hierarchy_level(self, a: int, b: int) -> int:
+        """hwloc-style separation level between two local cores.
+
+        0 = same core, 1 = same socket (shared L3), 2 = different sockets
+        (traffic crosses the inter-socket QPI interconnect).
+        """
+        if a == b:
+            return 0
+        return 1 if self.same_socket(a, b) else 2
+
+    def object_tree(self) -> TopoObject:
+        """Build the hwloc-like object tree for this node."""
+        machine = TopoObject("Machine", 0)
+        for s in range(self.n_sockets):
+            package = TopoObject("Package", s)
+            l3 = TopoObject("L3", s)
+            package.children.append(l3)
+            for c in self.cores_of_socket(s):
+                l3.children.append(TopoObject("Core", c))
+            machine.children.append(package)
+        return machine
+
+    def core_pairs(self) -> Iterator[Tuple[int, int]]:
+        """All unordered local core pairs (used by extraction and tests)."""
+        n = self.n_cores
+        for a in range(n):
+            for b in range(a + 1, n):
+                yield a, b
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MachineTopology)
+            and self.n_sockets == other.n_sockets
+            and self.cores_per_socket == other.cores_per_socket
+        )
+
+    def __repr__(self) -> str:
+        return f"MachineTopology(n_sockets={self.n_sockets}, cores_per_socket={self.cores_per_socket})"

@@ -1,0 +1,114 @@
+"""Persistence of extraction results and reorderings (paper §IV).
+
+"We assume physical distances are extracted once, and saved for future
+references."  This module is that save/load step: distance matrices go
+to compressed ``.npz`` with a topology fingerprint, reordering results to
+JSON.  Loading verifies the fingerprint so a matrix saved for one
+machine cannot silently be applied to another.
+"""
+
+from __future__ import annotations
+
+import json
+import hashlib
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.collectives.correctness import RankReordering
+from repro.mapping.reorder import ReorderResult
+from repro.topology.cluster import ClusterTopology
+
+__all__ = [
+    "topology_fingerprint",
+    "save_distances",
+    "load_distances",
+    "save_reordering",
+    "load_reordering",
+]
+
+PathLike = Union[str, Path]
+
+
+def topology_fingerprint(cluster: ClusterTopology) -> str:
+    """Stable identity of a cluster's structure (shape + wiring + weights)."""
+    cfg = cluster.network.config
+    payload = {
+        "n_nodes": cluster.n_nodes,
+        "n_sockets": cluster.machine.n_sockets,
+        "cores_per_socket": cluster.machine.cores_per_socket,
+        "n_leaves": cfg.n_leaves,
+        "nodes_per_leaf": cfg.nodes_per_leaf,
+        "n_core_switches": cfg.n_core_switches,
+        "lines_per_core": cfg.lines_per_core,
+        "spines_per_core": cfg.spines_per_core,
+        "leaf_uplinks_per_core": cfg.leaf_uplinks_per_core,
+        "line_spine_multiplicity": cfg.line_spine_multiplicity,
+        "weights": {k.name: v for k, v in sorted(cluster.weights.items())},
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+def save_distances(cluster: ClusterTopology, path: PathLike) -> Path:
+    """Save the cluster's distance matrix with its fingerprint."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        D=cluster.distance_matrix(),
+        fingerprint=np.bytes_(topology_fingerprint(cluster).encode()),
+    )
+    # np.savez appends .npz if missing
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_distances(cluster: ClusterTopology, path: PathLike) -> np.ndarray:
+    """Load a saved matrix, verifying it belongs to ``cluster``."""
+    with np.load(Path(path)) as data:
+        fp = bytes(data["fingerprint"]).decode()
+        if fp != topology_fingerprint(cluster):
+            raise ValueError(
+                f"distance file {path} was extracted for a different topology "
+                f"(fingerprint {fp} != {topology_fingerprint(cluster)})"
+            )
+        D = np.array(data["D"])
+    if D.shape != (cluster.n_cores, cluster.n_cores):
+        raise ValueError(f"distance matrix shape {D.shape} does not fit the cluster")
+    return D
+
+
+# ----------------------------------------------------------------------
+def save_reordering(result: ReorderResult, path: PathLike) -> Path:
+    """Save a reordering (layout, mapping, provenance) as JSON."""
+    path = Path(path)
+    payload = {
+        "pattern": result.pattern,
+        "mapper": result.mapper_name,
+        "map_seconds": result.map_seconds,
+        "graph_seconds": result.graph_seconds,
+        "layout": result.reordering.layout.tolist(),
+        "mapping": result.reordering.mapping.tolist(),
+    }
+    path.write_text(json.dumps(payload, indent=1))
+    return path
+
+
+def load_reordering(path: PathLike) -> ReorderResult:
+    """Load a saved reordering; validates it is a consistent permutation."""
+    payload = json.loads(Path(path).read_text())
+    for key in ("pattern", "mapper", "layout", "mapping"):
+        if key not in payload:
+            raise ValueError(f"reordering file {path} is missing {key!r}")
+    reordering = RankReordering(
+        layout=np.asarray(payload["layout"], dtype=np.int64),
+        mapping=np.asarray(payload["mapping"], dtype=np.int64),
+    )
+    return ReorderResult(
+        reordering=reordering,
+        pattern=payload["pattern"],
+        mapper_name=payload["mapper"],
+        map_seconds=float(payload.get("map_seconds", 0.0)),
+        graph_seconds=float(payload.get("graph_seconds", 0.0)),
+    )

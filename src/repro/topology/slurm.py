@@ -1,0 +1,128 @@
+"""SLURM-style process distribution (paper §I motivation).
+
+"Resource management tools such as SLURM [7] and Hydra [8] provide
+various options for choosing the number and order of nodes, sockets, and
+cores assigned to a job."  This module models SLURM's ``--distribution``
+option: a colon-separated pair of policies, the first for ranks across
+*nodes*, the second for ranks across *sockets* within a node:
+
+* node level: ``block`` (fill a node before the next) or ``cyclic``
+  (round-robin over nodes);
+* socket level: ``block`` (fill a socket first — the paper's *bunch*) or
+  ``cyclic`` / ``fcyclic`` (round-robin over sockets — the paper's
+  *scatter*);
+* additionally ``plane=N``: dispatch blocks of N consecutive ranks per
+  node in round-robin order (SLURM's plane distribution).
+
+``layout_from_distribution(cluster, p, "cyclic:block")`` is therefore the
+generalisation of the four named layouts in :mod:`repro.mapping.initial`
+(``block:block`` = block-bunch, ``cyclic:fcyclic`` = cyclic-scatter, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.topology.cluster import ClusterTopology
+
+__all__ = ["Distribution", "parse_distribution", "layout_from_distribution"]
+
+_NODE_POLICIES = ("block", "cyclic", "plane")
+_SOCKET_POLICIES = ("block", "cyclic", "fcyclic")
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """A parsed ``--distribution`` value."""
+
+    node_policy: str
+    socket_policy: str
+    plane_size: int = 0
+
+    def __str__(self) -> str:
+        first = f"plane={self.plane_size}" if self.node_policy == "plane" else self.node_policy
+        return f"{first}:{self.socket_policy}"
+
+
+def parse_distribution(spec: str) -> Distribution:
+    """Parse a SLURM-style distribution string.
+
+    Accepts ``"block"``, ``"cyclic:fcyclic"``, ``"plane=4:block"``, etc.
+    The socket part defaults to ``block`` (SLURM's default) when omitted.
+    """
+    if not spec or not isinstance(spec, str):
+        raise ValueError(f"empty distribution spec {spec!r}")
+    parts = spec.lower().split(":")
+    if len(parts) > 2:
+        raise ValueError(f"too many levels in distribution {spec!r}")
+    node_part = parts[0].strip()
+    socket_part = parts[1].strip() if len(parts) == 2 else "block"
+
+    plane_size = 0
+    if node_part.startswith("plane"):
+        node_policy = "plane"
+        if "=" not in node_part:
+            raise ValueError(f"plane distribution needs a size: {spec!r}")
+        try:
+            plane_size = int(node_part.split("=", 1)[1])
+        except ValueError:
+            raise ValueError(f"bad plane size in {spec!r}")
+        if plane_size < 1:
+            raise ValueError(f"plane size must be >= 1, got {plane_size}")
+    else:
+        node_policy = node_part
+        if node_policy not in ("block", "cyclic"):
+            raise ValueError(f"unknown node-level policy {node_part!r}")
+
+    if socket_part not in _SOCKET_POLICIES:
+        raise ValueError(f"unknown socket-level policy {socket_part!r}")
+    return Distribution(node_policy=node_policy, socket_policy=socket_part, plane_size=plane_size)
+
+
+def _socket_local_core(cluster: ClusterTopology, j: np.ndarray, policy: str) -> np.ndarray:
+    """Within-node core index of the j-th rank assigned to a node."""
+    if policy == "block":
+        return j
+    ns = cluster.machine.n_sockets
+    cps = cluster.machine.cores_per_socket
+    return (j % ns) * cps + j // ns
+
+
+def layout_from_distribution(
+    cluster: ClusterTopology, p: int, spec: str
+) -> np.ndarray:
+    """Build a layout array ``L[rank] = core`` from a distribution spec."""
+    if p < 1:
+        raise ValueError(f"need p >= 1, got {p}")
+    if p > cluster.n_cores:
+        raise ValueError(f"p={p} exceeds the cluster's {cluster.n_cores} cores")
+    dist = parse_distribution(spec)
+    cpn = cluster.cores_per_node
+    n_nodes = -(-p // cpn)
+    r = np.arange(p, dtype=np.int64)
+
+    if dist.node_policy == "block":
+        node = r // cpn
+        j = r % cpn
+    elif dist.node_policy == "cyclic":
+        node = r % n_nodes
+        j = r // n_nodes
+    else:  # plane
+        plane = dist.plane_size
+        block_id = r // plane
+        node = block_id % n_nodes
+        j = (block_id // n_nodes) * plane + r % plane
+        if np.any(j >= cpn):
+            raise ValueError(
+                f"plane={plane} over {n_nodes} nodes overflows a node for p={p}; "
+                f"add nodes or shrink the plane"
+            )
+
+    local = _socket_local_core(cluster, j, dist.socket_policy)
+    layout = node * cpn + local
+    if np.unique(layout).size != p:  # pragma: no cover - structural invariant
+        raise RuntimeError("distribution produced a non-injective layout")
+    return layout

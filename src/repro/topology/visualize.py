@@ -1,0 +1,72 @@
+"""ASCII rendering of cluster topologies.
+
+Draws the hierarchy the heuristics see — fat-tree wiring down to nodes,
+and the socket/core structure of a node — so a reader can eyeball the
+machine a sweep ran on (``python -m repro topo`` uses it).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.topology.cluster import ClusterTopology
+
+__all__ = ["render_tree", "render_node", "render_wiring"]
+
+
+def render_node(cluster: ClusterTopology, node: int = 0) -> str:
+    """One compute node: sockets and cores (hwloc-lstopo flavoured)."""
+    m = cluster.machine
+    if not 0 <= node < cluster.n_nodes:
+        raise ValueError(f"node {node} out of range [0, {cluster.n_nodes})")
+    base = node * cluster.cores_per_node
+    lines = [f"node{node}"]
+    for s in range(m.n_sockets):
+        cores = [base + c for c in m.cores_of_socket(s)]
+        core_str = " ".join(f"[core {c}]" for c in cores)
+        lines.append(f"  socket{s} (L3): {core_str}")
+    return "\n".join(lines)
+
+
+def render_tree(cluster: ClusterTopology, max_leaves: int = 4, max_nodes: int = 4) -> str:
+    """The switch hierarchy with per-level fan-outs (elided with ``...``)."""
+    cfg = cluster.network.config
+    lines = [
+        f"{cfg.n_core_switches} core switches "
+        f"(each: {cfg.lines_per_core} line + {cfg.spines_per_core} spine, "
+        f"{cfg.line_spine_multiplicity} cable(s) per line-spine pair)"
+    ]
+    n_leaves_used = -(-cluster.n_nodes // cfg.nodes_per_leaf)
+    shown_leaves = min(n_leaves_used, max_leaves)
+    for leaf in range(shown_leaves):
+        line = cluster.network.line_of_leaf(leaf)
+        lines.append(
+            f"└─ leaf{leaf} ({cfg.leaf_uplinks_per_core} cables to line{line} "
+            f"of each core switch)"
+        )
+        first = leaf * cfg.nodes_per_leaf
+        nodes = [n for n in range(first, min(first + cfg.nodes_per_leaf, cluster.n_nodes))]
+        for n in nodes[:max_nodes]:
+            cores = cluster.cores_of_node(n)
+            lines.append(f"   └─ node{n} (cores {cores.start}-{cores.stop - 1})")
+        if len(nodes) > max_nodes:
+            lines.append(f"   └─ ... {len(nodes) - max_nodes} more nodes")
+    if n_leaves_used > shown_leaves:
+        lines.append(f"└─ ... {n_leaves_used - shown_leaves} more leaves")
+    return "\n".join(lines)
+
+
+def render_wiring(cluster: ClusterTopology) -> str:
+    """Oversubscription summary: the numbers behind the blocking factor."""
+    cfg = cluster.network.config
+    uplinks = cfg.n_core_switches * cfg.leaf_uplinks_per_core
+    blocking = cfg.nodes_per_leaf / uplinks
+    lines = [
+        f"nodes per leaf:        {cfg.nodes_per_leaf}",
+        f"uplinks per leaf:      {uplinks} "
+        f"({cfg.leaf_uplinks_per_core} to each of {cfg.n_core_switches} core switches)",
+        f"blocking factor:       {blocking:g}:1",
+        f"directed links total:  {cluster.n_links} "
+        f"({cluster.network.n_links} switch cables)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Small shared utilities: bit tricks, array helpers, seeded RNG, validation.
+
+These helpers are deliberately dependency-light; everything heavier lives in
+the domain packages (:mod:`repro.topology`, :mod:`repro.simmpi`, ...).
+"""
+
+from repro.util.bits import (
+    is_power_of_two,
+    ilog2,
+    ceil_log2,
+    next_power_of_two,
+    highest_power_of_two_below,
+    bit_reverse,
+)
+from repro.util.rng import make_rng, spawn_rng
+from repro.util.validation import (
+    check_permutation,
+    check_positive,
+    check_nonnegative,
+    check_in_range,
+)
+
+__all__ = [
+    "is_power_of_two",
+    "ilog2",
+    "ceil_log2",
+    "next_power_of_two",
+    "highest_power_of_two_below",
+    "bit_reverse",
+    "make_rng",
+    "spawn_rng",
+    "check_permutation",
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+]

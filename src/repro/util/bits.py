@@ -1,0 +1,67 @@
+"""Bit-manipulation helpers used by power-of-two structured collectives.
+
+Recursive doubling, binomial trees and Bruck's algorithm all index their
+communication partners through powers of two and XOR masks; these helpers
+keep that arithmetic in one place.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "is_power_of_two",
+    "ilog2",
+    "ceil_log2",
+    "next_power_of_two",
+    "highest_power_of_two_below",
+    "bit_reverse",
+]
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True iff ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def ilog2(n: int) -> int:
+    """Exact integer log2 of a power of two.
+
+    Raises :class:`ValueError` if ``n`` is not a positive power of two, so
+    callers that require power-of-two sizes (e.g. recursive doubling) fail
+    loudly instead of silently truncating.
+    """
+    if not is_power_of_two(n):
+        raise ValueError(f"ilog2 requires a positive power of two, got {n}")
+    return n.bit_length() - 1
+
+
+def ceil_log2(n: int) -> int:
+    """Smallest k such that 2**k >= n (n must be positive)."""
+    if n <= 0:
+        raise ValueError(f"ceil_log2 requires a positive integer, got {n}")
+    return (n - 1).bit_length()
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two >= n (n must be positive)."""
+    return 1 << ceil_log2(n)
+
+
+def highest_power_of_two_below(n: int) -> int:
+    """Largest power of two strictly less than ``n`` (n must be >= 2)."""
+    if n < 2:
+        raise ValueError(f"need n >= 2, got {n}")
+    return 1 << ((n - 1).bit_length() - 1)
+
+
+def bit_reverse(value: int, width: int) -> int:
+    """Reverse the low ``width`` bits of ``value``.
+
+    Used by tests that cross-check recursive-doubling pair structure.
+    """
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    out = 0
+    for _ in range(width):
+        out = (out << 1) | (value & 1)
+        value >>= 1
+    return out

@@ -1,0 +1,35 @@
+"""Seeded random-number helpers.
+
+The mapping heuristics break distance ties "randomly" (paper §V-A); for
+reproducible experiments every randomized component takes a
+:class:`numpy.random.Generator` created here from an explicit seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn_rng"]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: RngLike = 0) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    Accepts an integer seed, an existing generator (returned unchanged), or
+    ``None`` (fresh OS entropy — only for exploratory use; benches and tests
+    always pass explicit seeds).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, n: int) -> list:
+    """Spawn ``n`` statistically independent child generators."""
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]

@@ -1,0 +1,52 @@
+"""Argument-validation helpers with uniform error messages."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "check_permutation",
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+]
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise :class:`ValueError` unless ``value`` > 0."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def check_nonnegative(name: str, value: float) -> None:
+    """Raise :class:`ValueError` unless ``value`` >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+
+
+def check_in_range(name: str, value: int, lo: int, hi: int) -> None:
+    """Raise :class:`ValueError` unless lo <= value < hi."""
+    if not (lo <= value < hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}), got {value}")
+
+
+def check_permutation(perm: Sequence[int], n: int, name: str = "mapping") -> np.ndarray:
+    """Validate that ``perm`` is a permutation of 0..n-1; return it as an array.
+
+    Every mapping produced by a heuristic must be a bijection between ranks
+    and cores; a silent repeat or hole would corrupt collective results, so
+    this check runs on every mapper output.
+    """
+    arr = np.asarray(perm, dtype=np.int64)
+    if arr.shape != (n,):
+        raise ValueError(f"{name} must have shape ({n},), got {arr.shape}")
+    seen = np.zeros(n, dtype=bool)
+    if arr.min(initial=0) < 0 or arr.max(initial=0) >= n:
+        raise ValueError(f"{name} has entries outside [0, {n})")
+    seen[arr] = True
+    if not seen.all():
+        missing = int(np.flatnonzero(~seen)[0])
+        raise ValueError(f"{name} is not a permutation of 0..{n - 1} (e.g. {missing} missing)")
+    return arr

@@ -1,0 +1,184 @@
+"""Application trace and runner tests (paper §VI-B substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.matvec import MatVecApp
+from repro.apps.nbody import NBodyApp
+from repro.apps.trace import AppPhase, AppResult, AppRunner, AppTrace
+from repro.evaluation.evaluator import AllgatherEvaluator
+from repro.mapping.initial import block_bunch, cyclic_scatter
+
+
+@pytest.fixture(scope="module")
+def evaluator(mid_cluster):
+    return AllgatherEvaluator(mid_cluster, rng=0)
+
+
+class TestAppPhase:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AppPhase(n_steps=-1, block_bytes=8, compute_seconds=0)
+        with pytest.raises(ValueError):
+            AppPhase(n_steps=1, block_bytes=0, compute_seconds=0)
+        with pytest.raises(ValueError):
+            AppPhase(n_steps=1, block_bytes=8, compute_seconds=-1)
+
+
+class TestNBody:
+    def test_paper_call_count(self):
+        assert NBodyApp().steps == 358
+        assert NBodyApp().trace().n_allgathers == 358
+
+    def test_block_bytes(self):
+        app = NBodyApp(particles_per_rank=512, bytes_per_particle=16)
+        assert app.block_bytes == 8192
+
+    def test_compute_model(self):
+        app = NBodyApp(particles_per_rank=100, neighbours=10, flops_per_interaction=2, flops_rate=1e3)
+        assert app.compute_seconds_per_step == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NBodyApp(particles_per_rank=0)
+        with pytest.raises(ValueError):
+            NBodyApp(flops_rate=-1)
+
+
+class TestMatVec:
+    def test_sizes(self):
+        app = MatVecApp(rows_per_rank=128, n_processes=64)
+        assert app.n == 8192
+        assert app.block_bytes == 1024
+
+    def test_compute_model(self):
+        app = MatVecApp(rows_per_rank=10, n_processes=10, flops_rate=1e3)
+        assert app.compute_seconds_per_iteration == pytest.approx(2 * 10 * 100 / 1e3)
+
+
+class TestRunner:
+    def test_default_run_decomposition(self, evaluator, mid_cluster):
+        app = NBodyApp(steps=10)
+        runner = AppRunner(evaluator, block_bunch(mid_cluster, 64))
+        res = runner.run(app.trace(), mode="default")
+        assert res.total_seconds == pytest.approx(res.compute_seconds + res.comm_seconds)
+        assert res.reorder_seconds == 0.0
+        assert res.n_allgathers == 10
+
+    def test_reordered_counts_overhead_once(self, evaluator, mid_cluster):
+        trace = AppTrace(
+            name="two-phase",
+            phases=[
+                AppPhase(5, 8192.0, 0.001),
+                AppPhase(5, 8192.0, 0.001),   # same allgather config
+            ],
+        )
+        runner = AppRunner(evaluator, cyclic_scatter(mid_cluster, 64))
+        res = runner.run(trace, mode="heuristic")
+        single = runner.run(
+            AppTrace(name="one", phases=[AppPhase(10, 8192.0, 0.001)]), mode="heuristic"
+        )
+        assert res.reorder_seconds == pytest.approx(single.reorder_seconds, rel=0.9)
+
+    def test_reordering_helps_cyclic(self, evaluator, mid_cluster):
+        """Fig. 5 shape: reordering cuts app time under cyclic layouts."""
+        app = NBodyApp(steps=50)
+        runner = AppRunner(evaluator, cyclic_scatter(mid_cluster, 64))
+        base = runner.run(app.trace(), mode="default")
+        tuned = runner.run(app.trace(), mode="heuristic")
+        assert tuned.total_seconds < base.total_seconds
+        assert tuned.normalized_to(base) < 1.0
+
+    def test_no_harm_on_block(self, evaluator, mid_cluster):
+        """Fig. 5(a) shape: block-bunch already ideal; same execution time."""
+        app = NBodyApp(steps=50)
+        runner = AppRunner(evaluator, block_bunch(mid_cluster, 64))
+        base = runner.run(app.trace(), mode="default")
+        tuned = runner.run(app.trace(), mode="heuristic")
+        assert tuned.total_seconds <= base.total_seconds * 1.1
+
+    def test_hierarchical_mode(self, evaluator, mid_cluster):
+        app = MatVecApp(rows_per_rank=32, n_processes=64, iterations=5)
+        runner = AppRunner(evaluator, block_bunch(mid_cluster, 64))
+        res = runner.run(app.trace(), mode="heuristic", hierarchical=True)
+        assert res.total_seconds > 0
+
+    def test_result_str(self, evaluator, mid_cluster):
+        app = NBodyApp(steps=2)
+        runner = AppRunner(evaluator, block_bunch(mid_cluster, 64))
+        text = str(runner.run(app.trace(), mode="default"))
+        assert "nbody" in text and "allgathers" in text
+
+
+class TestMixedCollectiveTraces:
+    def test_bcast_phase_validation(self):
+        with pytest.raises(ValueError, match="collective"):
+            AppPhase(1, 64, 0.0, collective="alltoall")
+        AppPhase(1, 64, 0.0, collective="bcast")  # valid
+
+    def test_mixed_trace_runs(self, evaluator, mid_cluster):
+        trace = AppTrace(
+            name="solver",
+            phases=[
+                AppPhase(5, 4096.0, 0.001),                       # allgather steps
+                AppPhase(5, 1 << 20, 0.001, collective="bcast"),  # parameter bcast
+            ],
+        )
+        runner = AppRunner(evaluator, cyclic_scatter(mid_cluster, 64))
+        base = runner.run(trace, mode="default")
+        tuned = runner.run(trace, mode="heuristic")
+        assert base.comm_seconds > 0
+        # the allgather phases improve a lot; the bcast phase is close to
+        # neutral and its random tie-breaking can wobble slightly
+        assert tuned.total_seconds < base.total_seconds * 1.02
+
+    def test_reorder_overhead_counted_per_collective(self, evaluator, mid_cluster):
+        mixed = AppTrace(
+            name="m",
+            phases=[
+                AppPhase(2, 4096.0, 0.0),
+                AppPhase(2, 1024.0, 0.0, collective="bcast"),
+            ],
+        )
+        only_ag = AppTrace(name="a", phases=[AppPhase(2, 4096.0, 0.0)])
+        runner = AppRunner(evaluator, cyclic_scatter(mid_cluster, 64))
+        r_mixed = runner.run(mixed, mode="heuristic")
+        r_ag = runner.run(only_ag, mode="heuristic")
+        # the mixed trace pays for two reordered communicators
+        assert r_mixed.reorder_seconds > r_ag.reorder_seconds
+
+
+class TestIterativeSolver:
+    def test_trace_structure(self):
+        from repro.apps.solver import IterativeSolverApp
+
+        app = IterativeSolverApp(iterations=90, restart=30)
+        trace = app.trace()
+        bcasts = [ph for ph in trace.phases if ph.collective == "bcast"]
+        ags = [ph for ph in trace.phases if ph.collective == "allgather"]
+        assert len(bcasts) == 3
+        assert sum(ph.n_steps for ph in ags) == 90
+
+    def test_tail_iterations_kept(self):
+        from repro.apps.solver import IterativeSolverApp
+
+        app = IterativeSolverApp(iterations=100, restart=30)
+        ags = [ph for ph in app.trace().phases if ph.collective == "allgather"]
+        assert sum(ph.n_steps for ph in ags) == 100
+
+    def test_validation(self):
+        from repro.apps.solver import IterativeSolverApp
+
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            IterativeSolverApp(restart=0)
+
+    def test_runs_and_benefits_from_reordering(self, evaluator, mid_cluster):
+        from repro.apps.solver import IterativeSolverApp
+
+        app = IterativeSolverApp(n_processes=64, iterations=30, restart=10)
+        runner = AppRunner(evaluator, cyclic_scatter(mid_cluster, 64))
+        base = runner.run(app.trace(), mode="default")
+        tuned = runner.run(app.trace(), mode="heuristic")
+        assert tuned.total_seconds <= base.total_seconds * 1.05

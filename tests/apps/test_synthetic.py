@@ -1,0 +1,86 @@
+"""Synthetic workload generator + pipeline fuzz tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.synthetic import SyntheticTraceConfig, generate_trace, generate_traces
+from repro.apps.trace import AppRunner
+from repro.evaluation.evaluator import AllgatherEvaluator
+from repro.mapping.initial import cyclic_scatter
+
+
+@pytest.fixture(scope="module")
+def evaluator(mid_cluster):
+    return AllgatherEvaluator(mid_cluster, rng=0)
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        a = generate_trace(rng=7)
+        b = generate_trace(rng=7)
+        assert [(p.n_steps, p.block_bytes, p.collective) for p in a.phases] == [
+            (p.n_steps, p.block_bytes, p.collective) for p in b.phases
+        ]
+
+    def test_seeds_differ(self):
+        a = generate_trace(rng=1)
+        b = generate_trace(rng=2)
+        assert [p.block_bytes for p in a.phases] != [p.block_bytes for p in b.phases]
+
+    def test_sizes_within_bounds(self):
+        cfg = SyntheticTraceConfig(min_bytes=64, max_bytes=4096, n_phases=20)
+        trace = generate_trace(cfg, rng=3)
+        for ph in trace.phases:
+            assert 64 <= ph.block_bytes <= 4096
+
+    def test_bcast_mixing(self):
+        cfg = SyntheticTraceConfig(n_phases=50, bcast_probability=0.5)
+        trace = generate_trace(cfg, rng=5)
+        kinds = {ph.collective for ph in trace.phases}
+        assert kinds == {"allgather", "bcast"}
+
+    def test_pure_allgather(self):
+        cfg = SyntheticTraceConfig(n_phases=20, bcast_probability=0.0)
+        trace = generate_trace(cfg, rng=5)
+        assert all(ph.collective == "allgather" for ph in trace.phases)
+
+    def test_family(self):
+        traces = generate_traces(5, rng=0)
+        assert len(traces) == 5
+        assert len({t.name for t in traces}) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(n_phases=0)
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(min_bytes=100, max_bytes=10)
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(bcast_probability=1.5)
+        with pytest.raises(ValueError):
+            generate_traces(-1)
+
+
+class TestPipelineFuzz:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_runner_handles_any_trace(self, evaluator, mid_cluster, seed):
+        """Every generated workload prices cleanly under every regime and
+        the heuristic never loses catastrophically."""
+        trace = generate_trace(SyntheticTraceConfig(n_phases=3), rng=seed)
+        runner = AppRunner(evaluator, cyclic_scatter(mid_cluster, 64))
+        base = runner.run(trace, mode="default")
+        tuned = runner.run(trace, mode="heuristic")
+        assert base.total_seconds > 0 and tuned.total_seconds > 0
+        assert tuned.comm_seconds <= base.comm_seconds * 1.35
+
+    def test_mean_improvement_over_family(self, evaluator, mid_cluster):
+        """Across a workload family on a cyclic layout, reordering helps
+        in aggregate (communication time, overheads excluded)."""
+        runner = AppRunner(evaluator, cyclic_scatter(mid_cluster, 64))
+        ratios = []
+        for trace in generate_traces(8, rng=1):
+            base = runner.run(trace, mode="default")
+            tuned = runner.run(trace, mode="heuristic")
+            ratios.append(tuned.comm_seconds / base.comm_seconds)
+        assert np.mean(ratios) < 1.0

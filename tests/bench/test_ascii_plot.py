@@ -1,0 +1,64 @@
+"""ASCII chart tests."""
+
+import pytest
+
+from repro.bench.ascii_plot import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = line_chart(
+            {"a": [0, 10, 20, 30], "b": [30, 20, 10, 0]},
+            x_labels=["1", "2", "3", "4"],
+            title="demo",
+        )
+        assert "demo" in out
+        assert "o=a" in out and "x=b" in out
+        assert "30" in out  # max label
+
+    def test_zero_line_drawn(self):
+        out = line_chart({"a": [-10, 0, 10]}, ["x", "y", "z"])
+        assert "-" in out
+
+    def test_flat_series_ok(self):
+        out = line_chart({"a": [5, 5, 5]}, ["1", "2", "3"])
+        assert "o" in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            line_chart({"a": [1, 2]}, ["x"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({}, ["x"])
+        with pytest.raises(ValueError):
+            line_chart({"a": [1]}, ["x"], height=1)
+
+    def test_marker_positions_monotone(self):
+        """An increasing series places markers in increasing rows."""
+        out = line_chart({"a": [0, 50, 100]}, ["1", "2", "3"], height=5)
+        rows = [i for i, line in enumerate(out.splitlines()) if "o" in line]
+        assert rows == sorted(rows)  # top of chart first
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        out = bar_chart({"default": 1.0, "Hrstc": 0.52}, title="fig5", unit="x")
+        assert "fig5" in out
+        assert out.count("#") > 0
+        assert "0.52x" in out
+
+    def test_longest_bar_is_max(self):
+        out = bar_chart({"a": 2.0, "b": 1.0})
+        lines = out.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=2)
+
+    def test_zero_values_ok(self):
+        out = bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in out

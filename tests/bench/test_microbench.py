@@ -1,0 +1,79 @@
+"""Sweep harness and reporting tests."""
+
+import pytest
+
+from repro.bench.microbench import OSU_SIZES, SweepPoint, sweep_hierarchical, sweep_nonhierarchical
+from repro.bench.report import format_series_csv, format_sweep_table, size_label
+from repro.evaluation.evaluator import AllgatherEvaluator
+
+
+@pytest.fixture(scope="module")
+def evaluator(mid_cluster):
+    return AllgatherEvaluator(mid_cluster, rng=0)
+
+
+class TestSizes:
+    def test_osu_range(self):
+        assert OSU_SIZES[0] == 1
+        assert OSU_SIZES[-1] == 256 * 1024
+        assert len(OSU_SIZES) == 19
+
+    def test_size_label(self):
+        assert size_label(1) == "1"
+        assert size_label(512) == "512"
+        assert size_label(1024) == "1K"
+        assert size_label(256 * 1024) == "256K"
+        assert size_label(1 << 20) == "1M"
+
+
+class TestSweeps:
+    def test_nonhierarchical_point_count(self, evaluator):
+        pts = sweep_nonhierarchical(
+            evaluator, 64, layouts=["block-bunch", "cyclic-bunch"],
+            sizes=[64, 1 << 14], mappers=["heuristic"], strategies=["initcomm"],
+        )
+        assert len(pts) == 2 * 2
+        assert {p.layout for p in pts} == {"block-bunch", "cyclic-bunch"}
+
+    def test_series_labels(self, evaluator):
+        pts = sweep_nonhierarchical(
+            evaluator, 64, layouts=["block-bunch"], sizes=[64],
+            mappers=["heuristic", "scotch"], strategies=["initcomm", "endshfl"],
+        )
+        assert {p.series for p in pts} == {
+            "Hrstc+initComm", "Hrstc+endShfl", "Scotch+initComm", "Scotch+endShfl",
+        }
+
+    def test_hierarchical_sweep(self, evaluator):
+        pts = sweep_hierarchical(
+            evaluator, 64, layouts=["block-scatter"], sizes=[64],
+            mappers=["heuristic"], strategies=["initcomm"], intra="linear",
+        )
+        assert all(p.hierarchical for p in pts)
+        assert all(p.intra == "linear" for p in pts)
+
+    def test_improvement_math(self):
+        pt = SweepPoint("l", 64, "heuristic", "initcomm", False, "binomial", "ring", 100.0, 75.0)
+        assert pt.improvement_pct == pytest.approx(25.0)
+
+
+class TestReport:
+    def test_table_contains_panels_and_sizes(self, evaluator):
+        pts = sweep_nonhierarchical(
+            evaluator, 64, layouts=["cyclic-bunch"], sizes=[1024, 1 << 14],
+            mappers=["heuristic"], strategies=["initcomm"],
+        )
+        text = format_sweep_table(pts, title="Fig test")
+        assert "Fig test" in text
+        assert "cyclic-bunch" in text
+        assert "1K" in text and "16K" in text
+        assert "Hrstc+initComm" in text
+
+    def test_csv(self, evaluator):
+        pts = sweep_nonhierarchical(
+            evaluator, 64, layouts=["block-bunch"], sizes=[64],
+            mappers=["heuristic"], strategies=["initcomm"],
+        )
+        csv = format_series_csv(pts)
+        assert csv.splitlines()[0].startswith("layout,")
+        assert len(csv.splitlines()) == 2

@@ -1,0 +1,55 @@
+"""Reproduction-suite runner tests."""
+
+import pytest
+
+from repro.bench.suite import QUICK_SIZES, SuiteResult, run_suite
+
+
+@pytest.fixture(scope="module")
+def suite_result():
+    return run_suite(n_nodes=4, mappers=("heuristic",))
+
+
+class TestRunSuite:
+    def test_all_artefacts_present(self, suite_result):
+        assert set(suite_result.reports) == {
+            "fig3_nonhierarchical",
+            "fig4_hierarchical",
+            "fig5_application",
+            "fig7_overheads",
+        }
+        assert suite_result.scale_p == 32
+        assert suite_result.seconds > 0
+
+    def test_reports_have_content(self, suite_result):
+        assert "block-bunch" in suite_result.reports["fig3_nonhierarchical"]
+        assert "hierarchical" in suite_result.reports["fig4_hierarchical"]
+        assert "nbody" in suite_result.reports["fig5_application"]
+        assert "extraction" in suite_result.reports["fig7_overheads"]
+
+    def test_write(self, suite_result, tmp_path):
+        paths = suite_result.write(tmp_path)
+        assert len(paths) == 4
+        for p in paths:
+            assert p.exists()
+            assert p.read_text().strip()
+
+    def test_summary(self, suite_result):
+        text = suite_result.summary()
+        assert "p=32" in text
+        assert "4 artefacts" in text
+
+    def test_separate_app_scale(self):
+        result = run_suite(n_nodes=4, app_nodes=2, mappers=("heuristic",))
+        assert "p=16" in result.reports["fig5_application"]
+
+
+class TestCliReproduce:
+    def test_cli(self, capsys, tmp_path):
+        from repro.cli import main
+
+        rc = main(["reproduce", "--nodes", "2", "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "reproduction suite" in out
+        assert (tmp_path / "fig3_nonhierarchical.txt").exists()

@@ -1,0 +1,99 @@
+"""Cross-algorithm conservation and consistency properties.
+
+Every allgather algorithm, whatever its stage structure, must move the
+same *minimum* information: each of the ``p`` blocks must reach ``p-1``
+other ranks.  These tests pin the family-wide invariants that individual
+algorithm tests cannot see.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.allgather_bruck import BruckAllgather
+from repro.collectives.allgather_rd import RecursiveDoublingAllgather
+from repro.collectives.allgather_rd_nonpow2 import FoldedRecursiveDoublingAllgather
+from repro.collectives.allgather_ring import RingAllgather
+from repro.collectives.hierarchical import HierarchicalAllgather, contiguous_groups
+from repro.collectives.multilevel import MultiLevelAllgather, socket_groups_for
+
+FLAT_ALGORITHMS = [
+    RingAllgather(),
+    BruckAllgather(),
+    FoldedRecursiveDoublingAllgather(),
+]
+
+
+def lower_bound_units(p):
+    """Every block must traverse at least p-1 rank boundaries."""
+    return p * (p - 1)
+
+
+class TestVolumeConservation:
+    @pytest.mark.parametrize("alg", FLAT_ALGORITHMS, ids=lambda a: a.name)
+    @pytest.mark.parametrize("p", [5, 8, 12, 16])
+    def test_at_least_information_lower_bound(self, alg, p):
+        assert alg.schedule(p).total_units() >= lower_bound_units(p)
+
+    @pytest.mark.parametrize("p", [8, 16, 32])
+    def test_rd_and_ring_are_volume_optimal(self, p):
+        """Both classic algorithms move exactly the lower bound."""
+        assert RecursiveDoublingAllgather().schedule(p).total_units() == lower_bound_units(p)
+        assert RingAllgather().schedule(p).total_units() == lower_bound_units(p)
+
+    @pytest.mark.parametrize("alg", FLAT_ALGORITHMS, ids=lambda a: a.name)
+    @pytest.mark.parametrize("p", [6, 8, 13])
+    def test_timing_view_matches_execution_view(self, alg, p):
+        sched = alg.schedule(p).total_units()
+        stages = sum(s.total_units() for s in alg.stages(p))
+        assert sched == pytest.approx(stages)
+
+    def test_hierarchical_volume_exceeds_flat(self):
+        """The leader scheme re-ships blocks (gather + exchange + bcast),
+        trading volume for channel locality."""
+        p = 32
+        hier = HierarchicalAllgather(contiguous_groups(p, 8)).schedule(p).total_units()
+        flat = RingAllgather().schedule(p).total_units()
+        assert hier > flat
+
+    def test_multilevel_volume_matches_two_level(self):
+        """Adding the socket level repartitions the gather/bcast volume
+        without increasing it — the win is locality, not bytes."""
+        p = 32
+        ml = MultiLevelAllgather(socket_groups_for(p, 8, 4)).schedule(p).total_units()
+        hl = HierarchicalAllgather(contiguous_groups(p, 8)).schedule(p).total_units()
+        assert ml == pytest.approx(hl)
+
+
+class TestStageSanity:
+    @pytest.mark.parametrize("alg", FLAT_ALGORITHMS, ids=lambda a: a.name)
+    @settings(max_examples=12, deadline=None)
+    @given(p=st.integers(2, 24))
+    def test_no_rank_sends_twice_per_stage(self, alg, p):
+        """Single-port model: each rank sends at most one message per stage."""
+        for stage in alg.stages(p):
+            src = stage.src.tolist()
+            assert len(src) == len(set(src)), stage.label
+
+    @pytest.mark.parametrize("alg", FLAT_ALGORITHMS, ids=lambda a: a.name)
+    @settings(max_examples=12, deadline=None)
+    @given(p=st.integers(2, 24))
+    def test_no_rank_receives_twice_per_stage(self, alg, p):
+        for stage in alg.stages(p):
+            dst = stage.dst.tolist()
+            assert len(dst) == len(set(dst)), stage.label
+
+    @pytest.mark.parametrize("p", [8, 12, 16])
+    def test_hierarchical_single_port(self, p):
+        alg = HierarchicalAllgather(contiguous_groups(p, 4), "ring", "binomial")
+        for stage in alg.stages(p):
+            assert len(set(stage.src.tolist())) == stage.n_messages
+            assert len(set(stage.dst.tolist())) == stage.n_messages
+
+    @pytest.mark.parametrize("alg", FLAT_ALGORITHMS, ids=lambda a: a.name)
+    def test_ranks_in_range(self, alg):
+        p = 14
+        sched = alg.schedule(p)
+        assert sched.max_rank() < p
+        for stage in sched.stages:
+            assert stage.src.min() >= 0 and stage.dst.min() >= 0

@@ -1,0 +1,115 @@
+"""Functional correctness of the allgather family on real data."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.allgather_bruck import BruckAllgather
+from repro.collectives.allgather_rd import RecursiveDoublingAllgather, rd_blocks_owned
+from repro.collectives.allgather_ring import RingAllgather
+from repro.simmpi.data import DataExecutor
+from repro.util.bits import ceil_log2, ilog2
+
+
+def run_allgather(alg, p):
+    exe = DataExecutor(p)
+    exe.fill_identity()
+    exe.run(alg.stages(p))
+    exe.assert_allgather_complete()
+
+
+class TestRecursiveDoubling:
+    @pytest.mark.parametrize("p", [2, 4, 8, 16, 32, 64])
+    def test_completes(self, p):
+        run_allgather(RecursiveDoublingAllgather(), p)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            list(RecursiveDoublingAllgather().stages(12))
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            list(RecursiveDoublingAllgather().stages(1))
+
+    def test_stage_count_and_volume_doubling(self):
+        stages = list(RecursiveDoublingAllgather().stages(16))
+        assert len(stages) == 4
+        for s, stage in enumerate(stages):
+            assert np.all(stage.units == float(1 << s))
+            assert stage.n_messages == 16
+
+    def test_partner_structure(self):
+        alg = RecursiveDoublingAllgather()
+        assert alg.partner(5, 0) == 4
+        assert alg.partner(5, 2) == 1
+        # partnering is an involution
+        for r in range(16):
+            for s in range(4):
+                assert alg.partner(alg.partner(r, s), s) == r
+
+    def test_blocks_owned(self):
+        assert rd_blocks_owned(5, 0) == (5,)
+        assert rd_blocks_owned(5, 1) == (4, 5)
+        assert rd_blocks_owned(5, 2) == (4, 5, 6, 7)
+
+    def test_schedule_matches_stages_shape(self):
+        alg = RecursiveDoublingAllgather()
+        sched = alg.schedule(16)
+        stages = list(alg.stages(16))
+        assert len(sched.stages) == len(stages)
+        for a, b in zip(sched.stages, stages):
+            assert np.array_equal(a.src, b.src)
+            assert np.array_equal(a.dst, b.dst)
+            assert np.array_equal(a.units, b.units)
+
+
+class TestRing:
+    @pytest.mark.parametrize("p", [2, 3, 5, 8, 13, 16])
+    def test_completes(self, p):
+        run_allgather(RingAllgather(), p)
+
+    def test_stage_count(self):
+        assert len(list(RingAllgather().stages(7))) == 6
+
+    def test_compressed_schedule_equivalent_volume(self):
+        alg = RingAllgather()
+        sched = alg.schedule(9)
+        assert len(sched.stages) == 1
+        assert sched.stages[0].repeat == 8
+        assert sched.total_units() == sum(s.total_units() for s in alg.stages(9))
+
+    def test_each_stage_single_block_to_successor(self):
+        for t, stage in enumerate(RingAllgather().stages(5)):
+            assert np.all(stage.units == 1.0)
+            assert np.array_equal(stage.dst, (stage.src + 1) % 5)
+            for i, blocks in enumerate(stage.blocks):
+                assert blocks == (((i - t) % 5),)
+
+    def test_supports_inline_placement(self):
+        assert RingAllgather.supports_inline_placement
+
+
+class TestBruck:
+    @pytest.mark.parametrize("p", [2, 3, 4, 5, 7, 8, 12, 16, 17])
+    def test_completes(self, p):
+        run_allgather(BruckAllgather(), p)
+
+    def test_stage_count_is_ceil_log(self):
+        for p in (5, 8, 9, 16):
+            assert len(list(BruckAllgather().stages(p))) == ceil_log2(p)
+
+    def test_final_rotation_accounted(self):
+        sched = BruckAllgather().schedule(12)
+        assert sched.local_copy_units == 12.0
+
+    def test_send_counts_capped_near_end(self):
+        stages = list(BruckAllgather().stages(5))
+        # stage 2: dist=4, count=min(4, 5-4)=1
+        assert np.all(stages[2].units == 1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(p=st.integers(min_value=2, max_value=40))
+def test_ring_and_bruck_any_size(p):
+    run_allgather(RingAllgather(), p)
+    run_allgather(BruckAllgather(), p)

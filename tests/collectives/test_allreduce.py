@@ -1,0 +1,73 @@
+"""Allreduce extension tests (paper §VII future work)."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.allreduce import (
+    RabenseifnerAllreduce,
+    RecursiveDoublingAllreduce,
+    simulate_allreduce,
+)
+
+
+class TestSimulate:
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    def test_sum_reduction(self, p):
+        rng = np.random.default_rng(0)
+        inputs = rng.integers(0, 100, size=(p, 5))
+        out = simulate_allreduce(inputs)
+        expect = inputs.sum(axis=0)
+        assert np.array_equal(out, np.broadcast_to(expect, out.shape))
+
+    def test_max_reduction(self):
+        inputs = np.arange(8)[:, None] * np.ones((8, 3), dtype=int)
+        out = simulate_allreduce(inputs, op=np.maximum)
+        assert np.all(out == 7)
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            simulate_allreduce(np.zeros((6, 2)))
+
+
+class TestSchedules:
+    def test_rd_schedule_shape(self):
+        sched = RecursiveDoublingAllreduce().schedule(16)
+        assert len(sched.stages) == 4
+        assert all(np.all(s.units == 1.0) for s in sched.stages)
+
+    def test_rabenseifner_volume_less_than_rd_for_big_vectors(self):
+        rd = RecursiveDoublingAllreduce().schedule(16).total_units()
+        rab = RabenseifnerAllreduce().schedule(16).total_units()
+        assert rab < rd
+
+    def test_rabenseifner_halving_doubling(self):
+        sched = RabenseifnerAllreduce().schedule(8)
+        sizes = [float(s.units.max()) for s in sched.stages]
+        assert sizes == [0.5, 0.25, 0.125, 0.125, 0.25, 0.5]
+
+    def test_pow2_required(self):
+        with pytest.raises(ValueError):
+            RecursiveDoublingAllreduce().schedule(12)
+        with pytest.raises(ValueError):
+            RabenseifnerAllreduce().schedule(12)
+
+    def test_stages_not_supported(self):
+        with pytest.raises(NotImplementedError):
+            list(RecursiveDoublingAllreduce().stages(8))
+        with pytest.raises(NotImplementedError):
+            list(RabenseifnerAllreduce().stages(8))
+
+
+class TestReorderingApplies:
+    def test_rdmh_improves_allreduce_on_cyclic(self, mid_cluster, mid_engine, mid_D):
+        """The RD heuristic transfers to the allreduce pattern (future work)."""
+        from repro.mapping.initial import cyclic_bunch
+        from repro.mapping.reorder import reorder_ranks
+
+        p = 64
+        L = cyclic_bunch(mid_cluster, p)
+        res = reorder_ranks("recursive-doubling", L, mid_D, rng=0)
+        sched = RecursiveDoublingAllreduce().schedule(p)
+        base = mid_engine.evaluate(sched, L, 4096).total_seconds
+        tuned = mid_engine.evaluate(sched, res.mapping, 4096).total_seconds
+        assert tuned <= base

@@ -1,0 +1,121 @@
+"""Binomial / linear broadcast, gather and scatter-allgather tests."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.bcast_binomial import BinomialBroadcast
+from repro.collectives.gather_binomial import BinomialGather
+from repro.collectives.linear import LinearBroadcast, LinearGather
+from repro.collectives.scatter_allgather import BinomialScatter, ScatterAllgatherBroadcast
+from repro.simmpi.data import DataExecutor
+
+
+class TestBinomialBroadcast:
+    @pytest.mark.parametrize("p", [2, 3, 8, 13])
+    def test_everyone_receives(self, p):
+        exe = DataExecutor(p, n_slots=1)
+        exe.fill(0, 0, 77)
+        exe.run(BinomialBroadcast().stages(p))
+        assert all(exe.slot(r, 0) == 77 for r in range(p))
+
+    @pytest.mark.parametrize("root", [1, 5])
+    def test_nonzero_root(self, root):
+        p = 8
+        exe = DataExecutor(p, n_slots=1)
+        exe.fill(root, 0, 99)
+        exe.run(BinomialBroadcast(root=root).stages(p))
+        assert all(exe.slot(r, 0) == 99 for r in range(p))
+
+    def test_fixed_message_size(self):
+        for stage in BinomialBroadcast().stages(16):
+            assert np.all(stage.units == 1.0)
+
+    def test_payload_blocks(self):
+        b = BinomialBroadcast(payload_blocks=(0, 1, 2))
+        for stage in b.stages(4):
+            assert np.all(stage.units == 3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BinomialBroadcast(root=-1)
+        with pytest.raises(ValueError):
+            BinomialBroadcast(payload_blocks=())
+        with pytest.raises(ValueError):
+            list(BinomialBroadcast(root=9).stages(8))
+
+
+class TestBinomialGather:
+    @pytest.mark.parametrize("p", [2, 3, 8, 13])
+    def test_root_collects_all(self, p):
+        exe = DataExecutor(p)
+        exe.fill_identity()
+        exe.run(BinomialGather().stages(p))
+        assert exe.owned(0).all()
+
+    def test_nonzero_root(self):
+        p, root = 8, 3
+        exe = DataExecutor(p)
+        exe.fill_identity()
+        exe.run(BinomialGather(root=root).stages(p))
+        assert exe.owned(root).all()
+
+    def test_message_sizes_grow_toward_root(self):
+        stages = list(BinomialGather().stages(16))
+        maxima = [float(s.units.max()) for s in stages]
+        assert maxima == sorted(maxima)
+        assert maxima[-1] == 8.0
+
+    def test_custom_block_of(self):
+        g = BinomialGather(block_of=lambda r: (10 + r,))
+        exe = DataExecutor(4, n_slots=16)
+        for r in range(4):
+            exe.fill(r, 10 + r, r + 1)
+        exe.run(g.stages(4))
+        assert [exe.slot(0, 10 + r) for r in range(4)] == [1, 2, 3, 4]
+
+
+class TestLinear:
+    def test_linear_gather_one_stage(self):
+        stages = list(LinearGather().stages(8))
+        assert len(stages) == 1
+        assert stages[0].n_messages == 7
+        exe = DataExecutor(8)
+        exe.fill_identity()
+        exe.run(iter(stages))
+        assert exe.owned(0).all()
+
+    def test_linear_bcast(self):
+        exe = DataExecutor(6, n_slots=1)
+        exe.fill(2, 0, 5)
+        exe.run(LinearBroadcast(root=2).stages(6))
+        assert all(exe.slot(r, 0) == 5 for r in range(6))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearGather(root=-1)
+        with pytest.raises(ValueError):
+            list(LinearBroadcast(root=8).stages(8))
+
+
+class TestScatterAllgather:
+    @pytest.mark.parametrize("kind,p", [("ring", 8), ("ring", 10), ("rd", 8), ("rd", 16)])
+    def test_bcast_semantics(self, kind, p):
+        """Root's p slices end up complete at every rank."""
+        exe = DataExecutor(p)
+        for s in range(p):
+            exe.fill(0, s, s * 1000003 + 7)
+        exe.run(ScatterAllgatherBroadcast(kind).stages(p))
+        exe.assert_allgather_complete()
+
+    def test_scatter_sizes_halve(self):
+        stages = list(BinomialScatter().stages(16))
+        maxima = [float(s.units.max()) for s in stages]
+        assert maxima == sorted(maxima, reverse=True)
+
+    def test_rd_phase_requires_pow2(self):
+        with pytest.raises(ValueError):
+            list(ScatterAllgatherBroadcast("rd").stages(12))
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            ScatterAllgatherBroadcast("foo")

@@ -1,0 +1,91 @@
+"""Binomial-tree structural invariants (paper Algorithms 4/5 substrate)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives import binomial
+
+
+class TestTreeStructure:
+    def test_children_of_root_pow2(self):
+        assert [c for _, c in binomial.children(0, 8)] == [1, 2, 4]
+
+    def test_children_respect_bits(self):
+        assert [c for _, c in binomial.children(2, 8)] == [3]
+        assert [c for _, c in binomial.children(4, 8)] == [5, 6]
+        assert binomial.children(7, 8) == []
+
+    def test_children_clip_to_p(self):
+        assert [c for _, c in binomial.children(0, 6)] == [1, 2, 4]
+        assert [c for _, c in binomial.children(4, 6)] == [5]
+
+    def test_parent(self):
+        assert binomial.parent(1) == 0
+        assert binomial.parent(6) == 4
+        assert binomial.parent(7) == 6
+        with pytest.raises(ValueError):
+            binomial.parent(0)
+
+    def test_subtree_range(self):
+        assert list(binomial.subtree_range(0, 8)) == list(range(8))
+        assert list(binomial.subtree_range(4, 8)) == [4, 5, 6, 7]
+        assert list(binomial.subtree_range(4, 6)) == [4, 5]
+        assert binomial.subtree_size(6, 8) == 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(p=st.integers(min_value=1, max_value=70))
+    def test_edges_form_spanning_tree(self, p):
+        """Every non-root rank has exactly one parent edge."""
+        seen = {}
+        for _bit, par, child in binomial.tree_edges(p):
+            assert child not in seen
+            seen[child] = par
+            assert binomial.parent(child) == par
+        assert set(seen) == set(range(1, p))
+
+    @settings(max_examples=30, deadline=None)
+    @given(p=st.integers(min_value=2, max_value=70))
+    def test_subtrees_partition(self, p):
+        """The root's child subtrees partition the non-root ranks."""
+        covered = []
+        for _bit, c in binomial.children(0, p):
+            covered.extend(binomial.subtree_range(c, p))
+        assert sorted(covered) == list(range(1, p))
+
+
+class TestBroadcastStages:
+    def test_stage_counts(self):
+        assert len(binomial.bcast_edges_by_stage(8)) == 3
+        assert len(binomial.bcast_edges_by_stage(1)) == 0
+
+    def test_message_count_doubles(self):
+        stages = binomial.bcast_edges_by_stage(16)
+        assert [len(s) for s in stages] == [1, 2, 4, 8]
+
+    def test_sender_has_data_first(self):
+        """In every stage a sender already received the payload."""
+        for p in (2, 5, 8, 13, 16):
+            has = {0}
+            for edges in binomial.bcast_edges_by_stage(p):
+                senders = {par for par, _ in edges}
+                assert senders <= has
+                has |= {child for _, child in edges}
+            assert has == set(range(p))
+
+
+class TestGatherStages:
+    def test_reverse_of_bcast(self):
+        p = 12
+        fw = [sorted((a, b) for a, b in st) for st in binomial.bcast_edges_by_stage(p)]
+        bw = [sorted((b, a) for a, b in st) for st in binomial.gather_edges_by_stage(p)]
+        assert fw == list(reversed(bw))
+
+    def test_child_complete_before_forwarding(self):
+        """A child only sends after all its own children have sent to it."""
+        for p in (4, 8, 11, 16):
+            done = set()  # ranks whose whole subtree has been absorbed
+            for edges in binomial.gather_edges_by_stage(p):
+                for child, _par in edges:
+                    kids = {c for _, c in binomial.children(child, p)}
+                    assert kids <= done
+                done |= {child for child, _ in edges}

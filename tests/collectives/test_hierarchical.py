@@ -1,0 +1,117 @@
+"""Hierarchical allgather tests (paper §II / Fig. 4 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.hierarchical import HierarchicalAllgather, contiguous_groups
+from repro.simmpi.data import DataExecutor
+
+
+def run(groups, leader_alg, intra):
+    p = sum(len(g) for g in groups)
+    alg = HierarchicalAllgather(groups, leader_alg=leader_alg, intra=intra)
+    exe = DataExecutor(p)
+    exe.fill_identity()
+    exe.run(alg.stages(p))
+    exe.assert_allgather_complete()
+    return alg
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("leader_alg", ["rd", "ring"])
+    @pytest.mark.parametrize("intra", ["binomial", "linear"])
+    def test_uniform_groups(self, leader_alg, intra):
+        run(contiguous_groups(32, 8), leader_alg, intra)
+
+    def test_nonuniform_groups_ring(self):
+        run([[0, 1, 2], [3, 4], [5, 6, 7, 8], [9]], "ring", "binomial")
+
+    def test_permuted_groups(self):
+        """Reordered group order / membership still gathers correctly."""
+        groups = [[5, 2, 7], [0, 4, 1], [3, 6, 8]]
+        run(groups, "ring", "binomial")
+
+    def test_single_group(self):
+        run([list(range(6))], "ring", "binomial")
+
+    def test_non_pow2_group_count_rd_rejected(self):
+        with pytest.raises(ValueError, match="power-of-two group count"):
+            HierarchicalAllgather(contiguous_groups(12, 4), leader_alg="rd")
+
+    def test_groups_must_partition(self):
+        with pytest.raises(ValueError, match="partition"):
+            HierarchicalAllgather([[0, 1], [1, 2]])
+        with pytest.raises(ValueError, match="empty"):
+            HierarchicalAllgather([[0, 1], []])
+
+    def test_bad_kind_args(self):
+        with pytest.raises(ValueError):
+            HierarchicalAllgather([[0, 1]], leader_alg="foo")
+        with pytest.raises(ValueError):
+            HierarchicalAllgather([[0, 1]], intra="bar")
+
+
+class TestStructure:
+    def test_phase_labels_in_order(self):
+        alg = HierarchicalAllgather(contiguous_groups(16, 4), "rd", "binomial")
+        labels = [s.label for s in alg.stages(16)]
+        gather = [l for l in labels if l.startswith("hier:gather")]
+        leaders = [l for l in labels if l.startswith("hier:leaders")]
+        bcast = [l for l in labels if l.startswith("hier:bcast")]
+        assert labels == gather + leaders + bcast
+        assert len(gather) == 2      # log2(4)
+        assert len(leaders) == 2     # log2(4) groups
+        assert len(bcast) == 2
+
+    def test_leaders_are_group_heads(self):
+        groups = [[3, 1], [0, 2]]
+        alg = HierarchicalAllgather(groups, "ring", "linear")
+        assert alg.leaders == [3, 0]
+
+    def test_wrong_p_rejected(self):
+        alg = HierarchicalAllgather(contiguous_groups(8, 4))
+        with pytest.raises(ValueError):
+            list(alg.stages(16))
+        with pytest.raises(ValueError):
+            alg.schedule(16)
+
+
+class TestTimingView:
+    def test_ring_compression(self):
+        alg = HierarchicalAllgather(contiguous_groups(32, 4), "ring", "binomial")
+        sched = alg.schedule(32)
+        ring_stages = [s for s in sched.stages if "leaders-ring" in s.label]
+        assert len(ring_stages) == 1
+        assert ring_stages[0].repeat == 7
+
+    def test_compression_preserves_volume(self):
+        alg = HierarchicalAllgather(contiguous_groups(32, 4), "ring", "binomial")
+        sched_units = alg.schedule(32).total_units()
+        stage_units = sum(s.total_units() for s in alg.stages(32))
+        assert sched_units == pytest.approx(stage_units)
+
+    def test_nonuniform_ring_not_compressed(self):
+        alg = HierarchicalAllgather([[0, 1, 2], [3, 4], [5, 6, 7, 8]], "ring", "linear")
+        sched = alg.schedule(9)
+        ring_stages = [s for s in sched.stages if "leaders-ring" in s.label]
+        assert len(ring_stages) == 2  # G-1 explicit stages
+
+    def test_rd_leader_volume_doubles(self):
+        alg = HierarchicalAllgather(contiguous_groups(32, 4), "rd", "linear")
+        leader = [s for s in alg.schedule(32).stages if "leaders-rd" in s.label]
+        assert [float(s.units.max()) for s in leader] == [4.0, 8.0, 16.0]
+
+    def test_bcast_carries_full_vector(self):
+        alg = HierarchicalAllgather(contiguous_groups(8, 4), "ring", "binomial")
+        bcast = [s for s in alg.schedule(8).stages if "bcast" in s.label]
+        assert all(np.all(s.units == 8.0) for s in bcast)
+
+
+class TestContiguousGroups:
+    def test_shape(self):
+        g = contiguous_groups(12, 3)
+        assert g == [[0, 1, 2], [3, 4, 5], [6, 7, 8], [9, 10, 11]]
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            contiguous_groups(10, 3)

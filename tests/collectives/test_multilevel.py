@@ -1,0 +1,147 @@
+"""Multi-level hierarchical allgather tests (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.multilevel import MultiLevelAllgather, socket_groups_for
+from repro.collectives.hierarchical import HierarchicalAllgather, contiguous_groups
+from repro.mapping.initial import block_bunch
+from repro.simmpi.data import DataExecutor
+
+
+def run(nodes, leader_alg="rd", intra="binomial"):
+    alg = MultiLevelAllgather(nodes, leader_alg=leader_alg, intra=intra)
+    exe = DataExecutor(alg.p)
+    exe.fill_identity()
+    exe.run(alg.stages(alg.p))
+    exe.assert_allgather_complete()
+    return alg
+
+
+class TestSocketGroupsFor:
+    def test_nested_shape(self):
+        nodes = socket_groups_for(16, 8, 4)
+        assert nodes == [
+            [[0, 1, 2, 3], [4, 5, 6, 7]],
+            [[8, 9, 10, 11], [12, 13, 14, 15]],
+        ]
+
+    def test_divisibility_checked(self):
+        with pytest.raises(ValueError):
+            socket_groups_for(10, 8, 4)
+        with pytest.raises(ValueError):
+            socket_groups_for(16, 8, 3)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("leader_alg", ["rd", "ring"])
+    @pytest.mark.parametrize("intra", ["binomial", "linear"])
+    def test_uniform(self, leader_alg, intra):
+        run(socket_groups_for(32, 8, 4), leader_alg, intra)
+
+    def test_nonuniform_sockets(self):
+        nodes = [
+            [[0, 1, 2], [3, 4]],
+            [[5], [6, 7, 8, 9]],
+            [[10, 11], [12], [13, 14, 15]],
+        ]
+        run(nodes, leader_alg="ring")
+
+    def test_permuted_members(self):
+        nodes = [
+            [[5, 2], [7, 0]],
+            [[4, 1], [3, 6]],
+        ]
+        run(nodes, leader_alg="rd")
+
+    def test_single_node(self):
+        run([ [[0, 1], [2, 3]] ], leader_alg="ring")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="partition"):
+            MultiLevelAllgather([[[0, 1]], [[1, 2]]])
+        with pytest.raises(ValueError, match="empty"):
+            MultiLevelAllgather([[[0, 1], []]])
+        with pytest.raises(ValueError, match="power-of-two"):
+            MultiLevelAllgather(socket_groups_for(24, 8, 4), leader_alg="rd")
+        with pytest.raises(ValueError):
+            MultiLevelAllgather(socket_groups_for(16, 8, 4), leader_alg="x")
+
+    def test_wrong_p(self):
+        alg = MultiLevelAllgather(socket_groups_for(16, 8, 4))
+        with pytest.raises(ValueError):
+            alg.schedule(8)
+
+
+class TestStructure:
+    def test_phase_ordering(self):
+        alg = MultiLevelAllgather(socket_groups_for(32, 8, 4), "rd", "binomial")
+        labels = [s.label for s in alg.schedule(32).stages]
+        order = ["ml:sgather", "ml:ngather", "ml:leaders", "ml:nbcast", "ml:sbcast"]
+        positions = [min(i for i, l in enumerate(labels) if l.startswith(tag)) for tag in order]
+        assert positions == sorted(positions)
+
+    def test_node_leaders(self):
+        alg = MultiLevelAllgather([[[3, 1], [2, 0]], [[6, 4], [5, 7]]])
+        assert alg.node_leaders == [3, 6]
+
+    def test_volume_matches_two_level(self):
+        """Phases 2-4 carry the same leader-level volume as the paper's
+        two-level scheme; the socket phases add strictly intra-socket
+        traffic."""
+        p = 32
+        ml = MultiLevelAllgather(socket_groups_for(p, 8, 4), "rd", "binomial").schedule(p)
+        hl = HierarchicalAllgather(contiguous_groups(p, 8), "rd", "binomial").schedule(p)
+        ml_leader = sum(
+            s.total_units() for s in ml.stages if s.label.startswith("ml:leaders")
+        )
+        hl_leader = sum(
+            s.total_units() for s in hl.stages if s.label.startswith("hier:leaders")
+        )
+        assert ml_leader == hl_leader
+
+
+class TestTiming:
+    def test_engine_prices_it(self, mid_engine, mid_cluster):
+        p = 64
+        alg = MultiLevelAllgather(socket_groups_for(p, 8, 4), "rd", "binomial")
+        t = mid_engine.evaluate(alg.schedule(p), block_bunch(mid_cluster, p), 1024).total_seconds
+        assert t > 0
+
+    def test_socket_level_cuts_cross_socket_traffic(self):
+        """On fat nodes, the extra socket-leader level aggregates the
+        cross-socket traffic: only socket leaders cross the QPI during the
+        gather, instead of every rank (the Ma et al. [6] motivation)."""
+        from repro.simmpi.engine import TimingEngine
+        from repro.topology.cluster import LinkClass
+        from repro.topology.gpc import ClusterTopology
+        from repro.topology.hardware import MachineTopology
+
+        cluster = ClusterTopology(n_nodes=2, machine=MachineTopology(4, 8))
+        engine = TimingEngine(cluster)
+        p = 64
+        L = block_bunch(cluster, p)
+
+        def qpi_crossings(alg):
+            """Messages whose route crosses the inter-socket interconnect.
+
+            The cross-socket *byte* volume is invariant (every remote
+            block must cross once); the socket-leader level aggregates it
+            into far fewer messages, saving per-message latency.
+            """
+            count = 0
+            for stage in alg.schedule(p).stages:
+                if "bcast" in stage.label:
+                    continue  # compare the gather side only
+                src = L[stage.src]
+                dst = L[stage.dst]
+                same_node = cluster.node_of(src) == cluster.node_of(dst)
+                cross = same_node & (cluster.socket_of(src) != cluster.socket_of(dst))
+                count += int(cross.sum()) * stage.repeat
+            return count
+
+        ml = MultiLevelAllgather(socket_groups_for(p, 32, 8), "ring", "linear")
+        hl = HierarchicalAllgather(contiguous_groups(p, 32), "ring", "linear")
+        # 3 socket leaders per node cross, instead of 24 individual ranks
+        assert qpi_crossings(ml) == 6
+        assert qpi_crossings(hl) == 48

@@ -1,0 +1,86 @@
+"""Folded recursive-doubling allgather tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.allgather_bruck import BruckAllgather
+from repro.collectives.allgather_rd import RecursiveDoublingAllgather
+from repro.collectives.allgather_rd_nonpow2 import FoldedRecursiveDoublingAllgather
+from repro.collectives.correctness import RankReordering, execute_reordered_allgather
+from repro.simmpi.data import DataExecutor
+
+
+def run(p):
+    exe = DataExecutor(p)
+    exe.fill_identity()
+    exe.run(FoldedRecursiveDoublingAllgather().stages(p))
+    exe.assert_allgather_complete()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("p", [2, 3, 5, 6, 7, 8, 11, 12, 16, 20, 33])
+    def test_completes(self, p):
+        run(p)
+
+    @settings(max_examples=20, deadline=None)
+    @given(p=st.integers(2, 48))
+    def test_any_size(self, p):
+        run(p)
+
+    def test_pow2_has_no_fold(self):
+        labels = [s.label for s in FoldedRecursiveDoublingAllgather().stages(16)]
+        assert not any("fold" in l for l in labels)
+
+    def test_nonpow2_has_fold_and_unfold(self):
+        labels = [s.label for s in FoldedRecursiveDoublingAllgather().stages(12)]
+        assert labels[0] == "rdf:fold"
+        assert labels[-1] == "rdf:unfold"
+        assert len([l for l in labels if l.startswith("rdf:stage")]) == 3  # log2(8)
+
+
+class TestStructure:
+    def test_split(self):
+        f = FoldedRecursiveDoublingAllgather
+        assert f._split(8) == (8, 0)
+        assert f._split(12) == (8, 4)
+        assert f._split(9) == (8, 1)
+
+    def test_schedule_volume_matches_stages(self):
+        alg = FoldedRecursiveDoublingAllgather()
+        for p in (8, 12, 13):
+            sched_units = alg.schedule(p).total_units()
+            stage_units = sum(s.total_units() for s in alg.stages(p))
+            assert sched_units == pytest.approx(stage_units)
+
+    def test_matches_plain_rd_at_pow2(self):
+        folded = FoldedRecursiveDoublingAllgather().schedule(16)
+        plain = RecursiveDoublingAllgather().schedule(16)
+        assert folded.total_units() == plain.total_units()
+        assert folded.n_stages() == plain.n_stages()
+
+
+class TestReordering:
+    @pytest.mark.parametrize("strategy", ["initcomm", "endshfl"])
+    def test_order_restoration(self, strategy):
+        rng = np.random.default_rng(2)
+        ro = RankReordering(layout=np.arange(12), mapping=rng.permutation(12))
+        out = execute_reordered_allgather(FoldedRecursiveDoublingAllgather(), ro, strategy)
+        expected = np.arange(12) * 1000003 + 7
+        assert np.array_equal(out, np.broadcast_to(expected, (12, 12)))
+
+
+class TestVsBruck:
+    def test_bruck_cheaper_for_small_messages(self, mid_engine, mid_cluster):
+        """The registry's preference for Bruck at non-pow2 sizes is borne
+        out: the fold/unfold rounds cost the folded RD an extra
+        full-vector transfer."""
+        from repro.mapping.initial import block_bunch
+
+        p = 48
+        M = block_bunch(mid_cluster, p)
+        folded = mid_engine.evaluate(
+            FoldedRecursiveDoublingAllgather().schedule(p), M, 256
+        ).total_seconds
+        bruck = mid_engine.evaluate(BruckAllgather().schedule(p), M, 256).total_seconds
+        assert bruck < folded

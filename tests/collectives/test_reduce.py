@@ -1,0 +1,78 @@
+"""Binomial reduce tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.reduce import BinomialReduce, simulate_reduce
+
+
+class TestSimulate:
+    @pytest.mark.parametrize("p", [2, 3, 5, 8, 13, 16])
+    def test_sum(self, p):
+        rng = np.random.default_rng(p)
+        inputs = rng.integers(0, 1000, size=(p, 4))
+        out = simulate_reduce(inputs)
+        assert np.array_equal(out, inputs.sum(axis=0))
+
+    @pytest.mark.parametrize("root", [1, 3, 7])
+    def test_nonzero_root(self, root):
+        inputs = np.arange(8)[:, None] * np.ones((8, 2), dtype=int)
+        out = simulate_reduce(inputs, root=root)
+        assert np.all(out == 28)
+
+    def test_max_op(self):
+        inputs = np.array([[3.0], [9.0], [1.0], [5.0]])
+        assert simulate_reduce(inputs, op=np.maximum)[0] == 9.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(p=st.integers(2, 40), root=st.integers(0, 39))
+    def test_any_size_and_root(self, p, root):
+        root = root % p
+        rng = np.random.default_rng(p * 41 + root)
+        inputs = rng.integers(0, 100, size=(p, 3))
+        out = simulate_reduce(inputs, root=root)
+        assert np.array_equal(out, inputs.sum(axis=0))
+
+    def test_bad_root(self):
+        with pytest.raises(ValueError):
+            simulate_reduce(np.zeros((4, 1)), root=4)
+
+
+class TestSchedule:
+    def test_constant_message_size(self):
+        sched = BinomialReduce().schedule(16)
+        for stage in sched.stages:
+            assert np.all(stage.units == 1.0)
+
+    def test_stage_count(self):
+        assert len(BinomialReduce().schedule(16).stages) == 4
+        assert len(BinomialReduce().schedule(9).stages) == 4
+
+    def test_message_direction_is_child_to_parent(self):
+        sched = BinomialReduce().schedule(8)
+        last = sched.stages[-1]  # the heaviest tree edge fires last
+        assert last.src.tolist() == [4]
+        assert last.dst.tolist() == [0]
+
+    def test_stages_not_supported(self):
+        with pytest.raises(NotImplementedError):
+            list(BinomialReduce().stages(8))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BinomialReduce(root=-1)
+        with pytest.raises(ValueError):
+            BinomialReduce(root=9).schedule(8)
+
+    def test_bbmh_reordering_improves_reduce(self, mid_engine, mid_cluster, mid_D):
+        """The fixed message size makes BBMH the matching heuristic."""
+        from repro.mapping.bbmh import BBMH
+
+        rng = np.random.default_rng(5)
+        L = rng.permutation(64)
+        M = BBMH(tie_break="first").map(L, mid_D, rng=0)
+        sched = BinomialReduce().schedule(64)
+        base = mid_engine.evaluate(sched, L, 1 << 16).total_seconds
+        tuned = mid_engine.evaluate(sched, M, 1 << 16).total_seconds
+        assert tuned <= base

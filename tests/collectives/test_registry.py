@@ -1,0 +1,78 @@
+"""Algorithm-selection registry tests (MVAPICH-like policy)."""
+
+import pytest
+
+from repro.collectives.registry import (
+    DEFAULT_RD_THRESHOLD_BYTES,
+    pattern_of,
+    select_allgather,
+    select_hierarchical_allgather,
+)
+from repro.collectives.allgather_bruck import BruckAllgather
+from repro.collectives.allgather_rd import RecursiveDoublingAllgather
+from repro.collectives.allgather_ring import RingAllgather
+from repro.collectives.bcast_binomial import BinomialBroadcast
+from repro.collectives.hierarchical import contiguous_groups
+
+
+class TestSelectAllgather:
+    def test_small_pow2_uses_rd(self):
+        assert isinstance(select_allgather(64, 256), RecursiveDoublingAllgather)
+
+    def test_small_non_pow2_uses_bruck(self):
+        assert isinstance(select_allgather(48, 256), BruckAllgather)
+
+    def test_large_uses_ring(self):
+        assert isinstance(select_allgather(64, 1 << 16), RingAllgather)
+        assert isinstance(select_allgather(48, 1 << 16), RingAllgather)
+
+    def test_threshold_boundary(self):
+        assert isinstance(
+            select_allgather(64, DEFAULT_RD_THRESHOLD_BYTES - 1), RecursiveDoublingAllgather
+        )
+        assert isinstance(select_allgather(64, DEFAULT_RD_THRESHOLD_BYTES), RingAllgather)
+
+    def test_custom_threshold(self):
+        assert isinstance(select_allgather(64, 4096, rd_threshold=8192), RecursiveDoublingAllgather)
+
+    def test_tiny_comm_rejected(self):
+        with pytest.raises(ValueError):
+            select_allgather(1, 64)
+
+
+class TestSelectHierarchical:
+    def test_rd_leaders_for_small_messages(self):
+        alg = select_hierarchical_allgather(contiguous_groups(32, 8), 256)
+        assert alg.leader_alg == "rd"
+
+    def test_ring_leaders_for_large_messages(self):
+        alg = select_hierarchical_allgather(contiguous_groups(32, 8), 1 << 16)
+        assert alg.leader_alg == "ring"
+
+    def test_ring_leaders_for_non_pow2_groups(self):
+        alg = select_hierarchical_allgather(contiguous_groups(24, 8), 256)
+        assert alg.leader_alg == "ring"
+
+    def test_intra_forwarded(self):
+        alg = select_hierarchical_allgather(contiguous_groups(32, 8), 256, intra="linear")
+        assert alg.intra == "linear"
+
+
+class TestPatternOf:
+    def test_known_patterns(self):
+        assert pattern_of(RecursiveDoublingAllgather()) == "recursive-doubling"
+        assert pattern_of(RingAllgather()) == "ring"
+        assert pattern_of(BruckAllgather()) == "bruck"
+        assert pattern_of(BinomialBroadcast()) == "binomial-bcast"
+
+    def test_parametrised_names_resolve(self):
+        from repro.collectives.allreduce import RecursiveDoublingAllreduce
+
+        assert pattern_of(RecursiveDoublingAllreduce()) == "recursive-doubling"
+
+    def test_unknown_rejected(self):
+        class Weird:
+            name = "weird"
+
+        with pytest.raises(KeyError):
+            pattern_of(Weird())

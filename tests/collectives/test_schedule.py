@@ -1,0 +1,61 @@
+"""Schedule IR tests."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.schedule import Schedule, Stage, make_stage
+
+
+class TestStage:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Stage(src=np.array([0, 1]), dst=np.array([1]), units=np.array([1.0, 1.0]))
+
+    def test_self_message_rejected(self):
+        with pytest.raises(ValueError, match="self-message"):
+            Stage(src=np.array([0]), dst=np.array([0]), units=np.array([1.0]))
+
+    def test_bad_repeat_rejected(self):
+        with pytest.raises(ValueError):
+            Stage(src=np.array([0]), dst=np.array([1]), units=np.array([1.0]), repeat=0)
+
+    def test_blocks_length_checked(self):
+        with pytest.raises(ValueError, match="one entry per message"):
+            Stage(
+                src=np.array([0, 1]),
+                dst=np.array([1, 2]),
+                units=np.array([1.0, 1.0]),
+                blocks=[(0,)],
+            )
+
+    def test_total_units(self):
+        s = Stage(src=np.array([0, 1]), dst=np.array([1, 0]), units=np.array([2.0, 3.0]), repeat=4)
+        assert s.total_units() == 20.0
+        assert s.n_messages == 2
+
+
+class TestMakeStage:
+    def test_units_from_blocks(self):
+        s = make_stage([(0, 1, (5, 6)), (1, 2, (7,))])
+        assert list(s.units) == [2.0, 1.0]
+        assert s.blocks == [(5, 6), (7,)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            make_stage([])
+
+
+class TestSchedule:
+    def test_counters(self):
+        st1 = make_stage([(0, 1, (0,))], repeat=3)
+        st2 = make_stage([(1, 0, (1,)), (0, 2, (0,))])
+        sched = Schedule(p=3, stages=[st1, st2], name="x")
+        assert sched.n_stages() == 4
+        assert sched.n_messages() == 5
+        assert sched.total_units() == 3 + 2
+        assert sched.max_rank() == 2
+
+    def test_empty_schedule(self):
+        sched = Schedule(p=1)
+        assert sched.n_stages() == 0
+        assert sched.max_rank() == 0

@@ -1,0 +1,57 @@
+"""Adaptive reorderer tests (paper §VII future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.adaptive import AdaptiveReorderer
+from repro.evaluation.evaluator import AllgatherEvaluator
+from repro.mapping.initial import block_bunch, cyclic_scatter
+
+
+@pytest.fixture(scope="module")
+def evaluator(mid_cluster):
+    return AllgatherEvaluator(mid_cluster, rng=0)
+
+
+class TestDecisions:
+    def test_never_worse_than_default(self, evaluator, mid_cluster):
+        for layout_fn in (block_bunch, cyclic_scatter):
+            L = layout_fn(mid_cluster, 64)
+            ad = AdaptiveReorderer(evaluator, L)
+            for bb in (64, 1024, 1 << 14, 1 << 17):
+                decision = ad.decide(bb)
+                assert decision.seconds <= decision.default_seconds
+
+    def test_uses_reordered_when_it_wins(self, evaluator, mid_cluster):
+        L = cyclic_scatter(mid_cluster, 64)
+        ad = AdaptiveReorderer(evaluator, L)
+        assert ad.decide(1 << 16).use_reordered
+
+    def test_decision_cached_per_bucket(self, evaluator, mid_cluster):
+        L = cyclic_scatter(mid_cluster, 64)
+        ad = AdaptiveReorderer(evaluator, L)
+        d1 = ad.decide(1000)
+        d2 = ad.decide(1023)  # same power-of-two bucket
+        assert d1 is d2
+
+    def test_bad_size_rejected(self, evaluator, mid_cluster):
+        ad = AdaptiveReorderer(evaluator, block_bunch(mid_cluster, 64))
+        with pytest.raises(ValueError):
+            ad.decide(0)
+
+    def test_predicted_gain_sign(self, evaluator, mid_cluster):
+        L = cyclic_scatter(mid_cluster, 64)
+        d = AdaptiveReorderer(evaluator, L).decide(1 << 16)
+        assert d.predicted_gain_pct > 0
+
+
+class TestLatencyRouting:
+    def test_latency_matches_choice(self, evaluator, mid_cluster):
+        L = cyclic_scatter(mid_cluster, 64)
+        ad = AdaptiveReorderer(evaluator, L)
+        d = ad.decide(1 << 16)
+        rep = ad.latency(1 << 16)
+        if d.use_reordered:
+            assert rep.mapper != "none"
+        else:
+            assert rep.mapper == "none"

@@ -1,0 +1,56 @@
+"""Cost-model calibration probe tests."""
+
+import pytest
+
+from repro.evaluation.calibration import calibrate, calibration_report
+from repro.simmpi.costmodel import CostModel
+from repro.topology.cluster import LinkClass
+from repro.topology.gpc import single_node_cluster
+
+
+class TestCalibrate:
+    def test_all_channels_present(self, mid_cluster):
+        probes = calibrate(mid_cluster)
+        assert set(probes) == {"smem", "qpi", "internode"}
+
+    def test_documented_behaviour_table(self, mid_cluster):
+        """The table in costmodel.py's docstring actually holds."""
+        probes = calibrate(mid_cluster)
+        # per-pair bandwidths near the calibrated constants
+        assert probes["smem"].pair_bandwidth_gbs == pytest.approx(3.0, rel=0.1)
+        assert probes["qpi"].pair_bandwidth_gbs == pytest.approx(2.2, rel=0.1)
+        assert probes["internode"].pair_bandwidth_gbs == pytest.approx(2.7, rel=0.1)
+        # the HCA is the big serialisation point: 8 streams share it
+        assert probes["internode"].loaded_bandwidth_gbs < 0.5
+        # intra-node channels degrade far less under load
+        assert probes["smem"].loaded_bandwidth_gbs > 1.5
+        assert probes["qpi"].loaded_bandwidth_gbs > 1.5
+
+    def test_latency_ordering(self, mid_cluster):
+        probes = calibrate(mid_cluster)
+        assert (
+            probes["smem"].latency_us
+            < probes["qpi"].latency_us
+            < probes["internode"].latency_us
+        )
+
+    def test_single_node_skips_internode(self):
+        probes = calibrate(single_node_cluster())
+        assert "internode" not in probes
+        assert "smem" in probes and "qpi" in probes
+
+    def test_custom_cost_model_respected(self, mid_cluster):
+        fast_net = CostModel(beta={LinkClass.HCA: 1.0 / 10e9,
+                                   LinkClass.LEAF_LINE: 1.0 / 10e9,
+                                   LinkClass.LINE_SPINE: 1.0 / 10e9})
+        probes = calibrate(mid_cluster, fast_net)
+        default = calibrate(mid_cluster)
+        assert (
+            probes["internode"].pair_bandwidth_gbs
+            > default["internode"].pair_bandwidth_gbs
+        )
+
+    def test_report_format(self, mid_cluster):
+        text = calibration_report(calibrate(mid_cluster))
+        assert "channel" in text
+        assert "internode" in text

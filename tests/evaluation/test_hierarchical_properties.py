@@ -1,0 +1,76 @@
+"""Property tests of the hierarchical reordering composition (§VI-A2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.evaluation.evaluator import AllgatherEvaluator
+from repro.mapping.initial import block_bunch, block_scatter
+
+
+@pytest.fixture(scope="module")
+def evaluator(mid_cluster):
+    return AllgatherEvaluator(mid_cluster, rng=0)
+
+
+class TestComposition:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10**6), kind=st.sampled_from(["heuristic", "greedy"]))
+    def test_world_mapping_invariants(self, evaluator, mid_cluster, seed, kind):
+        """For any block-style layout the composed hierarchical mapping is
+        (a) a permutation of the layout's cores, (b) node-aligned groups,
+        (c) leaders are group heads."""
+        rng = np.random.default_rng(seed)
+        # block layout with per-node random intra order (a realistic pinning)
+        L = block_bunch(mid_cluster, 64).reshape(8, 8)
+        for row in L:
+            rng.shuffle(row)
+        L = L.reshape(-1)
+        ro, groups, overhead = evaluator._hierarchical_reordering(
+            L, kind, "binomial", "recursive-doubling", rng=seed
+        )
+        assert sorted(ro.mapping.tolist()) == sorted(L.tolist())
+        for g in groups:
+            nodes = {int(mid_cluster.node_of(ro.mapping[r])) for r in g}
+            assert len(nodes) == 1
+            assert g[0] == min(g)  # leader is the first new rank of the group
+        assert overhead >= 0
+
+    def test_linear_intra_keeps_local_order(self, evaluator, mid_cluster):
+        """With linear phases there is nothing to reorder inside nodes —
+        each node keeps its cores in layout order."""
+        L = block_scatter(mid_cluster, 64)
+        ro, groups, _ = evaluator._hierarchical_reordering(
+            L, "heuristic", "linear", "recursive-doubling", rng=0
+        )
+        groups_old = evaluator.groups_from_layout(L)
+        # per-node core multiset AND order preserved (modulo group order)
+        old_sequences = {tuple(L[np.asarray(g)]) for g in groups_old}
+        new_sequences = {tuple(ro.mapping[np.asarray(g)]) for g in groups}
+        assert new_sequences == old_sequences
+
+    def test_leader_pattern_matches_message_regime(self, evaluator, mid_cluster):
+        L = block_scatter(mid_cluster, 64)
+        small = evaluator.reordered_latency(L, 64, "heuristic", "initcomm", hierarchical=True)
+        large = evaluator.reordered_latency(L, 1 << 16, "heuristic", "initcomm", hierarchical=True)
+        assert "rd" in small.algorithm
+        assert "ring" in large.algorithm
+
+    def test_cache_distinguishes_intra_modes(self, mid_cluster):
+        ev = AllgatherEvaluator(mid_cluster, rng=0)
+        L = block_scatter(mid_cluster, 64)
+        a = ev.reordered_latency(L, 64, "heuristic", "initcomm", hierarchical=True, intra="binomial")
+        b = ev.reordered_latency(L, 64, "heuristic", "initcomm", hierarchical=True, intra="linear")
+        assert a.algorithm != b.algorithm
+
+
+class TestPartialNodes:
+    def test_undersubscribed_last_node(self, evaluator, mid_cluster):
+        """p not divisible by cores-per-node: the last group is smaller
+        but the pipeline still runs end to end (ring leaders)."""
+        L = block_bunch(mid_cluster, 60)  # 7 full nodes + 4 cores
+        base = evaluator.default_latency(L, 1 << 14, hierarchical=True)
+        tuned = evaluator.reordered_latency(L, 1 << 14, "heuristic", "initcomm", hierarchical=True)
+        assert base.seconds > 0 and tuned.seconds > 0
+        groups = evaluator.groups_from_layout(L)
+        assert [len(g) for g in groups] == [8] * 7 + [4]

@@ -1,0 +1,73 @@
+"""Stage-locality analysis tests — the paper's stage-wise claims, checked."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.allgather_rd import RecursiveDoublingAllgather
+from repro.collectives.allgather_ring import RingAllgather
+from repro.mapping.analysis import locality_table, stage_locality
+from repro.mapping.initial import block_bunch, cyclic_bunch, cyclic_scatter
+from repro.mapping.rdmh import RDMH
+from repro.mapping.rmh import RMH
+
+
+class TestStageLocality:
+    def test_counts_partition_messages(self, mid_cluster):
+        sched = RecursiveDoublingAllgather().schedule(64)
+        rows = stage_locality(sched, block_bunch(mid_cluster, 64), mid_cluster)
+        assert len(rows) == 6
+        for r in rows:
+            assert r.n_messages == 64
+            assert sum(r.counts.values()) == 64
+
+    def test_block_rd_early_stages_local(self, mid_cluster):
+        """Under block-bunch the small early RD stages stay in the node
+        and the big late ones all cross — the Fig. 3(a) pathology."""
+        sched = RecursiveDoublingAllgather().schedule(64)
+        rows = stage_locality(sched, block_bunch(mid_cluster, 64), mid_cluster)
+        assert rows[0].intra_node_fraction == 1.0   # xor 1: same socket
+        assert rows[2].intra_node_fraction == 1.0   # xor 4: same node
+        assert rows[3].intra_node_fraction == 0.0   # xor 8: all cross
+        assert rows[5].intra_node_fraction == 0.0
+
+    def test_cyclic_rd_late_stages_local(self, mid_cluster):
+        """Cyclic inverts it: the three largest stages become node-local
+        ('an initial cyclic mapping is better than block for recursive
+        doubling', §VI-A1)."""
+        sched = RecursiveDoublingAllgather().schedule(64)
+        rows = stage_locality(sched, cyclic_bunch(mid_cluster, 64), mid_cluster)
+        assert rows[5].intra_node_fraction == 1.0
+        assert rows[4].intra_node_fraction == 1.0
+        assert rows[3].intra_node_fraction == 1.0
+        assert rows[0].intra_node_fraction == 0.0
+
+    def test_rdmh_recovers_late_stage_locality(self, mid_cluster, mid_D):
+        """THE paper claim: from a block layout RDMH re-localises the
+        largest-message stages."""
+        sched = RecursiveDoublingAllgather().schedule(64)
+        M = RDMH(tie_break="first").map(block_bunch(mid_cluster, 64), mid_D, rng=0)
+        rows = stage_locality(sched, M, mid_cluster)
+        assert rows[5].intra_node_fraction == 1.0
+        assert rows[4].intra_node_fraction == 1.0
+        assert rows[3].intra_node_fraction == 1.0
+
+    def test_rmh_localises_the_ring(self, mid_cluster, mid_D):
+        sched = RingAllgather().schedule(64)
+        before = stage_locality(sched, cyclic_scatter(mid_cluster, 64), mid_cluster)[0]
+        M = RMH(tie_break="first").map(cyclic_scatter(mid_cluster, 64), mid_D, rng=0)
+        after = stage_locality(sched, M, mid_cluster)[0]
+        assert before.intra_node_fraction == 0.0
+        assert after.intra_node_fraction > 0.8   # only node-boundary hops remain
+
+    def test_unit_fraction_weights_by_volume(self, mid_cluster):
+        sched = RecursiveDoublingAllgather().schedule(64)
+        rows = stage_locality(sched, block_bunch(mid_cluster, 64), mid_cluster)
+        # per-stage sizes are uniform, so unit and message fractions agree
+        for r in rows:
+            assert r.intra_node_unit_fraction == pytest.approx(r.intra_node_fraction)
+
+    def test_table_renders(self, mid_cluster):
+        sched = RingAllgather().schedule(64)
+        text = locality_table(sched, block_bunch(mid_cluster, 64), mid_cluster)
+        assert "local%" in text
+        assert "ring:stage*" in text

@@ -1,0 +1,87 @@
+"""CorePool and Mapper plumbing tests."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.base import CorePool, Mapper
+
+
+class TestCorePool:
+    def test_take_and_free_count(self, tiny_D):
+        pool = CorePool(tiny_D, [0, 1, 2, 3])
+        assert pool.n_free == 4
+        pool.take(2)
+        assert pool.n_free == 3
+        assert not pool.is_free(2)
+
+    def test_double_take_rejected(self, tiny_D):
+        pool = CorePool(tiny_D, [0, 1])
+        pool.take(0)
+        with pytest.raises(ValueError, match="already taken"):
+            pool.take(0)
+
+    def test_foreign_core_rejected(self, tiny_D):
+        pool = CorePool(tiny_D, [0, 1])
+        with pytest.raises(KeyError):
+            pool.take(5)
+
+    def test_duplicates_rejected(self, tiny_D):
+        with pytest.raises(ValueError, match="duplicate"):
+            CorePool(tiny_D, [0, 0, 1])
+
+    def test_empty_rejected(self, tiny_D):
+        with pytest.raises(ValueError, match="empty"):
+            CorePool(tiny_D, [])
+
+    def test_closest_free_prefers_same_socket(self, tiny_cluster, tiny_D):
+        # cores 0,1 same socket; 2,3 same node other socket; 4+ other nodes
+        pool = CorePool(tiny_D, list(range(16)), tie_break="first")
+        pool.take(0)
+        assert pool.closest_free(0) == 1
+
+    def test_closest_skips_taken(self, tiny_D):
+        pool = CorePool(tiny_D, list(range(16)), tie_break="first")
+        pool.take(0)
+        pool.take(1)
+        # next closest to core 0 is its cross-socket neighbours 2, 3
+        assert pool.closest_free(0) == 2
+
+    def test_random_tie_break_uses_rng(self, tiny_D):
+        picks = set()
+        for seed in range(20):
+            pool = CorePool(tiny_D, list(range(16)), rng=seed, tie_break="random")
+            pool.take(0)
+            pool.take(1)
+            picks.add(pool.closest_free(0))  # 2 and 3 tie
+        assert picks == {2, 3}
+
+    def test_exhaustion_raises(self, tiny_D):
+        pool = CorePool(tiny_D, [0])
+        pool.take(0)
+        with pytest.raises(RuntimeError, match="no free cores"):
+            pool.closest_free(0)
+
+    def test_bad_tie_break(self, tiny_D):
+        with pytest.raises(ValueError):
+            CorePool(tiny_D, [0], tie_break="nope")
+
+
+class TestMapperPlumbing:
+    def test_setup_fixes_rank0(self, tiny_D):
+        layout = np.array([3, 1, 2, 0])
+        L, M, pool = Mapper._setup(layout, tiny_D, 0, "first")
+        assert M[0] == 3
+        assert not pool.is_free(3)
+        assert pool.n_free == 3
+
+    def test_finish_detects_unmapped(self, tiny_D):
+        layout = np.arange(4)
+        M = np.array([0, 1, -1, 3])
+        with pytest.raises(RuntimeError, match="unmapped"):
+            Mapper._finish(M, layout)
+
+    def test_finish_detects_foreign_cores(self):
+        layout = np.arange(4)
+        M = np.array([0, 1, 2, 7])
+        with pytest.raises(RuntimeError, match="outside"):
+            Mapper._finish(M, layout)

@@ -1,0 +1,67 @@
+"""General-purpose baseline mappers: Scotch-like and Hoefler-Snir greedy."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.greedy import GreedyGraphMapper
+from repro.mapping.initial import block_bunch, cyclic_scatter
+from repro.mapping.metrics import hop_bytes
+from repro.mapping.patterns import build_pattern
+from repro.mapping.scotch import ScotchLikeMapper
+
+
+class TestScotchLike:
+    def test_permutation_output(self, mid_cluster, mid_D):
+        g = build_pattern("ring", 32)
+        layout = cyclic_scatter(mid_cluster, 32)
+        M = ScotchLikeMapper(g).map(layout, mid_D, rng=0)
+        assert sorted(M.tolist()) == sorted(layout.tolist())
+
+    def test_improves_scattered_ring(self, mid_cluster, mid_D):
+        g = build_pattern("ring", 64)
+        layout = cyclic_scatter(mid_cluster, 64)
+        M = ScotchLikeMapper(g).map(layout, mid_D, rng=0)
+        assert hop_bytes(g, M, mid_D) < hop_bytes(g, layout, mid_D)
+
+    def test_size_mismatch_rejected(self, mid_D):
+        g = build_pattern("ring", 8)
+        with pytest.raises(ValueError, match="pattern graph"):
+            ScotchLikeMapper(g).map(np.arange(16), mid_D)
+
+    def test_refine_passes_validation(self):
+        g = build_pattern("ring", 8)
+        with pytest.raises(ValueError):
+            ScotchLikeMapper(g, refine_passes=-1)
+
+    def test_zero_passes_still_valid(self, mid_cluster, mid_D):
+        g = build_pattern("recursive-doubling", 16)
+        layout = block_bunch(mid_cluster, 16)
+        M = ScotchLikeMapper(g, refine_passes=0).map(layout, mid_D, rng=0)
+        assert sorted(M.tolist()) == sorted(layout.tolist())
+
+    @pytest.mark.parametrize("p", [2, 3, 5, 8, 17, 32])
+    def test_odd_sizes(self, p, mid_cluster, mid_D):
+        g = build_pattern("ring", p)
+        layout = block_bunch(mid_cluster, p)
+        M = ScotchLikeMapper(g).map(layout, mid_D, rng=1)
+        assert sorted(M.tolist()) == sorted(layout.tolist())
+
+
+class TestGreedy:
+    def test_permutation_output(self, mid_cluster, mid_D):
+        g = build_pattern("binomial-gather", 32)
+        layout = cyclic_scatter(mid_cluster, 32)
+        M = GreedyGraphMapper(g).map(layout, mid_D, rng=0)
+        assert sorted(M.tolist()) == sorted(layout.tolist())
+        assert M[0] == layout[0]  # greedy fixes rank 0 like the heuristics
+
+    def test_improves_scattered_gather(self, mid_cluster, mid_D):
+        g = build_pattern("binomial-gather", 64)
+        layout = cyclic_scatter(mid_cluster, 64)
+        M = GreedyGraphMapper(g).map(layout, mid_D, rng=0)
+        assert hop_bytes(g, M, mid_D) <= hop_bytes(g, layout, mid_D)
+
+    def test_size_mismatch_rejected(self, mid_D):
+        g = build_pattern("ring", 8)
+        with pytest.raises(ValueError):
+            GreedyGraphMapper(g).map(np.arange(4), mid_D)

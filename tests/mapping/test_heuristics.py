@@ -1,0 +1,189 @@
+"""Tests of the four paper heuristics (RDMH, RMH, BBMH, BGMH) + BruckMH.
+
+Common contract (paper Algorithm 1): the output is a permutation of the
+layout's cores with rank 0 fixed on its current core.  Each heuristic is
+additionally checked against its pattern-specific placement goal and the
+paper's two stated requirements: improve bad initial mappings, and do no
+harm to good ones (§I).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapping.bbmh import BBMH
+from repro.mapping.bgmh import BGMH
+from repro.mapping.bruckmh import BruckMH
+from repro.mapping.initial import block_bunch, cyclic_bunch, cyclic_scatter
+from repro.mapping.metrics import hop_bytes
+from repro.mapping.patterns import build_pattern
+from repro.mapping.rdmh import RDMH
+from repro.mapping.rmh import RMH
+
+ALL_HEURISTICS = [RDMH(), RMH(), BBMH(), BGMH(), BruckMH()]
+
+
+def check_contract(mapper, layout, D):
+    M = mapper.map(layout, D, rng=0)
+    assert sorted(M.tolist()) == sorted(np.asarray(layout).tolist())
+    assert M[0] == layout[0]
+    return M
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("mapper", ALL_HEURISTICS, ids=lambda m: m.name)
+    def test_permutation_and_fixed_rank0(self, mapper, mid_cluster, mid_D):
+        layout = cyclic_bunch(mid_cluster, 64)
+        check_contract(mapper, layout, mid_D)
+
+    @pytest.mark.parametrize("mapper", [RMH(), BBMH(), BGMH(), BruckMH()], ids=lambda m: m.name)
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 7, 12, 16, 33])
+    def test_any_p(self, mapper, mid_cluster, mid_D, p):
+        layout = block_bunch(mid_cluster, p)
+        check_contract(mapper, layout, mid_D)
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 16, 32, 64])
+    def test_rdmh_pow2(self, mid_cluster, mid_D, p):
+        layout = cyclic_bunch(mid_cluster, p)
+        check_contract(RDMH(), layout, mid_D)
+
+    def test_rdmh_rejects_non_pow2(self, mid_cluster, mid_D):
+        with pytest.raises(ValueError, match="power-of-two"):
+            RDMH().map(block_bunch(mid_cluster, 12), mid_D)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_random_layouts(self, mid_cluster, mid_D, seed):
+        """Contract holds from arbitrary initial placements."""
+        rng = np.random.default_rng(seed)
+        layout = rng.permutation(32)
+        for mapper in (RDMH(), RMH(), BGMH()):
+            check_contract(mapper, layout, mid_D)
+
+    def test_deterministic_with_first_tiebreak(self, mid_cluster, mid_D):
+        layout = cyclic_bunch(mid_cluster, 32)
+        for cls in (RDMH, RMH, BBMH, BGMH, BruckMH):
+            a = cls(tie_break="first").map(layout, mid_D, rng=0)
+            b = cls(tie_break="first").map(layout, mid_D, rng=99)
+            assert np.array_equal(a, b)
+
+
+class TestImproveAndDoNoHarm:
+    """Paper §I: fix bad initial mappings, never break good ones."""
+
+    @pytest.mark.parametrize(
+        "mapper,pattern,bad_layout",
+        [
+            (RDMH(), "recursive-doubling", block_bunch),   # block is bad for RD
+            (RMH(), "ring", cyclic_scatter),               # cyclic is bad for ring
+            (BruckMH(), "bruck", block_bunch),             # heavy shifts cross nodes
+        ],
+        ids=["rdmh", "rmh", "bruckmh"],
+    )
+    def test_improves_bad_layout(self, mapper, pattern, bad_layout, mid_cluster, mid_D):
+        layout = bad_layout(mid_cluster, 64)
+        M = mapper.map(layout, mid_D, rng=0)
+        g = build_pattern(pattern, 64)
+        assert hop_bytes(g, M, mid_D) < hop_bytes(g, layout, mid_D)
+
+    @pytest.mark.parametrize(
+        "mapper,pattern",
+        [(RDMH(), "recursive-doubling"), (BruckMH(), "bruck")],
+        ids=["rdmh", "bruckmh"],
+    )
+    def test_no_harm_on_cyclic(self, mapper, pattern, mid_cluster, mid_D):
+        """cyclic already co-locates the heavy late-stage pairs; the
+        heuristics must not make it worse."""
+        layout = cyclic_scatter(mid_cluster, 64)
+        M = mapper.map(layout, mid_D, rng=0)
+        g = build_pattern(pattern, 64)
+        assert hop_bytes(g, M, mid_D) <= hop_bytes(g, layout, mid_D) * 1.0001
+
+    def test_rmh_no_harm_on_block(self, mid_cluster, mid_D):
+        """block-bunch is already ideal for the ring; RMH must keep it so."""
+        layout = block_bunch(mid_cluster, 64)
+        M = RMH(tie_break="first").map(layout, mid_D, rng=0)
+        g = build_pattern("ring", 64)
+        assert hop_bytes(g, M, mid_D) <= hop_bytes(g, layout, mid_D) * 1.0001
+
+    @pytest.mark.parametrize(
+        "mapper,pattern",
+        [(BBMH(), "binomial-bcast"), (BGMH(), "binomial-gather")],
+        ids=["bbmh", "bgmh"],
+    )
+    def test_tree_heuristics_improve_scattered(self, mapper, pattern, mid_cluster, mid_D):
+        layout = cyclic_scatter(mid_cluster, 64)
+        M = mapper.map(layout, mid_D, rng=0)
+        g = build_pattern(pattern, 64)
+        assert hop_bytes(g, M, mid_D) <= hop_bytes(g, layout, mid_D)
+
+
+class TestRDMHSpecifics:
+    def test_last_stage_partners_colocated(self, mid_cluster, mid_D):
+        """RDMH pulls the largest-message partners onto the same node."""
+        p = 64
+        layout = cyclic_bunch(mid_cluster, p)
+        M = RDMH(tie_break="first").map(layout, mid_D, rng=0)
+        node = mid_cluster.node_of(M)
+        same = sum(int(node[i] == node[i ^ (p // 2)]) for i in range(p))
+        assert same == p  # every last-stage pair shares a node
+
+    def test_update_after_variants_valid(self, mid_cluster, mid_D):
+        layout = cyclic_bunch(mid_cluster, 32)
+        for ua in (1, 2, 4):
+            M = RDMH(update_after=ua).map(layout, mid_D, rng=0)
+            assert sorted(M.tolist()) == sorted(layout.tolist())
+
+    def test_bad_update_after(self):
+        with pytest.raises(ValueError):
+            RDMH(update_after=0)
+
+
+class TestRMHSpecifics:
+    def test_chain_is_greedy_nearest(self, mid_cluster, mid_D):
+        """Each successive rank sits on the free core nearest its predecessor."""
+        layout = cyclic_bunch(mid_cluster, 16)
+        M = RMH(tie_break="first").map(layout, mid_D, rng=0)
+        free = set(layout.tolist())
+        free.discard(int(M[0]))
+        for r in range(1, 16):
+            dists = {c: mid_D[int(M[r - 1]), c] for c in free}
+            assert mid_D[int(M[r - 1]), int(M[r])] == min(dists.values())
+            free.discard(int(M[r]))
+
+
+class TestBBMHSpecifics:
+    @pytest.mark.parametrize("traversal", ["small-first", "large-first", "bft"])
+    def test_traversals_valid(self, traversal, mid_cluster, mid_D):
+        layout = cyclic_scatter(mid_cluster, 32)
+        M = BBMH(traversal=traversal).map(layout, mid_D, rng=0)
+        assert sorted(M.tolist()) == sorted(layout.tolist())
+
+    def test_unknown_traversal(self):
+        with pytest.raises(ValueError):
+            BBMH(traversal="zigzag")
+
+    def test_first_child_next_to_root(self, mid_cluster, mid_D):
+        """small-first: rank 1 (the last-stage partner of the root) is the
+        first placement and lands as close to rank 0 as possible."""
+        layout = cyclic_scatter(mid_cluster, 32)
+        M = BBMH(tie_break="first").map(layout, mid_D, rng=0)
+        d01 = mid_D[int(M[0]), int(M[1])]
+        others = [mid_D[int(M[0]), c] for c in layout if c != M[0]]
+        assert d01 == min(others)
+
+
+class TestBGMHSpecifics:
+    def test_heaviest_edge_first(self, mid_cluster, mid_D):
+        """Rank p/2 (the heaviest gather edge) is placed right next to the
+        root, before anything else."""
+        layout = cyclic_scatter(mid_cluster, 32)
+        M = BGMH(tie_break="first").map(layout, mid_D, rng=0)
+        d = mid_D[int(M[0]), int(M[16])]
+        others = [mid_D[int(M[0]), c] for c in layout if c != M[0]]
+        assert d == min(others)
+
+    def test_non_pow2(self, mid_cluster, mid_D):
+        layout = block_bunch(mid_cluster, 11)
+        M = BGMH().map(layout, mid_D, rng=0)
+        assert sorted(M.tolist()) == sorted(layout.tolist())

@@ -1,0 +1,76 @@
+"""Initial layout tests (paper §VI-A block/cyclic x bunch/scatter)."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.initial import (
+    INITIAL_LAYOUTS,
+    block_bunch,
+    block_scatter,
+    cyclic_bunch,
+    cyclic_scatter,
+    make_layout,
+)
+
+
+class TestDefinitions:
+    """Explicit expected placements on the tiny cluster:
+    4 nodes x (2 sockets x 2 cores); cores 0-3 on node 0, sockets {0,1},{2,3}.
+    """
+
+    def test_block_bunch_is_identity(self, tiny_cluster):
+        assert block_bunch(tiny_cluster, 8).tolist() == list(range(8))
+
+    def test_block_scatter_alternates_sockets(self, tiny_cluster):
+        # within node 0: rank 0 -> core 0 (s0), rank 1 -> core 2 (s1), ...
+        assert block_scatter(tiny_cluster, 8).tolist() == [0, 2, 1, 3, 4, 6, 5, 7]
+
+    def test_cyclic_bunch_round_robins_nodes(self, tiny_cluster):
+        # p=16 uses all 4 nodes; ranks round-robin across them
+        L = cyclic_bunch(tiny_cluster, 16)
+        assert L.tolist() == [0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15]
+        assert tiny_cluster.node_of(L[:4]).tolist() == [0, 1, 2, 3]
+
+    def test_cyclic_allocates_only_needed_nodes(self, tiny_cluster):
+        # 8 ranks need only 2 nodes; cyclic round-robins over those two
+        L = cyclic_bunch(tiny_cluster, 8)
+        assert L.tolist() == [0, 4, 1, 5, 2, 6, 3, 7]
+
+    def test_cyclic_scatter(self, tiny_cluster):
+        L = cyclic_scatter(tiny_cluster, 16)
+        # rank 4 is the second rank on node 0 -> other socket (core 2)
+        assert L[4] == 2
+        assert tiny_cluster.node_of(L[:4]).tolist() == [0, 1, 2, 3]
+
+
+class TestContract:
+    @pytest.mark.parametrize("name", sorted(INITIAL_LAYOUTS))
+    @pytest.mark.parametrize("p", [1, 5, 8, 16])
+    def test_valid_injective_layouts(self, name, p, tiny_cluster):
+        L = make_layout(name, tiny_cluster, p)
+        assert L.shape == (p,)
+        assert len(set(L.tolist())) == p
+        assert L.min() >= 0 and L.max() < tiny_cluster.n_cores
+
+    @pytest.mark.parametrize("name", sorted(INITIAL_LAYOUTS))
+    def test_full_subscription_same_core_set(self, name, tiny_cluster):
+        """All four layouts occupy exactly the same cores when full."""
+        L = make_layout(name, tiny_cluster, 16)
+        assert sorted(L.tolist()) == list(range(16))
+
+    def test_block_fills_nodes_in_order(self, mid_cluster):
+        L = block_bunch(mid_cluster, 24)
+        nodes = mid_cluster.node_of(L)
+        assert nodes.tolist() == [0] * 8 + [1] * 8 + [2] * 8
+
+    def test_oversubscription_rejected(self, tiny_cluster):
+        with pytest.raises(ValueError, match="exceeds"):
+            block_bunch(tiny_cluster, 17)
+
+    def test_nonpositive_rejected(self, tiny_cluster):
+        with pytest.raises(ValueError):
+            block_bunch(tiny_cluster, 0)
+
+    def test_unknown_name(self, tiny_cluster):
+        with pytest.raises(KeyError, match="unknown layout"):
+            make_layout("spiral", tiny_cluster, 8)

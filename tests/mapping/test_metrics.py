@@ -1,0 +1,75 @@
+"""Mapping-quality metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.allgather_ring import RingAllgather
+from repro.mapping.initial import block_bunch, cyclic_scatter
+from repro.mapping.metrics import (
+    MappingQuality,
+    dilation_stats,
+    hop_bytes,
+    quality,
+    schedule_max_congestion,
+)
+from repro.mapping.patterns import PatternGraph, build_pattern
+
+
+class TestHopBytes:
+    def test_manual_example(self):
+        D = np.array([[0.0, 1.0, 5.0], [1.0, 0.0, 5.0], [5.0, 5.0, 0.0]])
+        g = PatternGraph(3, np.array([0, 1]), np.array([1, 2]), np.array([10.0, 2.0]))
+        M = np.array([0, 1, 2])
+        assert hop_bytes(g, M, D) == 10 * 1 + 2 * 5
+
+    def test_remap_changes_value(self):
+        D = np.array([[0.0, 1.0, 5.0], [1.0, 0.0, 5.0], [5.0, 5.0, 0.0]])
+        g = PatternGraph(3, np.array([0]), np.array([1]), np.array([10.0]))
+        assert hop_bytes(g, [0, 2, 1], D) == 50.0
+
+    def test_empty_graph(self):
+        g = PatternGraph(3, np.empty(0), np.empty(0), np.empty(0))
+        assert hop_bytes(g, [0, 1, 2], np.zeros((3, 3))) == 0.0
+
+
+class TestDilation:
+    def test_stats(self):
+        D = np.array([[0.0, 1.0, 5.0], [1.0, 0.0, 5.0], [5.0, 5.0, 0.0]])
+        g = PatternGraph(3, np.array([0, 1]), np.array([1, 2]), np.array([1.0, 1.0]))
+        mean, worst = dilation_stats(g, [0, 1, 2], D)
+        assert mean == 3.0
+        assert worst == 5.0
+
+
+class TestQuality:
+    def test_bundle(self, mid_cluster, mid_D):
+        g = build_pattern("ring", 16)
+        q = quality(g, block_bunch(mid_cluster, 16), mid_D)
+        assert isinstance(q, MappingQuality)
+        assert q.hop_bytes > 0
+        assert q.max_dilation >= q.mean_dilation
+        assert "hop-bytes" in str(q)
+
+    def test_block_beats_cyclic_for_ring(self, mid_cluster, mid_D):
+        g = build_pattern("ring", 64)
+        q_block = quality(g, block_bunch(mid_cluster, 64), mid_D)
+        q_cyclic = quality(g, cyclic_scatter(mid_cluster, 64), mid_D)
+        assert q_block.hop_bytes < q_cyclic.hop_bytes
+
+
+class TestScheduleCongestion:
+    def test_cyclic_relieves_rd_hotspots(self, tiny_engine, tiny_cluster):
+        """For recursive doubling, cyclic keeps the heavy late stages
+        inside nodes, halving the worst link load vs block (paper §VI-A1:
+        'an initial cyclic mapping is better than block for the recursive
+        doubling algorithm')."""
+        from repro.collectives.allgather_rd import RecursiveDoublingAllgather
+
+        sched = RecursiveDoublingAllgather().schedule(16)
+        block = schedule_max_congestion(
+            tiny_engine, sched, block_bunch(tiny_cluster, 16), 1024.0
+        )
+        cyclic = schedule_max_congestion(
+            tiny_engine, sched, cyclic_scatter(tiny_cluster, 16), 1024.0
+        )
+        assert 0 < cyclic < block

@@ -1,0 +1,77 @@
+"""Optimality-gap tests: the heuristics vs the exhaustive optimum."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.bbmh import BBMH
+from repro.mapping.bgmh import BGMH
+from repro.mapping.metrics import hop_bytes
+from repro.mapping.optimal import MAX_OPTIMAL_P, OptimalMapper
+from repro.mapping.patterns import build_pattern
+from repro.mapping.rdmh import RDMH
+from repro.mapping.rmh import RMH
+
+
+@pytest.fixture(scope="module")
+def D8(one_node):
+    """One GPC node: 8 cores, 2 sockets — the intra-node mapping setting."""
+    return one_node.distance_matrix()
+
+
+class TestExhaustiveSearch:
+    def test_rejects_big_instances(self):
+        with pytest.raises(ValueError, match="exhaustive"):
+            OptimalMapper(build_pattern("ring", 16))
+
+    def test_contract(self, D8):
+        g = build_pattern("ring", 8)
+        layout = np.array([3, 5, 1, 7, 0, 2, 6, 4])
+        M = OptimalMapper(g).map(layout, D8)
+        assert sorted(M.tolist()) == sorted(layout.tolist())
+        assert M[0] == layout[0]
+
+    def test_never_worse_than_any_heuristic(self, D8):
+        rng = np.random.default_rng(0)
+        for pattern, heuristic in [
+            ("ring", RMH(tie_break="first")),
+            ("recursive-doubling", RDMH(tie_break="first")),
+            ("binomial-bcast", BBMH(tie_break="first")),
+            ("binomial-gather", BGMH(tie_break="first")),
+        ]:
+            g = build_pattern(pattern, 8)
+            opt = OptimalMapper(g)
+            for _ in range(3):
+                layout = rng.permutation(8)
+                c_opt = hop_bytes(g, opt.map(layout, D8), D8)
+                c_h = hop_bytes(g, heuristic.map(layout, D8, rng=0), D8)
+                assert c_opt <= c_h + 1e-9, pattern
+
+    def test_finds_known_optimum_for_ring(self, D8):
+        """For the ring on one 2-socket node the optimum keeps all but two
+        edges intra-socket: hop-bytes = 7 * (6 intra + 2 cross edges)."""
+        g = build_pattern("ring", 8)
+        layout = np.arange(8)
+        cost = OptimalMapper(g).optimal_cost(layout, D8)
+        # weights are p-1=7 per edge; distances: intra-socket 1, cross 3
+        assert cost == pytest.approx(7 * (6 * 1 + 2 * 3))
+
+
+class TestHeuristicOptimalityGap:
+    @pytest.mark.parametrize(
+        "pattern,heuristic_cls",
+        [("ring", RMH), ("recursive-doubling", RDMH), ("binomial-gather", BGMH)],
+        ids=["rmh", "rdmh", "bgmh"],
+    )
+    def test_gap_is_small_intra_node(self, D8, pattern, heuristic_cls):
+        """On one node the paper's heuristics stay within 25% of optimal
+        hop-bytes from arbitrary placements."""
+        rng = np.random.default_rng(7)
+        g = build_pattern(pattern, 8)
+        opt = OptimalMapper(g)
+        gaps = []
+        for _ in range(5):
+            layout = rng.permutation(8)
+            c_opt = opt.optimal_cost(layout, D8)
+            c_h = hop_bytes(g, heuristic_cls(tie_break="first").map(layout, D8, rng=0), D8)
+            gaps.append(c_h / c_opt)
+        assert max(gaps) <= 1.25, gaps

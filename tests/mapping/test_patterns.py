@@ -1,0 +1,106 @@
+"""Pattern-graph builder tests (including the paper's Fig. 1 structure)."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.patterns import (
+    PATTERN_BUILDERS,
+    PatternGraph,
+    binomial_bcast_pattern,
+    binomial_gather_pattern,
+    bruck_pattern,
+    build_pattern,
+    recursive_doubling_pattern,
+    ring_pattern,
+)
+
+
+class TestRecursiveDoublingPattern:
+    def test_fig1_eight_processes(self):
+        """Paper Fig. 1: 8 processes, 3 stages of pairwise exchanges."""
+        g = recursive_doubling_pattern(8)
+        assert g.n_edges == 8 * 3 // 2  # p/2 pairs per stage, 3 stages
+        edges = {(int(u), int(v)): w for u, v, w in zip(g.src, g.dst, g.weight)}
+        assert edges[(0, 1)] == 1.0    # stage 0 (red)
+        assert edges[(0, 2)] == 2.0    # stage 1 (blue)
+        assert edges[(0, 4)] == 4.0    # stage 2 (green)
+        assert (0, 3) not in edges
+
+    def test_total_weight(self):
+        # p/2 edges of weight 2^s per stage s
+        g = recursive_doubling_pattern(16)
+        assert g.total_weight() == 8 * (1 + 2 + 4 + 8)
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            recursive_doubling_pattern(12)
+
+
+class TestRingPattern:
+    def test_cycle(self):
+        g = ring_pattern(5)
+        assert g.n_edges == 5
+        assert np.all(g.weight == 4.0)
+
+    def test_small(self):
+        assert ring_pattern(2).n_edges == 1
+        with pytest.raises(ValueError):
+            ring_pattern(1)
+
+
+class TestBinomialPatterns:
+    def test_bcast_unit_weights(self):
+        g = binomial_bcast_pattern(16)
+        assert g.n_edges == 15  # spanning tree
+        assert np.all(g.weight == 1.0)
+
+    def test_gather_subtree_weights(self):
+        g = binomial_gather_pattern(8)
+        edges = {(int(u), int(v)): w for u, v, w in zip(g.src, g.dst, g.weight)}
+        assert edges[(0, 4)] == 4.0
+        assert edges[(0, 2)] == 2.0
+        assert edges[(0, 1)] == 1.0
+        assert edges[(4, 6)] == 2.0
+
+
+class TestBruckPattern:
+    def test_edge_weights(self):
+        g = bruck_pattern(8)
+        edges = {(int(u), int(v)): w for u, v, w in zip(g.src, g.dst, g.weight)}
+        assert edges[(0, 7)] == 1.0          # stage 0 shift
+        # stage 2: 0 sends 4 blocks to 4 AND 4 sends 4 blocks to 0
+        assert edges[(0, 4)] == 8.0
+        assert g.n_edges > 0
+
+    def test_non_pow2_ok(self):
+        g = bruck_pattern(6)
+        assert g.p == 6
+
+
+class TestGraphUtilities:
+    def test_adjacency_symmetric(self):
+        g = ring_pattern(4)
+        adj = g.adjacency()
+        assert (1, 3.0) in adj[0]
+        assert (0, 3.0) in adj[1]
+
+    def test_degree_weights(self):
+        g = ring_pattern(4)
+        assert np.all(g.degree_weights() == 6.0)  # two incident edges of w=3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PatternGraph(2, np.array([0]), np.array([5]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            PatternGraph(2, np.array([0]), np.array([1]), np.array([1.0, 2.0]))
+
+
+class TestBuildPattern:
+    def test_all_builders_reachable(self):
+        for name in PATTERN_BUILDERS:
+            g = build_pattern(name, 8)
+            assert g.p == 8
+
+    def test_unknown_pattern(self):
+        with pytest.raises(KeyError, match="unknown pattern"):
+            build_pattern("butterfly", 8)

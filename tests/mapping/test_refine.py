@@ -1,0 +1,63 @@
+"""Swap-refinement tests."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.metrics import hop_bytes
+from repro.mapping.patterns import PatternGraph, build_pattern
+from repro.mapping.refine import SwapRefiner
+from repro.mapping.rdmh import RDMH
+from repro.mapping.initial import block_bunch, cyclic_scatter
+
+
+class TestSwapRefiner:
+    def test_never_worse(self, mid_cluster, mid_D):
+        g = build_pattern("ring", 64)
+        refiner = SwapRefiner(g)
+        for layout_fn in (block_bunch, cyclic_scatter):
+            L = layout_fn(mid_cluster, 64)
+            res = refiner.refine(L, mid_D, rng=0)
+            assert res.final_hop_bytes <= res.initial_hop_bytes
+            assert res.final_hop_bytes == pytest.approx(hop_bytes(g, res.mapping, mid_D))
+
+    def test_preserves_permutation(self, mid_cluster, mid_D):
+        g = build_pattern("recursive-doubling", 64)
+        L = cyclic_scatter(mid_cluster, 64)
+        res = SwapRefiner(g).refine(L, mid_D, rng=0)
+        assert sorted(res.mapping.tolist()) == sorted(L.tolist())
+
+    def test_improves_random_mapping(self, mid_cluster, mid_D):
+        rng = np.random.default_rng(1)
+        L = rng.permutation(64)
+        g = build_pattern("ring", 64)
+        res = SwapRefiner(g, max_passes=6).refine(L, mid_D, rng=0)
+        assert res.final_hop_bytes < res.initial_hop_bytes
+        assert res.improvement_pct > 0
+        assert res.swaps > 0
+
+    def test_input_not_mutated(self, mid_cluster, mid_D):
+        L = cyclic_scatter(mid_cluster, 64)
+        before = L.copy()
+        SwapRefiner(build_pattern("ring", 64)).refine(L, mid_D, rng=0)
+        assert np.array_equal(L, before)
+
+    def test_empty_graph(self, mid_D):
+        g = PatternGraph(4, np.empty(0), np.empty(0), np.empty(0))
+        res = SwapRefiner(g).refine(np.arange(4), mid_D, rng=0)
+        assert res.swaps == 0
+        assert res.improvement_pct == 0.0
+
+    def test_validation(self):
+        g = build_pattern("ring", 8)
+        with pytest.raises(ValueError):
+            SwapRefiner(g, max_passes=0)
+        with pytest.raises(ValueError):
+            SwapRefiner(g, candidates_per_pass=0)
+
+    def test_on_top_of_heuristic(self, mid_cluster, mid_D):
+        """Refinement composes with RDMH and cannot undo its quality."""
+        L = block_bunch(mid_cluster, 64)
+        M = RDMH(tie_break="first").map(L, mid_D, rng=0)
+        g = build_pattern("recursive-doubling", 64)
+        res = SwapRefiner(g).refine(M, mid_D, rng=0)
+        assert res.final_hop_bytes <= hop_bytes(g, M, mid_D)

@@ -1,0 +1,67 @@
+"""reorder_ranks entry-point tests (paper §IV flow + Fig. 7b overheads)."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.initial import block_bunch, cyclic_scatter
+from repro.mapping.reorder import HEURISTICS, MAPPER_KINDS, reorder_ranks
+
+
+class TestDispatch:
+    def test_heuristics_registry_complete(self):
+        assert set(HEURISTICS) == {
+            "recursive-doubling",
+            "ring",
+            "binomial-bcast",
+            "binomial-gather",
+            "bruck",
+        }
+
+    @pytest.mark.parametrize("pattern", sorted(HEURISTICS))
+    def test_heuristic_kind(self, pattern, mid_cluster, mid_D):
+        layout = cyclic_scatter(mid_cluster, 32)
+        res = reorder_ranks(pattern, layout, mid_D, kind="heuristic", rng=0)
+        assert res.pattern == pattern
+        assert res.graph_seconds == 0.0          # no pattern graph built
+        assert res.map_seconds > 0.0
+        assert sorted(res.mapping.tolist()) == sorted(layout.tolist())
+
+    @pytest.mark.parametrize("kind", ["scotch", "greedy"])
+    def test_graph_based_kinds(self, kind, mid_cluster, mid_D):
+        layout = block_bunch(mid_cluster, 32)
+        res = reorder_ranks("ring", layout, mid_D, kind=kind, rng=0)
+        assert res.graph_seconds > 0.0           # graph construction timed
+        assert res.total_seconds == pytest.approx(res.map_seconds + res.graph_seconds)
+
+    def test_unknown_kind(self, mid_D):
+        with pytest.raises(ValueError, match="kind"):
+            reorder_ranks("ring", np.arange(8), mid_D, kind="magic")
+
+    def test_unknown_pattern(self, mid_D):
+        with pytest.raises(KeyError, match="heuristic"):
+            reorder_ranks("alltoall", np.arange(8), mid_D)
+
+    def test_mapper_kwargs_forwarded(self, mid_cluster, mid_D):
+        layout = cyclic_scatter(mid_cluster, 16)
+        a = reorder_ranks("binomial-bcast", layout, mid_D, tie_break="first", traversal="bft")
+        b = reorder_ranks("binomial-bcast", layout, mid_D, tie_break="first", traversal="bft")
+        assert np.array_equal(a.mapping, b.mapping)
+
+
+class TestOverheadOrdering:
+    def test_heuristic_cheaper_than_scotch(self, mid_cluster, mid_D):
+        """Fig. 7(b): fine-tuned heuristics cost far less than Scotch,
+        which must also build the pattern graph first."""
+        layout = cyclic_scatter(mid_cluster, 64)
+        h = reorder_ranks("recursive-doubling", layout, mid_D, kind="heuristic", rng=0)
+        s = reorder_ranks("recursive-doubling", layout, mid_D, kind="scotch", rng=0)
+        assert h.total_seconds < s.total_seconds
+
+
+class TestReorderingObject:
+    def test_bijection_fields(self, mid_cluster, mid_D):
+        layout = cyclic_scatter(mid_cluster, 16)
+        res = reorder_ranks("ring", layout, mid_D, rng=0)
+        ro = res.reordering
+        assert np.array_equal(np.sort(ro.old_of_new), np.arange(16))
+        assert np.array_equal(ro.new_of_old[ro.old_of_new], np.arange(16))

@@ -1,0 +1,147 @@
+"""Session / VirtualComm facade tests (paper §IV workflow)."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi.communicator import Session
+from repro.topology.gpc import small_cluster
+
+
+@pytest.fixture()
+def session():
+    return Session(small_cluster(), layout="cyclic-bunch")
+
+
+class TestSession:
+    def test_named_layout(self, session):
+        assert session.layout.size == 16
+
+    def test_explicit_layout(self):
+        cl = small_cluster()
+        sess = Session(cl, layout=np.arange(8), n_processes=8)
+        assert sess.comm_world().size == 8
+
+    def test_layout_length_checked(self):
+        with pytest.raises(ValueError):
+            Session(small_cluster(), layout=np.arange(8), n_processes=16)
+
+
+class TestVirtualComm:
+    def test_world_identity(self, session):
+        world = session.comm_world()
+        assert world.size == 16
+        assert not world.is_reordered()
+        assert world.core_of_rank(0) == int(session.layout[0])
+
+    def test_reordered_keeps_core_set(self, session):
+        ring = session.comm_world().reordered("ring")
+        assert ring.is_reordered() or True  # may be identity on tiny systems
+        cores = sorted(ring.core_of_rank(r) for r in range(16))
+        assert cores == sorted(session.layout.tolist())
+
+    def test_info_key_disables_reordering(self, session):
+        world = session.comm_world(info={"topo_reorder": "false"})
+        assert world.reordered("ring") is world
+
+    def test_allgather_data_ordered(self, session):
+        ring = session.comm_world().reordered("ring")
+        out = ring.allgather_data(block_bytes=1 << 16)
+        expected = np.arange(16) * 1000003 + 7
+        assert np.array_equal(out, np.broadcast_to(expected, (16, 16)))
+
+    def test_allgather_data_rd_initcomm(self, session):
+        comm = session.comm_world().reordered("recursive-doubling")
+        out = comm.allgather_data(strategy="initcomm", block_bytes=64)
+        expected = np.arange(16) * 1000003 + 7
+        assert np.array_equal(out, np.broadcast_to(expected, (16, 16)))
+
+    def test_latency_improves_for_cyclic_ring(self, session):
+        world = session.comm_world()
+        ring = world.reordered("ring")
+        base = world.allgather_latency(1 << 16)
+        tuned = ring.allgather_latency(1 << 16)
+        assert tuned <= base
+
+    def test_rank_range_checked(self, session):
+        with pytest.raises(ValueError):
+            session.comm_world().core_of_rank(16)
+
+    def test_repr(self, session):
+        assert "VirtualComm" in repr(session.comm_world().reordered("ring"))
+
+
+class TestSplit:
+    def test_split_by_node(self, session):
+        world = session.comm_world()
+        comms = world.node_comms()
+        assert len(comms) == 4
+        for node, comm in comms.items():
+            assert comm.size == 4
+            cores = [comm.core_of_rank(r) for r in range(comm.size)]
+            assert {int(session.cluster.node_of(c)) for c in cores} == {node}
+
+    def test_split_preserves_rank_order(self, session):
+        world = session.comm_world()
+        comms = world.split([r % 2 for r in range(world.size)])
+        even = comms[0]
+        # colour-0 members are world ranks 0,2,4,... in order
+        expected = [world.core_of_rank(r) for r in range(0, world.size, 2)]
+        assert [even.core_of_rank(r) for r in range(even.size)] == expected
+
+    def test_split_of_reordered_comm_uses_current_binding(self, session):
+        ring = session.comm_world().reordered("ring")
+        comms = ring.node_comms()
+        all_cores = sorted(
+            c for comm in comms.values() for c in
+            (comm.core_of_rank(r) for r in range(comm.size))
+        )
+        assert all_cores == sorted(session.layout.tolist())
+
+    def test_subcomm_collectives_work(self, session):
+        world = session.comm_world()
+        sub = world.node_comms()[0]
+        out = sub.allgather_data()
+        assert out.shape == (4, 4)
+        t = sub.allgather_latency(4096)
+        assert t > 0
+
+    def test_colors_shape_checked(self, session):
+        with pytest.raises(ValueError):
+            session.comm_world().split([0, 1])
+
+
+class TestBcastFacade:
+    def test_bcast_latency_default(self, session):
+        t = session.comm_world().bcast_latency(4096)
+        assert t > 0
+
+    def test_bcast_latency_reordered_not_worse_much(self, session):
+        world = session.comm_world()
+        base = world.bcast_latency(4096)
+        tuned = world.bcast_latency(4096, kind="heuristic")
+        assert tuned <= base * 1.05
+
+    def test_bcast_evaluator_cached_on_session(self, session):
+        world = session.comm_world()
+        world.bcast_latency(1024)
+        first = session._bcast_evaluator
+        world.bcast_latency(2048)
+        assert session._bcast_evaluator is first
+
+
+class TestExplicitAlgorithm:
+    def test_latency_with_custom_algorithm(self, session):
+        from repro.collectives import BruckAllgather
+
+        world = session.comm_world()
+        t = world.allgather_latency(64, algorithm=BruckAllgather())
+        assert t > 0
+
+    def test_data_with_custom_algorithm_endshfl(self, session):
+        import numpy as np
+        from repro.collectives import BruckAllgather
+
+        comm = session.comm_world().reordered("bruck")
+        out = comm.allgather_data(strategy="endshfl", algorithm=BruckAllgather())
+        expected = np.arange(16) * 1000003 + 7
+        assert np.array_equal(out, np.broadcast_to(expected, (16, 16)))

@@ -1,0 +1,96 @@
+"""Data-executor invariant tests."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.schedule import make_stage
+from repro.simmpi.data import DataExecutor, EMPTY, ScheduleExecutionError
+
+
+class TestFill:
+    def test_fill_and_slot(self):
+        exe = DataExecutor(4)
+        exe.fill(1, 2, 42)
+        assert exe.slot(1, 2) == 42
+
+    def test_empty_slot_raises(self):
+        exe = DataExecutor(4)
+        with pytest.raises(ScheduleExecutionError, match="never filled"):
+            exe.slot(0, 0)
+
+    def test_sentinel_payload_rejected(self):
+        exe = DataExecutor(4)
+        with pytest.raises(ValueError):
+            exe.fill(0, 0, int(EMPTY))
+
+    def test_fill_identity(self):
+        exe = DataExecutor(3)
+        exe.fill_identity()
+        for r in range(3):
+            assert exe.owned(r).sum() == 1
+            assert exe.slot(r, r) == r * 1000003 + 7
+
+
+class TestRunStage:
+    def test_simple_copy(self):
+        exe = DataExecutor(2)
+        exe.fill_identity()
+        exe.run_stage(make_stage([(0, 1, (0,)), (1, 0, (1,))]))
+        assert exe.all_full()
+
+    def test_unowned_send_raises(self):
+        exe = DataExecutor(3)
+        exe.fill_identity()
+        with pytest.raises(ScheduleExecutionError, match="unowned"):
+            exe.run_stage(make_stage([(0, 1, (2,))]))
+
+    def test_corruption_raises(self):
+        exe = DataExecutor(3)
+        exe.fill(0, 0, 5)
+        exe.fill(1, 0, 6)  # different value in the same slot id
+        exe.fill(2, 2, 7)
+        with pytest.raises(ScheduleExecutionError, match="corrupted"):
+            exe.run_stage(make_stage([(0, 1, (0,))]))
+
+    def test_consistent_redelivery_ok(self):
+        exe = DataExecutor(3)
+        exe.fill_identity()
+        exe.run_stage(make_stage([(0, 1, (0,))]))
+        exe.run_stage(make_stage([(0, 1, (0,))]))  # same value again: fine
+        assert exe.slot(1, 0) == exe.slot(0, 0)
+
+    def test_stage_snapshot_semantics(self):
+        """A rank cannot forward data it receives in the same stage."""
+        exe = DataExecutor(3)
+        exe.fill_identity()
+        with pytest.raises(ScheduleExecutionError, match="unowned"):
+            exe.run_stage(make_stage([(0, 1, (0,)), (1, 2, (0,))]))
+
+    def test_blockless_stage_rejected(self):
+        from repro.collectives.schedule import Stage
+
+        exe = DataExecutor(2)
+        exe.fill_identity()
+        stage = Stage(src=np.array([0]), dst=np.array([1]), units=np.array([1.0]))
+        with pytest.raises(ScheduleExecutionError, match="no block lists"):
+            exe.run_stage(stage)
+
+
+class TestPostconditions:
+    def test_assert_allgather_complete_detects_gap(self):
+        exe = DataExecutor(2)
+        exe.fill_identity()
+        with pytest.raises(ScheduleExecutionError):
+            exe.assert_allgather_complete()
+
+    def test_assert_allgather_complete_passes(self):
+        exe = DataExecutor(2)
+        exe.fill_identity()
+        exe.run_stage(make_stage([(0, 1, (0,)), (1, 0, (1,))]))
+        exe.assert_allgather_complete()
+
+    def test_custom_slot_count(self):
+        exe = DataExecutor(4, n_slots=1)
+        exe.fill(0, 0, 99)
+        exe.run(iter([make_stage([(0, r, (0,)) for r in range(1, 4)])]))
+        assert all(exe.slot(r, 0) == 99 for r in range(4))

@@ -1,0 +1,86 @@
+"""Exhaustive small-scale reordering matrix: every algorithm x strategy.
+
+The correctness suite property-tests individual combinations; this module
+sweeps the full compatibility matrix at several communicator sizes so a
+regression in any (algorithm, restoration) pairing is caught by name.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collectives.allgather_bruck import BruckAllgather
+from repro.collectives.allgather_rd import RecursiveDoublingAllgather
+from repro.collectives.allgather_rd_nonpow2 import FoldedRecursiveDoublingAllgather
+from repro.collectives.allgather_ring import RingAllgather
+from repro.collectives.correctness import (
+    OrderStrategy,
+    RankReordering,
+    execute_reordered_allgather,
+)
+from repro.collectives.hierarchical import HierarchicalAllgather, contiguous_groups
+from repro.collectives.multilevel import MultiLevelAllgather, socket_groups_for
+
+EXPECTED = {
+    "recursive-doubling": {"initcomm", "endshfl"},
+    "recursive-doubling-folded": {"initcomm", "endshfl"},
+    "bruck": {"initcomm", "endshfl"},
+    "ring": {"initcomm", "endshfl", "inline"},
+}
+
+
+def make_alg(name, p):
+    return {
+        "recursive-doubling": RecursiveDoublingAllgather,
+        "recursive-doubling-folded": FoldedRecursiveDoublingAllgather,
+        "bruck": BruckAllgather,
+        "ring": RingAllgather,
+    }[name]()
+
+
+def perm_reordering(p, seed):
+    rng = np.random.default_rng(seed)
+    return RankReordering(layout=np.arange(p), mapping=rng.permutation(p))
+
+
+class TestCompatibilityMatrix:
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    @pytest.mark.parametrize("strategy", ["initcomm", "endshfl", "inline"])
+    @pytest.mark.parametrize("p", [8, 12])
+    def test_cell(self, name, strategy, p):
+        if name in ("recursive-doubling",) and p != 8:
+            pytest.skip("power-of-two only")
+        alg = make_alg(name, p)
+        ro = perm_reordering(p, seed=p * 131 + len(name))
+        expected = np.arange(p) * 1000003 + 7
+        if strategy in EXPECTED[name]:
+            out = execute_reordered_allgather(alg, ro, strategy)
+            assert np.array_equal(out, np.broadcast_to(expected, (p, p)))
+        else:
+            with pytest.raises(ValueError):
+                execute_reordered_allgather(alg, ro, strategy)
+
+    @pytest.mark.parametrize("strategy", ["initcomm", "endshfl"])
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda p: HierarchicalAllgather(contiguous_groups(p, 4), "rd", "binomial"),
+            lambda p: HierarchicalAllgather(contiguous_groups(p, 4), "ring", "linear"),
+            lambda p: MultiLevelAllgather(socket_groups_for(p, 8, 4), "rd", "binomial"),
+        ],
+        ids=["hier-rd-binomial", "hier-ring-linear", "multilevel"],
+    )
+    def test_leader_schemes(self, strategy, maker):
+        p = 16
+        alg = maker(p)
+        ro = perm_reordering(p, seed=17)
+        out = execute_reordered_allgather(alg, ro, strategy)
+        expected = np.arange(p) * 1000003 + 7
+        assert np.array_equal(out, np.broadcast_to(expected, (p, p)))
+
+    def test_identity_reordering_all_strategies(self):
+        """The identity permutation is valid under every strategy."""
+        ro = RankReordering.identity(np.arange(8))
+        expected = np.arange(8) * 1000003 + 7
+        for strategy in ("initcomm", "endshfl", "none"):
+            out = execute_reordered_allgather(RecursiveDoublingAllgather(), ro, strategy)
+            assert np.array_equal(out, np.broadcast_to(expected, (8, 8)))

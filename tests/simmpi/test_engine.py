@@ -1,0 +1,136 @@
+"""Timing-engine tests: message costs, congestion, stage semantics."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.schedule import Schedule, Stage
+from repro.simmpi.costmodel import CostModel
+from repro.simmpi.engine import TimingEngine
+from repro.topology.cluster import LinkClass
+
+
+def one_stage(src, dst, units=None, repeat=1):
+    src = np.asarray(src)
+    units = np.ones(src.size) if units is None else np.asarray(units, dtype=float)
+    return Stage(src=src, dst=np.asarray(dst), units=units, repeat=repeat, label="t")
+
+
+class TestSingleMessage:
+    def test_alpha_beta_decomposition(self, mid_cluster):
+        """One intra-socket message: cost = route alphas + bytes * worst beta."""
+        cm = CostModel(stage_overhead=0.0)
+        eng = TimingEngine(mid_cluster, cm)
+        M = np.arange(mid_cluster.n_cores)
+        t = eng.stage_time(one_stage([0], [1]), M, 8192.0)
+        route = mid_cluster.route(0, 1)
+        alpha = sum(cm.alpha[LinkClass(mid_cluster.link_class[l])] for l in route)
+        # worst link: the memory bus is crossed twice (2x load)
+        worst = max(
+            cm.beta[LinkClass(mid_cluster.link_class[l])]
+            * (2 if LinkClass(mid_cluster.link_class[l]) == LinkClass.MEM else 1)
+            for l in route
+        )
+        assert t.seconds == pytest.approx(alpha + 8192.0 * worst)
+
+    def test_latency_grows_with_hierarchy(self, mid_engine, mid_cluster):
+        """Small messages: intra-socket < cross-socket < inter-node."""
+        M = np.arange(mid_cluster.n_cores)
+        intra = mid_engine.stage_time(one_stage([0], [1]), M, 8.0).seconds
+        cross = mid_engine.stage_time(one_stage([0], [5]), M, 8.0).seconds
+        inter = mid_engine.stage_time(one_stage([0], [9]), M, 8.0).seconds
+        assert intra < cross < inter
+
+    def test_full_node_streams_favour_staying_local(self, mid_engine, mid_cluster):
+        """8 concurrent large streams: intra-node wins big (shared HCA).
+
+        This is the effect the paper's reordering exploits — the single
+        QDR adapter serialises a node's traffic, while intra-node pairs
+        use (mostly) private copy paths.
+        """
+        M = np.arange(mid_cluster.n_cores)
+        cores = np.arange(8)
+        intra = mid_engine.stage_time(one_stage(cores, cores ^ 1), M, 1 << 20).seconds
+        inter = mid_engine.stage_time(one_stage(cores, cores + 8), M, 1 << 20).seconds
+        assert inter > 2.0 * intra
+
+
+class TestCongestion:
+    def test_hca_sharing_scales_drain(self, mid_engine, mid_cluster):
+        """k node-exiting streams take ~k times longer (shared HCA)."""
+        M = np.arange(mid_cluster.n_cores)
+        nbytes = 1 << 20
+        one = mid_engine.stage_time(one_stage([0], [8]), M, nbytes).seconds
+        four = mid_engine.stage_time(one_stage([0, 1, 2, 3], [8, 9, 10, 11]), M, nbytes).seconds
+        assert four > 3.0 * one * 0.9
+        assert four < 5.0 * one
+
+    def test_disjoint_messages_do_not_interact(self, mid_engine, mid_cluster):
+        """Concurrent transfers on disjoint resources cost like one."""
+        M = np.arange(mid_cluster.n_cores)
+        one = mid_engine.stage_time(one_stage([0], [1]), M, 65536.0).seconds
+        two = mid_engine.stage_time(one_stage([0, 10], [1, 11]), M, 65536.0).seconds
+        assert two == pytest.approx(one, rel=0.05)
+
+    def test_link_loads(self, mid_engine, mid_cluster):
+        M = np.arange(mid_cluster.n_cores)
+        loads = mid_engine.link_loads(one_stage([0, 1], [8, 9]), M, 1000.0)
+        hca = int(mid_cluster.hca_up(0))
+        assert loads[hca] == pytest.approx(2000.0)
+
+
+class TestScheduleEvaluation:
+    def test_repeat_multiplies(self, mid_engine, mid_cluster):
+        M = np.arange(mid_cluster.n_cores)
+        s1 = Schedule(p=2, stages=[one_stage([0], [1])], name="a")
+        s5 = Schedule(p=2, stages=[one_stage([0], [1], repeat=5)], name="b")
+        t1 = mid_engine.evaluate(s1, M, 4096).total_seconds
+        t5 = mid_engine.evaluate(s5, M, 4096).total_seconds
+        assert t5 == pytest.approx(5 * t1)
+
+    def test_local_copy_accounted(self, mid_engine, mid_cluster):
+        M = np.arange(mid_cluster.n_cores)
+        s = Schedule(p=2, stages=[one_stage([0], [1])], local_copy_units=4.0)
+        base = Schedule(p=2, stages=[one_stage([0], [1])])
+        extra = (
+            mid_engine.evaluate(s, M, 1024).total_seconds
+            - mid_engine.evaluate(base, M, 1024).total_seconds
+        )
+        assert extra == pytest.approx(mid_engine.cost.copy_cost(4096.0))
+
+    def test_mapping_validation(self, mid_engine, mid_cluster):
+        s = Schedule(p=4, stages=[one_stage([0, 2], [1, 3])])
+        with pytest.raises(ValueError, match="mapping covers only"):
+            mid_engine.evaluate(s, np.arange(2), 64)
+        bad = np.array([0, 1, 2, mid_cluster.n_cores])
+        with pytest.raises(ValueError, match="outside the cluster"):
+            mid_engine.evaluate(s, bad, 64)
+        with pytest.raises(ValueError):
+            mid_engine.evaluate(s, np.arange(4), 0)
+
+    def test_units_scale_bytes(self, mid_engine, mid_cluster):
+        M = np.arange(mid_cluster.n_cores)
+        small = mid_engine.evaluate(
+            Schedule(p=2, stages=[one_stage([0], [8], units=[1.0])]), M, 1 << 20
+        ).total_seconds
+        big = mid_engine.evaluate(
+            Schedule(p=2, stages=[one_stage([0], [8], units=[4.0])]), M, 1 << 20
+        ).total_seconds
+        assert big > 2.5 * small
+
+    def test_breakdown_text(self, mid_engine, mid_cluster):
+        M = np.arange(mid_cluster.n_cores)
+        res = mid_engine.evaluate(Schedule(p=2, stages=[one_stage([0], [1])], name="x"), M, 64)
+        assert "x" in res.breakdown()
+        assert "us" in res.breakdown()
+
+
+class TestMappingEffect:
+    def test_remapping_changes_cost(self, mid_engine, mid_cluster):
+        """The same schedule is cheaper when ranks land on close cores."""
+        s = Schedule(p=2, stages=[one_stage([0], [1])])
+        near = np.arange(mid_cluster.n_cores)           # ranks 0,1 same socket
+        far = near.copy()
+        far[1] = 8                                      # rank 1 on another node
+        t_near = mid_engine.evaluate(s, near, 65536).total_seconds
+        t_far = mid_engine.evaluate(s, far, 65536).total_seconds
+        assert t_near < t_far

@@ -1,0 +1,107 @@
+"""Property-based tests of the timing engine's cost-model invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.schedule import Schedule, Stage
+from repro.simmpi.costmodel import CostModel
+from repro.simmpi.engine import TimingEngine
+from repro.topology.gpc import gpc_cluster
+
+CLUSTER = gpc_cluster(8)  # 64 cores
+ENGINE = TimingEngine(CLUSTER, CostModel())
+RANKS = np.arange(CLUSTER.n_cores)
+
+
+def random_stage(rng: np.random.Generator, n_msgs: int) -> Stage:
+    src = rng.choice(CLUSTER.n_cores, size=n_msgs, replace=False)
+    # derange destinations so no self-messages appear
+    dst = np.roll(src, 1) if n_msgs > 1 else np.array([(src[0] + 1) % CLUSTER.n_cores])
+    units = rng.integers(1, 8, size=n_msgs).astype(float)
+    return Stage(src=src, dst=dst, units=units)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10**6), n=st.integers(2, 24))
+def test_more_bytes_never_faster(seed, n):
+    """Message cost is monotone in the block size."""
+    rng = np.random.default_rng(seed)
+    stage = random_stage(rng, n)
+    t_small = ENGINE.stage_time(stage, RANKS, 64.0).seconds
+    t_big = ENGINE.stage_time(stage, RANKS, 4096.0).seconds
+    assert t_big >= t_small
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10**6), n=st.integers(2, 20))
+def test_adding_messages_never_faster(seed, n):
+    """A superset of messages can only increase (or keep) the stage time."""
+    rng = np.random.default_rng(seed)
+    stage = random_stage(rng, n + 2)
+    sub = Stage(src=stage.src[:n], dst=stage.dst[:n], units=stage.units[:n])
+    t_sub = ENGINE.stage_time(sub, RANKS, 1024.0).seconds
+    t_all = ENGINE.stage_time(stage, RANKS, 1024.0).seconds
+    assert t_all >= t_sub - 1e-15
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10**6), n=st.integers(2, 20))
+def test_cost_positive_and_finite(seed, n):
+    rng = np.random.default_rng(seed)
+    stage = random_stage(rng, n)
+    t = ENGINE.stage_time(stage, RANKS, 1.0).seconds
+    assert np.isfinite(t)
+    assert t > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_splitting_a_stage_never_slower_per_round(seed):
+    """Two stages of half the messages each cost at least the single
+    merged stage (the merged stage shares no more, and pays one overhead
+    instead of two)."""
+    rng = np.random.default_rng(seed)
+    stage = random_stage(rng, 16)
+    merged = ENGINE.stage_time(stage, RANKS, 2048.0).seconds
+    a = Stage(src=stage.src[:8], dst=stage.dst[:8], units=stage.units[:8])
+    b = Stage(src=stage.src[8:], dst=stage.dst[8:], units=stage.units[8:])
+    split = (
+        ENGINE.stage_time(a, RANKS, 2048.0).seconds
+        + ENGINE.stage_time(b, RANKS, 2048.0).seconds
+    )
+    assert split >= merged - 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10**6), k=st.integers(1, 6))
+def test_repeat_equals_explicit_stages(seed, k):
+    """`repeat=k` prices exactly like k identical stages in sequence."""
+    rng = np.random.default_rng(seed)
+    stage = random_stage(rng, 8)
+    repeated = Stage(src=stage.src, dst=stage.dst, units=stage.units, repeat=k)
+    sched_rep = Schedule(p=8, stages=[repeated])
+    sched_exp = Schedule(
+        p=8,
+        stages=[Stage(src=stage.src, dst=stage.dst, units=stage.units) for _ in range(k)],
+    )
+    t_rep = ENGINE.evaluate(sched_rep, RANKS, 512.0).total_seconds
+    t_exp = ENGINE.evaluate(sched_exp, RANKS, 512.0).total_seconds
+    assert t_rep == pytest.approx(t_exp)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_node_translation_invariance(seed):
+    """Shifting every message by a whole node (within one leaf) leaves the
+    cost unchanged — nodes are identical and so are their attachments."""
+    rng = np.random.default_rng(seed)
+    cpn = CLUSTER.cores_per_node
+    # build a stage confined to nodes 0..2, then shift to nodes 3..5
+    src = rng.choice(3 * cpn, size=6, replace=False)
+    dst = np.roll(src, 1)
+    stage = Stage(src=src, dst=dst, units=np.ones(6))
+    shifted = Stage(src=src + 3 * cpn, dst=dst + 3 * cpn, units=np.ones(6))
+    t0 = ENGINE.stage_time(stage, RANKS, 4096.0).seconds
+    t1 = ENGINE.stage_time(shifted, RANKS, 4096.0).seconds
+    assert t0 == pytest.approx(t1)

@@ -1,0 +1,121 @@
+"""Event-driven engine tests and barrier-engine cross-checks."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.allgather_rd import RecursiveDoublingAllgather
+from repro.collectives.allgather_ring import RingAllgather
+from repro.collectives.hierarchical import HierarchicalAllgather, contiguous_groups
+from repro.collectives.linear import LinearGather
+from repro.collectives.schedule import Schedule, Stage
+from repro.mapping.initial import block_bunch, cyclic_scatter
+from repro.simmpi.engine import TimingEngine
+from repro.simmpi.eventsim import EventDrivenEngine, MAX_MESSAGE_OPS
+
+
+@pytest.fixture(scope="module")
+def engines(mid_cluster):
+    return TimingEngine(mid_cluster), EventDrivenEngine(mid_cluster)
+
+
+def one_stage(src, dst, units=None):
+    src = np.asarray(src)
+    units = np.ones(src.size) if units is None else np.asarray(units, dtype=float)
+    return Stage(src=src, dst=dst, units=units)
+
+
+class TestSingleMessageAgreement:
+    def test_uncontended_message_costs_match(self, engines, mid_cluster):
+        """With no sharing the two engines agree exactly."""
+        barrier, event = engines
+        M = np.arange(mid_cluster.n_cores)
+        for dst in (1, 5, 9, 40):
+            sched = Schedule(p=2, stages=[one_stage([0], [dst])])
+            tb = barrier.evaluate(sched, M, 8192).total_seconds
+            te = event.evaluate(sched, M, 8192).total_seconds
+            assert te == pytest.approx(tb)
+
+    def test_disjoint_messages_match(self, engines, mid_cluster):
+        barrier, event = engines
+        M = np.arange(mid_cluster.n_cores)
+        sched = Schedule(p=4, stages=[one_stage([0, 16], [1, 17])])
+        tb = barrier.evaluate(sched, M, 8192).total_seconds
+        te = event.evaluate(sched, M, 8192).total_seconds
+        assert te == pytest.approx(tb)
+
+
+class TestPipelining:
+    def test_engines_agree_within_sharing_bracket(self, engines, mid_cluster):
+        """The engines differ only in sharing semantics (fair-share vs
+        FIFO-serial), so totals stay within a small factor of each other
+        — never orders of magnitude apart."""
+        barrier, event = engines
+        M = block_bunch(mid_cluster, 64)
+        for alg in (RingAllgather(), RecursiveDoublingAllgather()):
+            sched = alg.schedule(64)
+            tb = barrier.evaluate(sched, M, 4096).total_seconds
+            te = event.evaluate(sched, M, 4096).total_seconds
+            assert 0.2 * tb <= te <= 5.0 * tb
+
+    def test_linear_gather_serialises_identically(self, engines, mid_cluster):
+        """All of a linear gather's messages share the root's links, so
+        serial (event) and fair-share (barrier) end at a similar time."""
+        barrier, event = engines
+        M = block_bunch(mid_cluster, 8)
+        sched = Schedule(p=8, stages=list(LinearGather().stages(8)))
+        tb = barrier.evaluate(sched, M, 1 << 20).total_seconds
+        te = event.evaluate(sched, M, 1 << 20).total_seconds
+        assert te == pytest.approx(tb, rel=0.25)
+
+    def test_finish_spread_positive_for_rings(self, engines, mid_cluster):
+        _, event = engines
+        M = block_bunch(mid_cluster, 64)
+        res = event.evaluate(RingAllgather().schedule(64), M, 4096)
+        assert res.finish_spread >= 0.0
+        assert res.n_messages == 63 * 64
+
+
+class TestConclusionsInvariant:
+    def test_reordering_wins_under_both_engines(self, engines, mid_cluster):
+        """The paper's headline result does not depend on the engine."""
+        from repro.mapping.reorder import reorder_ranks
+
+        barrier, event = engines
+        D = mid_cluster.distance_matrix()
+        L = cyclic_scatter(mid_cluster, 64)
+        res = reorder_ranks("ring", L, D, rng=0)
+        sched = RingAllgather().schedule(64)
+        for eng in (barrier, event):
+            base = eng.evaluate(sched, L, 1 << 16).total_seconds
+            tuned = eng.evaluate(sched, res.mapping, 1 << 16).total_seconds
+            assert tuned < base
+
+    def test_hierarchical_supported(self, engines, mid_cluster):
+        _, event = engines
+        M = block_bunch(mid_cluster, 64)
+        alg = HierarchicalAllgather(contiguous_groups(64, 8), "rd", "binomial")
+        res = event.evaluate(alg.schedule(64), M, 1024)
+        assert res.total_seconds > 0
+
+
+class TestGuards:
+    def test_op_limit(self, mid_cluster):
+        event = EventDrivenEngine(mid_cluster)
+        huge = Schedule(
+            p=2,
+            stages=[Stage(np.array([0]), np.array([1]), np.ones(1), repeat=MAX_MESSAGE_OPS + 1)],
+        )
+        with pytest.raises(ValueError, match="limit"):
+            event.evaluate(huge, np.arange(2), 64)
+
+    def test_mapping_length_checked(self, mid_cluster):
+        event = EventDrivenEngine(mid_cluster)
+        sched = Schedule(p=4, stages=[one_stage([0, 2], [1, 3])])
+        with pytest.raises(ValueError):
+            event.evaluate(sched, np.arange(2), 64)
+
+    def test_bad_block_bytes(self, mid_cluster):
+        event = EventDrivenEngine(mid_cluster)
+        sched = Schedule(p=2, stages=[one_stage([0], [1])])
+        with pytest.raises(ValueError):
+            event.evaluate(sched, np.arange(2), 0)

@@ -1,0 +1,126 @@
+"""Failure-injection and jitter-robustness tests."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.allgather_rd import RecursiveDoublingAllgather
+from repro.collectives.allgather_ring import RingAllgather
+from repro.collectives.schedule import Schedule, Stage
+from repro.mapping.initial import block_bunch, cyclic_scatter
+from repro.mapping.reorder import reorder_ranks
+from repro.simmpi.engine import TimingEngine
+from repro.simmpi.noise import (
+    JitterResult,
+    degrade_links,
+    degrade_node_hca,
+    degrade_random_cables,
+    evaluate_with_jitter,
+    no_degradation,
+)
+
+
+def one_msg(src, dst):
+    return Schedule(p=2, stages=[Stage(np.array([src]), np.array([dst]), np.ones(1))])
+
+
+class TestDegradationBuilders:
+    def test_identity(self, mid_cluster):
+        scale = no_degradation(mid_cluster)
+        assert scale.shape == (mid_cluster.n_links,)
+        assert np.all(scale == 1.0)
+
+    def test_degrade_specific_links(self, mid_cluster):
+        scale = degrade_links(mid_cluster, [3, 7], 4.0)
+        assert scale[3] == 4.0 and scale[7] == 4.0
+        assert scale.sum() == mid_cluster.n_links + 2 * 3.0
+
+    def test_validation(self, mid_cluster):
+        with pytest.raises(ValueError):
+            degrade_links(mid_cluster, [0], 0.5)
+        with pytest.raises(ValueError):
+            degrade_links(mid_cluster, [mid_cluster.n_links], 2.0)
+        with pytest.raises(ValueError):
+            degrade_node_hca(mid_cluster, [99], 2.0)
+        with pytest.raises(ValueError):
+            degrade_random_cables(mid_cluster, 1.5, 2.0)
+
+    def test_random_cables_only_touch_network(self, mid_cluster):
+        scale = degrade_random_cables(mid_cluster, 0.25, 3.0, rng=1)
+        degraded = np.flatnonzero(scale > 1.0)
+        assert degraded.size > 0
+        assert degraded.max() < mid_cluster.network.n_links
+
+
+class TestDegradedEngine:
+    def test_degraded_hca_slows_that_node(self, mid_cluster):
+        scale = degrade_node_hca(mid_cluster, [1], 8.0)
+        clean = TimingEngine(mid_cluster)
+        hurt = TimingEngine(mid_cluster, link_beta_scale=scale)
+        M = np.arange(mid_cluster.n_cores)
+        # traffic into node 1 slows 8x (bandwidth regime)
+        t_clean = clean.evaluate(one_msg(0, 8), M, 1 << 20).total_seconds
+        t_hurt = hurt.evaluate(one_msg(0, 8), M, 1 << 20).total_seconds
+        assert t_hurt > 4 * t_clean
+        # unrelated traffic is untouched
+        t2c = clean.evaluate(one_msg(16, 24), M, 1 << 20).total_seconds
+        t2h = hurt.evaluate(one_msg(16, 24), M, 1 << 20).total_seconds
+        assert t2h == pytest.approx(t2c)
+
+    def test_scale_shape_checked(self, mid_cluster):
+        with pytest.raises(ValueError, match="shape"):
+            TimingEngine(mid_cluster, link_beta_scale=np.ones(3))
+        with pytest.raises(ValueError, match="positive"):
+            TimingEngine(mid_cluster, link_beta_scale=np.zeros(mid_cluster.n_links))
+
+    def test_straggler_node_drags_the_collective(self, mid_cluster):
+        """One retrained HCA slows the whole barrier-model allgather —
+        the classic straggler effect."""
+        scale = degrade_node_hca(mid_cluster, [3], 8.0)
+        clean = TimingEngine(mid_cluster)
+        hurt = TimingEngine(mid_cluster, link_beta_scale=scale)
+        M = block_bunch(mid_cluster, 64)
+        sched = RecursiveDoublingAllgather().schedule(64)
+        assert (
+            hurt.evaluate(sched, M, 4096).total_seconds
+            > 1.5 * clean.evaluate(sched, M, 4096).total_seconds
+        )
+
+
+class TestJitter:
+    def test_zero_sigma_is_deterministic(self, mid_engine, mid_cluster):
+        sched = RingAllgather().schedule(16)
+        M = block_bunch(mid_cluster, 16)
+        res = evaluate_with_jitter(mid_engine, sched, M, 1024, sigma=0.0, n_trials=5)
+        exact = mid_engine.evaluate(sched, M, 1024).total_seconds
+        assert res.std_seconds == pytest.approx(0.0, abs=1e-15)
+        # sigma=0 reproduces the deterministic total up to the per-stage
+        # overhead bookkeeping
+        assert res.mean_seconds == pytest.approx(exact, rel=0.05)
+
+    def test_distribution_fields(self, mid_engine, mid_cluster):
+        sched = RingAllgather().schedule(16)
+        M = block_bunch(mid_cluster, 16)
+        res = evaluate_with_jitter(mid_engine, sched, M, 1024, sigma=0.3, n_trials=20, rng=1)
+        assert isinstance(res, JitterResult)
+        assert res.min_seconds <= res.mean_seconds <= res.max_seconds
+        assert res.std_seconds > 0
+        assert res.n_trials == 20
+
+    def test_validation(self, mid_engine, mid_cluster):
+        sched = RingAllgather().schedule(8)
+        M = block_bunch(mid_cluster, 8)
+        with pytest.raises(ValueError):
+            evaluate_with_jitter(mid_engine, sched, M, 64, sigma=-1)
+        with pytest.raises(ValueError):
+            evaluate_with_jitter(mid_engine, sched, M, 64, n_trials=0)
+
+    def test_reordering_win_survives_noise(self, mid_engine, mid_cluster, mid_D):
+        """The paper's cyclic+ring win is far outside timing variance."""
+        L = cyclic_scatter(mid_cluster, 64)
+        res = reorder_ranks("ring", L, mid_D, rng=0)
+        sched = RingAllgather().schedule(64)
+        base = evaluate_with_jitter(mid_engine, sched, L, 1 << 16, sigma=0.25, n_trials=20, rng=2)
+        tuned = evaluate_with_jitter(
+            mid_engine, sched, res.mapping, 1 << 16, sigma=0.25, n_trials=20, rng=3
+        )
+        assert tuned.max_seconds < base.min_seconds

@@ -1,0 +1,72 @@
+"""Schedule profiler tests."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.allgather_ring import RingAllgather
+from repro.collectives.allgather_rd import RecursiveDoublingAllgather
+from repro.collectives.allgather_bruck import BruckAllgather
+from repro.mapping.initial import block_bunch, cyclic_scatter
+from repro.simmpi.profiler import profile_schedule
+from repro.topology.cluster import LinkClass
+
+
+class TestProfile:
+    def test_totals_match_engine(self, mid_engine, mid_cluster):
+        sched = RecursiveDoublingAllgather().schedule(64)
+        L = block_bunch(mid_cluster, 64)
+        prof = profile_schedule(mid_engine, sched, L, 1024.0)
+        direct = mid_engine.evaluate(sched, L, 1024.0).total_seconds
+        assert prof.total_seconds == pytest.approx(direct)
+
+    def test_bruck_rotation_included(self, mid_engine, mid_cluster):
+        sched = BruckAllgather().schedule(64)
+        L = block_bunch(mid_cluster, 64)
+        prof = profile_schedule(mid_engine, sched, L, 1024.0)
+        direct = mid_engine.evaluate(sched, L, 1024.0).total_seconds
+        assert prof.total_seconds == pytest.approx(direct)
+
+    def test_byte_conservation(self, mid_engine, mid_cluster):
+        """Every message crosses >= 4 links, so class totals exceed payload."""
+        sched = RingAllgather().schedule(64)
+        L = block_bunch(mid_cluster, 64)
+        prof = profile_schedule(mid_engine, sched, L, 100.0)
+        payload = sched.total_units() * 100.0
+        assert sum(prof.bytes_by_class.values()) >= 4 * payload
+
+    def test_cyclic_ring_is_network_dominated(self, mid_engine, mid_cluster):
+        """The §VI-A1 diagnosis: cyclic+ring hammers HCA/network links."""
+        sched = RingAllgather().schedule(64)
+        cyc = profile_schedule(mid_engine, sched, cyclic_scatter(mid_cluster, 64), 1024.0)
+        blk = profile_schedule(mid_engine, sched, block_bunch(mid_cluster, 64), 1024.0)
+        assert cyc.bytes_by_class["HCA"] > 5 * blk.bytes_by_class["HCA"]
+
+    def test_hot_links_ranked(self, mid_engine, mid_cluster):
+        sched = RingAllgather().schedule(64)
+        prof = profile_schedule(
+            mid_engine, sched, cyclic_scatter(mid_cluster, 64), 1024.0, top_links=4
+        )
+        loads = [hl.bytes for hl in prof.hot_links]
+        assert loads == sorted(loads, reverse=True)
+        assert len(prof.hot_links) == 4
+
+    def test_hot_link_descriptions(self, mid_engine, mid_cluster):
+        sched = RingAllgather().schedule(64)
+        prof = profile_schedule(mid_engine, sched, cyclic_scatter(mid_cluster, 64), 1024.0)
+        for hl in prof.hot_links:
+            assert hl.description  # every link has a human name
+            assert hl.link_class in LinkClass.__members__
+
+    def test_report_text(self, mid_engine, mid_cluster):
+        sched = RecursiveDoublingAllgather().schedule(64)
+        prof = profile_schedule(mid_engine, sched, block_bunch(mid_cluster, 64), 64.0)
+        text = prof.report()
+        assert "bytes by channel class" in text
+        assert "dominant stage" in text
+
+    def test_dominant_accessors(self, mid_engine, mid_cluster):
+        sched = RecursiveDoublingAllgather().schedule(64)
+        prof = profile_schedule(mid_engine, sched, block_bunch(mid_cluster, 64), 4096.0)
+        assert prof.dominant_class in prof.bytes_by_class
+        label, secs = prof.dominant_stage
+        assert secs == max(s for _, s in prof.stage_seconds)

@@ -1,0 +1,81 @@
+"""Public-API quality gates: exports resolve, everything documented."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.util",
+    "repro.topology",
+    "repro.simmpi",
+    "repro.collectives",
+    "repro.mapping",
+    "repro.evaluation",
+    "repro.apps",
+    "repro.bench",
+]
+
+
+def iter_public(module):
+    names = getattr(module, "__all__", None)
+    if names is None:
+        return
+    for name in names:
+        yield name, getattr(module, name)
+
+
+class TestExports:
+    @pytest.mark.parametrize("pkg", PACKAGES)
+    def test_all_exports_resolve(self, pkg):
+        module = importlib.import_module(pkg)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{pkg}.__all__ lists missing {name}"
+
+    def test_every_module_importable(self):
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            if info.name == "repro.__main__":
+                continue  # running it dispatches the CLI
+            importlib.import_module(info.name)
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("pkg", PACKAGES)
+    def test_module_docstrings(self, pkg):
+        module = importlib.import_module(pkg)
+        assert module.__doc__, f"{pkg} lacks a module docstring"
+
+    @pytest.mark.parametrize("pkg", PACKAGES)
+    def test_public_objects_documented(self, pkg):
+        module = importlib.import_module(pkg)
+        undocumented = []
+        for name, obj in iter_public(module):
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not inspect.getdoc(obj):
+                    undocumented.append(name)
+        assert not undocumented, f"{pkg}: undocumented public objects {undocumented}"
+
+    @pytest.mark.parametrize("pkg", PACKAGES)
+    def test_public_methods_documented(self, pkg):
+        module = importlib.import_module(pkg)
+        undocumented = []
+        for name, obj in iter_public(module):
+            if not inspect.isclass(obj):
+                continue
+            for mname, member in inspect.getmembers(obj, inspect.isfunction):
+                if mname.startswith("_") or mname not in obj.__dict__:
+                    continue
+                if not inspect.getdoc(member):
+                    undocumented.append(f"{name}.{mname}")
+        assert not undocumented, f"{pkg}: undocumented methods {undocumented}"
+
+
+class TestVersion:
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)

@@ -1,0 +1,94 @@
+"""CLI tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_sweep_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "--nodes", "4", "--hierarchical", "--intra", "linear"]
+        )
+        assert args.nodes == 4
+        assert args.hierarchical
+        assert args.intra == "linear"
+
+
+class TestCommands:
+    def test_topo(self, capsys):
+        assert main(["topo", "--nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ClusterTopology" in out
+        assert "calibration probes" in out
+        assert "distance ladder" in out
+
+    def test_sweep_flat(self, capsys):
+        rc = main(
+            ["sweep", "--nodes", "4", "--layouts", "cyclic-bunch", "--mappers", "heuristic"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cyclic-bunch" in out
+        assert "Hrstc+initComm" in out
+
+    def test_sweep_hierarchical(self, capsys):
+        rc = main(
+            ["sweep", "--nodes", "4", "--hierarchical", "--intra", "linear",
+             "--layouts", "block-bunch", "--mappers", "heuristic"]
+        )
+        assert rc == 0
+        assert "Hierarchical (linear)" in capsys.readouterr().out
+
+    def test_app(self, capsys):
+        rc = main(["app", "--nodes", "4", "--steps", "3", "--app", "matvec"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "matvec" in out
+        assert "block-bunch" in out
+
+    def test_overheads(self, capsys):
+        rc = main(["overheads", "--nodes", "4", "--pattern", "ring"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "distance extraction" in out
+        assert "scotch" in out
+
+    def test_adaptive(self, capsys):
+        rc = main(["adaptive", "--nodes", "4", "--layout", "cyclic-scatter"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "adaptive decisions" in out
+        assert "reordered" in out or "default" in out
+
+    def test_bcast(self, capsys):
+        rc = main(["bcast", "--nodes", "4", "--layout", "cyclic-scatter"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MPI_Bcast" in out
+        assert "binomial-bcast" in out
+
+    def test_profile(self, capsys):
+        rc = main(["profile", "--nodes", "4", "--block-bytes", "4096"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bytes by channel class" in out
+
+    def test_profile_reordered(self, capsys):
+        rc = main(["profile", "--nodes", "4", "--reordered"])
+        assert rc == 0
+        assert "reordered" in capsys.readouterr().out
+
+    def test_topo_renders_wiring(self, capsys):
+        assert main(["topo", "--nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "blocking factor" in out
+        assert "socket0" in out

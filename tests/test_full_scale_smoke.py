@@ -1,0 +1,62 @@
+"""Full-scale smoke test: one pass at the paper's 4096-process scale.
+
+The figure benches run the complete sweeps; this test keeps one
+paper-scale configuration inside the regular test suite so a performance
+or memory regression in the vectorised paths (route tables, distance
+matrix, heuristics at p=4096) cannot hide until bench time.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.evaluation.evaluator import AllgatherEvaluator
+from repro.mapping.initial import make_layout
+from repro.topology.gpc import gpc_cluster
+
+
+@pytest.fixture(scope="module")
+def paper_scale():
+    t0 = time.perf_counter()
+    cluster = gpc_cluster(512)
+    ev = AllgatherEvaluator(cluster, rng=0)
+    build = time.perf_counter() - t0
+    return cluster, ev, build
+
+
+class TestPaperScale:
+    def test_cluster_shape(self, paper_scale):
+        cluster, _, _ = paper_scale
+        assert cluster.n_cores == 4096
+
+    def test_construction_cost_bounded(self, paper_scale):
+        """Distance matrix + evaluator setup stays interactive (< 30 s)."""
+        _, _, build = paper_scale
+        assert build < 30.0
+
+    def test_headline_cell(self, paper_scale):
+        """The Fig. 3(c) 64 KiB cell at full scale, end to end."""
+        cluster, ev, _ = paper_scale
+        L = make_layout("cyclic-bunch", cluster, 4096)
+        t0 = time.perf_counter()
+        base = ev.default_latency(L, 1 << 16)
+        tuned = ev.reordered_latency(L, 1 << 16, "heuristic", "initcomm")
+        elapsed = time.perf_counter() - t0
+        gain = 100 * (base.seconds - tuned.seconds) / base.seconds
+        assert 70 < gain < 95          # the paper's 78% neighbourhood
+        assert elapsed < 30.0          # evaluation stays fast at scale
+
+    def test_rd_cell(self, paper_scale):
+        cluster, ev, _ = paper_scale
+        L = make_layout("block-bunch", cluster, 4096)
+        base = ev.default_latency(L, 1024)
+        tuned = ev.reordered_latency(L, 1024, "heuristic", "initcomm")
+        assert tuned.seconds < 0.3 * base.seconds
+
+    def test_mapping_overhead_at_scale(self, paper_scale):
+        """Fig. 7(b)'s heuristic point: well under a second in Python."""
+        cluster, ev, _ = paper_scale
+        L = make_layout("cyclic-bunch", cluster, 4096)
+        rep = ev.reordered_latency(L, 1024, "heuristic", "initcomm")
+        assert rep.reorder_seconds < 2.0

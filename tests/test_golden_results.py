@@ -1,0 +1,93 @@
+"""Golden-number regression tests.
+
+The whole pipeline is deterministic under fixed seeds and
+``tie_break="first"``, so key end-to-end numbers can be pinned exactly.
+These tests freeze a handful of them — a change here means the model's
+*semantics* changed (routes, cost constants, heuristic order), which
+should be a conscious decision, reflected in EXPERIMENTS.md, not an
+accident of refactoring.
+
+If an intentional model change lands, regenerate the constants with:
+
+    python -m pytest tests/test_golden_results.py --collect-only  # find names
+    python - <<'PY'
+    ...copy the fixture code, print the fresh values...
+    PY
+"""
+
+import numpy as np
+import pytest
+
+from repro.collectives.allgather_rd import RecursiveDoublingAllgather
+from repro.collectives.allgather_ring import RingAllgather
+from repro.evaluation.evaluator import AllgatherEvaluator
+from repro.mapping.initial import make_layout
+from repro.mapping.metrics import hop_bytes
+from repro.mapping.patterns import build_pattern
+from repro.mapping.rdmh import RDMH
+from repro.mapping.rmh import RMH
+from repro.topology.gpc import gpc_cluster
+
+
+@pytest.fixture(scope="module")
+def golden_cluster():
+    return gpc_cluster(n_nodes=8)  # 64 cores
+
+
+@pytest.fixture(scope="module")
+def golden_evaluator(golden_cluster):
+    return AllgatherEvaluator(golden_cluster, rng=0)
+
+
+class TestGoldenDistances:
+    def test_distance_ladder_values(self, golden_cluster):
+        row = golden_cluster.distance_row(0)
+        assert row[1] == 1.0
+        assert row[4] == 3.0
+        assert row[8] == 5.0
+
+    def test_distance_matrix_checksum(self, golden_cluster):
+        D = golden_cluster.distance_matrix()
+        assert float(D.sum()) == pytest.approx(18880.0)
+
+
+class TestGoldenLatencies:
+    """Exact simulated latencies (microseconds) at 64 processes."""
+
+    CASES = {
+        # (layout, block_bytes, algorithm): expected_us
+        ("block-bunch", 1024, "rd"): 180.591793,
+        ("cyclic-scatter", 1024, "rd"): 57.010519,
+        ("block-bunch", 65536, "ring"): 2177.784135,
+        ("cyclic-scatter", 65536, "ring"): 12346.786742,
+    }
+
+    @pytest.mark.parametrize("key", sorted(CASES), ids=lambda k: f"{k[0]}-{k[1]}")
+    def test_default_latency(self, golden_evaluator, golden_cluster, key):
+        layout_name, bb, _alg = key
+        L = make_layout(layout_name, golden_cluster, 64)
+        rep = golden_evaluator.default_latency(L, bb)
+        assert rep.seconds * 1e6 == pytest.approx(self.CASES[key], rel=1e-5)
+
+
+class TestGoldenMappings:
+    def test_rmh_mapping_prefix(self, golden_cluster):
+        """RMH from cyclic-bunch walks the first node's cores in order."""
+        D = golden_cluster.distance_matrix()
+        L = make_layout("cyclic-bunch", golden_cluster, 64)
+        M = RMH(tie_break="first").map(L, D, rng=0)
+        assert M[:8].tolist() == [0, 1, 2, 3, 4, 5, 6, 7]
+
+    def test_rdmh_hop_bytes(self, golden_cluster):
+        D = golden_cluster.distance_matrix()
+        L = make_layout("block-bunch", golden_cluster, 64)
+        M = RDMH(tie_break="first").map(L, D, rng=0)
+        g = build_pattern("recursive-doubling", 64)
+        assert hop_bytes(g, M, D) == pytest.approx(3424.0)
+
+    def test_ring_hop_bytes_after_rmh(self, golden_cluster):
+        D = golden_cluster.distance_matrix()
+        L = make_layout("cyclic-scatter", golden_cluster, 64)
+        M = RMH(tie_break="first").map(L, D, rng=0)
+        g = build_pattern("ring", 64)
+        assert hop_bytes(g, M, D) == pytest.approx(7056.0)

@@ -1,0 +1,113 @@
+"""End-to-end integration tests: the paper's pipeline at miniature scale."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AllgatherEvaluator,
+    DistanceExtractor,
+    Session,
+    gpc_cluster,
+    make_layout,
+    reorder_ranks,
+)
+from repro.apps import AppRunner, NBodyApp
+from repro.bench import format_sweep_table, sweep_hierarchical, sweep_nonhierarchical
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return gpc_cluster(n_nodes=16)  # 128 processes — a mini GPC
+
+
+@pytest.fixture(scope="module")
+def evaluator(cluster):
+    return AllgatherEvaluator(cluster, rng=0)
+
+
+class TestMiniFig3(object):
+    """The non-hierarchical sweep reproduces the paper's qualitative claims."""
+
+    def test_headline_shapes(self, evaluator):
+        pts = sweep_nonhierarchical(
+            evaluator,
+            128,
+            layouts=["block-bunch", "cyclic-scatter"],
+            sizes=[256, 1 << 16],
+            mappers=["heuristic"],
+            strategies=["initcomm"],
+        )
+        table = {(p.layout, p.block_bytes): p.improvement_pct for p in pts}
+        # cyclic + ring (large): the big win
+        assert table[("cyclic-scatter", 1 << 16)] > 30
+        # block + ring (large): no harm
+        assert table[("block-bunch", 1 << 16)] > -5
+        # block + RD (small): clear improvement
+        assert table[("block-bunch", 256)] > 10
+
+    def test_heuristic_beats_or_ties_scotch(self, evaluator):
+        pts = sweep_nonhierarchical(
+            evaluator,
+            128,
+            layouts=["cyclic-bunch"],
+            sizes=[256, 1 << 16],
+            mappers=["heuristic", "scotch"],
+            strategies=["initcomm"],
+        )
+        by = {(p.mapper, p.block_bytes): p.tuned_us for p in pts}
+        for bb in (256, 1 << 16):
+            assert by[("heuristic", bb)] <= by[("scotch", bb)] * 1.05
+
+    def test_table_renders(self, evaluator):
+        pts = sweep_nonhierarchical(
+            evaluator, 128, layouts=["block-bunch"], sizes=[256],
+            mappers=["heuristic"], strategies=["initcomm"],
+        )
+        assert "block-bunch" in format_sweep_table(pts)
+
+
+class TestMiniFig4:
+    def test_hierarchical_sweep_runs(self, evaluator):
+        pts = sweep_hierarchical(
+            evaluator, 128, layouts=["block-scatter"], sizes=[64, 1 << 15],
+            mappers=["heuristic"], strategies=["initcomm"], intra="binomial",
+        )
+        assert len(pts) == 2
+        # small-message leader reordering must not hurt
+        small = next(p for p in pts if p.block_bytes == 64)
+        assert small.improvement_pct > -10
+
+
+class TestMiniFig5:
+    def test_app_normalized_times(self, evaluator, cluster):
+        app = NBodyApp(steps=20)
+        results = {}
+        for lname in ("block-bunch", "cyclic-scatter"):
+            runner = AppRunner(evaluator, make_layout(lname, cluster, 128))
+            base = runner.run(app.trace(), "default")
+            tuned = runner.run(app.trace(), "heuristic")
+            results[lname] = tuned.normalized_to(base)
+        assert results["cyclic-scatter"] < 0.95   # visible gain
+        assert results["block-bunch"] < 1.10      # no meaningful harm
+
+
+class TestMiniFig7:
+    def test_overhead_ordering(self, cluster, evaluator):
+        D, report = DistanceExtractor(cluster).extract()
+        assert report.seconds > 0
+        L = make_layout("cyclic-bunch", cluster, 128)
+        h = reorder_ranks("recursive-doubling", L, D, kind="heuristic", rng=0)
+        s = reorder_ranks("recursive-doubling", L, D, kind="scotch", rng=0)
+        assert h.total_seconds < s.total_seconds
+
+
+class TestSessionWorkflow:
+    def test_paper_usage_pattern(self, cluster):
+        """§IV: reorder once, reuse for every subsequent call."""
+        sess = Session(cluster, layout="cyclic-bunch")
+        world = sess.comm_world()
+        ring = world.reordered("ring")
+        t_base = world.allgather_latency(1 << 16)
+        t1 = ring.allgather_latency(1 << 16)
+        t2 = ring.allgather_latency(1 << 16)
+        assert t1 == t2 <= t_base

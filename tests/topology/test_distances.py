@@ -1,0 +1,60 @@
+"""Simulated distance extraction tests (paper §IV / Fig. 7a)."""
+
+import numpy as np
+import pytest
+
+from repro.topology.distances import DistanceExtractor
+
+
+class TestLocate:
+    def test_position_fields(self, mid_cluster):
+        ex = DistanceExtractor(mid_cluster)
+        pos = ex.locate(13)
+        assert pos.core == 13
+        assert pos.node == 1
+        assert pos.local_core == 5
+        assert pos.socket == 1
+        assert pos.leaf == int(mid_cluster.leaf_of_node(1))
+        assert pos.line == mid_cluster.network.line_of_leaf(pos.leaf)
+
+    def test_out_of_range(self, mid_cluster):
+        with pytest.raises(ValueError):
+            DistanceExtractor(mid_cluster).locate(mid_cluster.n_cores)
+
+
+class TestExtract:
+    def test_matches_cluster_matrix(self, mid_cluster):
+        ex = DistanceExtractor(mid_cluster)
+        D, report = ex.extract()
+        assert np.allclose(D, mid_cluster.distance_matrix())
+        assert report.n_processes == mid_cluster.n_cores
+        assert report.seconds > 0
+        assert report.per_process_seconds == pytest.approx(
+            report.seconds / report.n_processes
+        )
+
+    def test_subset_extraction(self, mid_cluster):
+        ex = DistanceExtractor(mid_cluster)
+        cores = [0, 9, 17]
+        D, report = ex.extract(cores)
+        assert D.shape == (3, 3)
+        assert report.n_processes == 3
+        full = mid_cluster.distance_matrix()
+        for i, a in enumerate(cores):
+            for j, b in enumerate(cores):
+                assert D[i, j] == full[a, b]
+
+    def test_positions_cover_all(self, tiny_cluster):
+        ex = DistanceExtractor(tiny_cluster)
+        positions = ex.gather_positions()
+        assert [p.core for p in positions] == list(range(tiny_cluster.n_cores))
+
+    def test_cost_grows_with_p(self, mid_cluster):
+        """Extraction cost scales with the process count (Fig. 7a shape).
+
+        Sub-millisecond wall clocks are noisy, so compare best-of-five
+        timings with a 16x work gap (4 vs 64 processes)."""
+        ex = DistanceExtractor(mid_cluster)
+        small = min(ex.extract(list(range(4)))[1].seconds for _ in range(5))
+        large = min(ex.extract(None)[1].seconds for _ in range(5))
+        assert large > small

@@ -1,0 +1,109 @@
+"""Fat-tree network model tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.fattree import FatTreeConfig, FatTreeNetwork
+
+GPC = FatTreeConfig()  # the paper's defaults
+
+
+class TestConfig:
+    def test_gpc_defaults(self):
+        assert GPC.n_core_switches == 2
+        assert GPC.lines_per_core == 18
+        assert GPC.spines_per_core == 9
+        assert GPC.leaf_uplinks_per_core == 3
+        assert GPC.max_nodes == 31 * 30
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FatTreeConfig(n_leaves=0)
+        with pytest.raises(ValueError):
+            FatTreeConfig(spines_per_core=-1)
+
+
+class TestLinkIds:
+    def test_ids_dense_and_unique(self):
+        net = FatTreeNetwork(FatTreeConfig(n_leaves=4, lines_per_core=3, spines_per_core=2))
+        seen = set()
+        c = net.config
+        for leaf in range(c.n_leaves):
+            for core in range(c.n_core_switches):
+                for k in range(c.leaf_uplinks_per_core):
+                    seen.add(net.leaf_line_up(leaf, core, k))
+                    seen.add(net.leaf_line_down(leaf, core, k))
+        for core in range(c.n_core_switches):
+            for line in range(c.lines_per_core):
+                for spine in range(c.spines_per_core):
+                    for k in range(c.line_spine_multiplicity):
+                        seen.add(net.line_spine_up(core, line, spine, k))
+                        seen.add(net.line_spine_down(core, line, spine, k))
+        assert seen == set(range(net.n_links))
+
+    def test_is_leaf_line(self):
+        net = FatTreeNetwork(FatTreeConfig(n_leaves=4))
+        assert net.is_leaf_line(net.leaf_line_up(0, 0, 0))
+        assert net.is_leaf_line(net.leaf_line_down(3, 1, 2))
+        assert not net.is_leaf_line(net.line_spine_up(0, 0, 0, 0))
+        with pytest.raises(ValueError):
+            net.is_leaf_line(net.n_links)
+
+    def test_bad_indices_rejected(self):
+        net = FatTreeNetwork(FatTreeConfig(n_leaves=4))
+        with pytest.raises(ValueError):
+            net.leaf_line_up(4, 0, 0)
+        with pytest.raises(ValueError):
+            net.leaf_line_up(0, 2, 0)
+        with pytest.raises(ValueError):
+            net.line_spine_up(0, 18, 0, 0)
+
+    def test_endpoints_roundtrip(self):
+        net = FatTreeNetwork(FatTreeConfig(n_leaves=4))
+        a, b = net.endpoints(net.leaf_line_up(2, 1, 0))
+        assert a == "leaf2" and b.startswith("core1/line")
+        a, b = net.endpoints(net.line_spine_down(0, 1, 2, 1))
+        assert a == "core0/spine2" and b == "core0/line1[1]"
+
+
+class TestRouting:
+    def test_same_leaf_empty(self):
+        net = FatTreeNetwork(GPC)
+        assert net.route(5, 5, dst_node=170) == []
+        assert net.switch_hops(5, 5) == 0
+
+    def test_route_shapes(self):
+        net = FatTreeNetwork(GPC)
+        # leaves 0 and 18 share line switch 0 (18 % 18 == 0)
+        r = net.route(0, 18, dst_node=18 * 30)
+        assert len(r) == 2
+        assert net.switch_hops(0, 18) == 2
+        # leaves 0 and 1 use different line switches -> via a spine
+        r = net.route(0, 1, dst_node=31)
+        assert len(r) == 4
+        assert net.switch_hops(0, 1) == 4
+
+    def test_destination_based_determinism(self):
+        """Routes to the same destination reuse the same down-path ports."""
+        net = FatTreeNetwork(GPC)
+        r1 = net.route(0, 5, dst_node=151)
+        r2 = net.route(2, 5, dst_node=151)
+        # last link (into the destination leaf) must be identical
+        assert r1[-1] == r2[-1]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        src=st.integers(min_value=0, max_value=30),
+        dst=st.integers(min_value=0, max_value=30),
+        node=st.integers(min_value=0, max_value=929),
+    )
+    def test_route_links_valid(self, src, dst, node):
+        net = FatTreeNetwork(GPC)
+        for lid in net.route(src, dst, node):
+            assert 0 <= lid < net.n_links
+
+    def test_parallel_cables_spread_by_destination(self):
+        net = FatTreeNetwork(GPC)
+        first_links = {net.route(0, 5, dst_node=n)[0] for n in range(150, 180)}
+        assert len(first_links) > 1  # different destinations use different cables

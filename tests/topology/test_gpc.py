@@ -1,0 +1,51 @@
+"""GPC system configuration tests (paper §VI, Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.topology.gpc import GPC_CORES_PER_NODE, gpc_cluster, single_node_cluster, small_cluster
+
+
+class TestGpcCluster:
+    def test_paper_scale(self):
+        cl = gpc_cluster(512)
+        assert cl.n_cores == 4096          # the paper's largest runs
+        assert cl.cores_per_node == GPC_CORES_PER_NODE
+        assert cl.machine.n_sockets == 2
+        assert cl.machine.cores_per_socket == 4
+
+    def test_network_shape(self):
+        cl = gpc_cluster(512)
+        cfg = cl.network.config
+        assert cfg.nodes_per_leaf == 30
+        assert cfg.n_core_switches == 2
+        assert cfg.lines_per_core == 18
+        assert cfg.spines_per_core == 9
+        assert cfg.leaf_uplinks_per_core == 3
+        assert cfg.line_spine_multiplicity == 2
+        # 512 nodes need 18 leaf switches at 30 nodes each
+        assert cfg.n_leaves == 18
+
+    def test_blocking_factor(self):
+        """Each leaf serves 30 nodes over 6 uplinks: the 5:1 QDR blocking."""
+        cfg = gpc_cluster(512).network.config
+        uplinks = cfg.n_core_switches * cfg.leaf_uplinks_per_core
+        assert cfg.nodes_per_leaf / uplinks == 5.0
+
+    def test_small_p_configs(self):
+        for n_nodes, p in [(128, 1024), (256, 2048), (512, 4096)]:
+            assert gpc_cluster(n_nodes).n_cores == p
+
+
+class TestHelperClusters:
+    def test_small_cluster(self):
+        cl = small_cluster()
+        assert cl.n_cores == 16
+        assert cl.n_nodes == 4
+
+    def test_single_node(self):
+        cl = single_node_cluster()
+        assert cl.n_nodes == 1
+        assert cl.n_cores == 8
+        # every core pair stays inside the node
+        assert cl.channel_of(0, 7) in ("smem", "qpi")

@@ -1,0 +1,71 @@
+"""Intra-node hardware model tests."""
+
+import pytest
+
+from repro.topology.hardware import MachineTopology
+
+
+class TestMachineTopology:
+    def test_gpc_node_shape(self):
+        m = MachineTopology(n_sockets=2, cores_per_socket=4)
+        assert m.n_cores == 8
+        assert m.socket_of(0) == 0
+        assert m.socket_of(3) == 0
+        assert m.socket_of(4) == 1
+        assert m.socket_of(7) == 1
+
+    def test_cores_of_socket(self):
+        m = MachineTopology(2, 4)
+        assert list(m.cores_of_socket(0)) == [0, 1, 2, 3]
+        assert list(m.cores_of_socket(1)) == [4, 5, 6, 7]
+
+    def test_same_socket(self):
+        m = MachineTopology(2, 4)
+        assert m.same_socket(0, 3)
+        assert not m.same_socket(3, 4)
+
+    def test_hierarchy_level(self):
+        m = MachineTopology(2, 4)
+        assert m.hierarchy_level(2, 2) == 0
+        assert m.hierarchy_level(0, 1) == 1
+        assert m.hierarchy_level(0, 5) == 2
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            MachineTopology(0, 4)
+        with pytest.raises(ValueError):
+            MachineTopology(2, 0)
+        m = MachineTopology(2, 4)
+        with pytest.raises(ValueError):
+            m.socket_of(8)
+        with pytest.raises(ValueError):
+            m.cores_of_socket(2)
+
+    def test_equality(self):
+        assert MachineTopology(2, 4) == MachineTopology(2, 4)
+        assert MachineTopology(2, 4) != MachineTopology(4, 2)
+
+
+class TestObjectTree:
+    def test_tree_structure(self):
+        m = MachineTopology(2, 3)
+        tree = m.object_tree()
+        kinds = [obj.kind for obj in tree.walk()]
+        assert kinds.count("Machine") == 1
+        assert kinds.count("Package") == 2
+        assert kinds.count("L3") == 2
+        assert kinds.count("Core") == 6
+
+    def test_cores_under_right_package(self):
+        m = MachineTopology(2, 2)
+        tree = m.object_tree()
+        for package in tree.children:
+            l3 = package.children[0]
+            for core in l3.children:
+                assert m.socket_of(core.os_index) == package.os_index
+
+    def test_core_pairs_count(self):
+        m = MachineTopology(2, 2)
+        pairs = list(m.core_pairs())
+        assert len(pairs) == 6  # C(4, 2)
+        assert all(a < b for a, b in pairs)

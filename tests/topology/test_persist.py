@@ -1,0 +1,78 @@
+"""Persistence tests (save/load of distances and reorderings)."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.initial import cyclic_bunch
+from repro.mapping.reorder import reorder_ranks
+from repro.topology.gpc import gpc_cluster, small_cluster
+from repro.topology.persist import (
+    load_distances,
+    load_reordering,
+    save_distances,
+    save_reordering,
+    topology_fingerprint,
+)
+
+
+class TestFingerprint:
+    def test_stable(self):
+        a = topology_fingerprint(small_cluster())
+        b = topology_fingerprint(small_cluster())
+        assert a == b
+
+    def test_differs_by_shape(self):
+        assert topology_fingerprint(small_cluster()) != topology_fingerprint(gpc_cluster(8))
+
+    def test_differs_by_weights(self):
+        from repro.topology.cluster import ClusterTopology, LinkClass
+        from repro.topology.hardware import MachineTopology
+
+        a = ClusterTopology(2, MachineTopology(2, 2))
+        b = ClusterTopology(2, MachineTopology(2, 2), distance_weights={LinkClass.HCA: 9.0})
+        assert topology_fingerprint(a) != topology_fingerprint(b)
+
+
+class TestDistances:
+    def test_roundtrip(self, tmp_path):
+        cl = small_cluster()
+        path = save_distances(cl, tmp_path / "dist.npz")
+        D = load_distances(cl, path)
+        assert np.array_equal(D, cl.distance_matrix())
+
+    def test_wrong_cluster_rejected(self, tmp_path):
+        cl = small_cluster()
+        path = save_distances(cl, tmp_path / "dist.npz")
+        with pytest.raises(ValueError, match="different topology"):
+            load_distances(gpc_cluster(8), path)
+
+    def test_extension_appended(self, tmp_path):
+        path = save_distances(small_cluster(), tmp_path / "bare")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+
+class TestReordering:
+    def test_roundtrip(self, tmp_path, mid_cluster, mid_D):
+        L = cyclic_bunch(mid_cluster, 32)
+        res = reorder_ranks("ring", L, mid_D, rng=0)
+        path = save_reordering(res, tmp_path / "ring.json")
+        loaded = load_reordering(path)
+        assert loaded.pattern == "ring"
+        assert loaded.mapper_name == "rmh"
+        assert np.array_equal(loaded.mapping, res.mapping)
+        assert np.array_equal(loaded.reordering.old_of_new, res.reordering.old_of_new)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"pattern": "ring"}')
+        with pytest.raises(ValueError, match="missing"):
+            load_reordering(bad)
+
+    def test_invalid_permutation_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            '{"pattern": "ring", "mapper": "rmh", "layout": [0, 1], "mapping": [0, 2]}'
+        )
+        with pytest.raises(ValueError):
+            load_reordering(bad)

@@ -1,0 +1,75 @@
+"""Cross-layer consistency: cluster routes vs the fat-tree's own routing.
+
+The cluster precomputes the network segment of every node pair
+(vectorised) while :meth:`FatTreeNetwork.route` computes it per call;
+these must agree exactly, or congestion would be attributed to the wrong
+cables.  Also checks endpoint-name round-trips for every network link.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.fattree import FatTreeConfig, FatTreeNetwork
+from repro.topology.gpc import gpc_cluster, small_cluster
+
+
+class TestNetRouteCongruence:
+    @pytest.mark.parametrize("cluster_fn", [small_cluster, lambda: gpc_cluster(64)])
+    def test_precomputed_matches_per_call(self, cluster_fn):
+        cl = cluster_fn()
+        net = cl.network
+        npl = net.config.nodes_per_leaf
+        rng = np.random.default_rng(0)
+        pairs = rng.integers(0, cl.n_nodes, size=(200, 2))
+        for na, nb in pairs:
+            na, nb = int(na), int(nb)
+            expect = net.route(na // npl, nb // npl, dst_node=nb)
+            got = [int(x) for x in cl.net_routes[na, nb] if x >= 0]
+            assert got == expect, (na, nb)
+
+    def test_same_node_rows_empty(self, mid_cluster):
+        n = mid_cluster.n_nodes
+        diag = mid_cluster.net_routes[np.arange(n), np.arange(n)]
+        assert np.all(diag == -1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(na=st.integers(0, 511), nb=st.integers(0, 511))
+    def test_gpc_scale_congruence(self, na, nb):
+        cl = gpc_cluster(512)
+        net = cl.network
+        npl = net.config.nodes_per_leaf
+        expect = net.route(na // npl, nb // npl, dst_node=nb)
+        got = [int(x) for x in cl.net_routes[na, nb] if x >= 0]
+        assert got == expect
+
+
+class TestEndpointNames:
+    def test_all_network_links_describable(self):
+        net = FatTreeNetwork(FatTreeConfig(n_leaves=5, lines_per_core=3, spines_per_core=2))
+        seen = set()
+        for lid in range(net.n_links):
+            a, b = net.endpoints(lid)
+            assert a and b and a != b
+            # (direction, endpoints) uniquely identifies a link
+            key = (a, b, lid < net._ls_up0, lid)
+            seen.add((a, b))
+        # up and down variants give distinct ordered pairs
+        assert len(seen) == net.n_links
+
+    def test_route_endpoints_chain(self):
+        """Consecutive links of a route share the intermediate switch.
+
+        Endpoint names carry the parallel-cable index (``line0[1]``); the
+        switch identity is the name with the cable tag stripped.
+        """
+
+        def switch(name):
+            return name.split("[")[0]
+
+        net = FatTreeNetwork(FatTreeConfig())
+        for dst_leaf, dst_node in ((1, 40), (18, 545), (0, 5)):
+            route = net.route(0, dst_leaf, dst_node=dst_node)
+            hops = [net.endpoints(l) for l in route]
+            for (a1, b1), (a2, b2) in zip(hops, hops[1:]):
+                assert switch(b1) == switch(a2), hops

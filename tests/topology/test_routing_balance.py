@@ -1,0 +1,85 @@
+"""Statistical balance of the destination-based fat-tree routing.
+
+InfiniBand ftree routing spreads destinations over parallel cables and
+spines so no single resource carries a disproportionate share of uniform
+traffic.  These tests check our deterministic routing achieves that —
+the property congestion results silently depend on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.topology.gpc import gpc_cluster
+
+
+@pytest.fixture(scope="module")
+def wide():
+    return gpc_cluster(n_nodes=120)  # 4 leaves, all cross-leaf paths active
+
+
+class TestUplinkBalance:
+    def test_uplink_cables_evenly_used(self, wide):
+        """Uniform all-to-all node traffic spreads evenly over the 6
+        uplink cables of every leaf."""
+        cfg = wide.network.config
+        counts = np.zeros(wide.network.n_links)
+        for src in range(0, wide.n_nodes, 3):
+            for dst in range(wide.n_nodes):
+                src_leaf = src // cfg.nodes_per_leaf
+                dst_leaf = dst // cfg.nodes_per_leaf
+                for lid in wide.network.route(src_leaf, dst_leaf, dst_node=dst):
+                    counts[lid] += 1
+        # leaf-line up cables of leaf 0
+        ups = [
+            wide.network.leaf_line_up(0, c, k)
+            for c in range(cfg.n_core_switches)
+            for k in range(cfg.leaf_uplinks_per_core)
+        ]
+        used = counts[ups]
+        assert used.min() > 0
+        assert used.max() <= 2.0 * used.min()  # no cable starves or hogs
+
+    def test_spines_evenly_used(self, wide):
+        cfg = wide.network.config
+        counts = {}
+        for dst_leaf in range(4):
+            for dst in range(
+                dst_leaf * cfg.nodes_per_leaf, (dst_leaf + 1) * cfg.nodes_per_leaf
+            ):
+                spine = dst_leaf % cfg.spines_per_core
+                counts[spine] = counts.get(spine, 0) + 1
+        # with 4 leaves, 4 distinct spines take the down-paths
+        assert len(counts) == 4
+
+    def test_route_is_destination_stable(self, wide):
+        """All sources use the same final hops toward one destination —
+        the consistency real forwarding tables enforce."""
+        cfg = wide.network.config
+        dst = 100
+        dst_leaf = dst // cfg.nodes_per_leaf
+        finals = set()
+        for src_leaf in range(4):
+            if src_leaf == dst_leaf:
+                continue
+            route = wide.network.route(src_leaf, dst_leaf, dst_node=dst)
+            finals.add(route[-1])
+        assert len(finals) == 1
+
+
+class TestHcaLoadUniformity:
+    def test_uniform_traffic_uniform_hca(self, wide, ):
+        """Under a random permutation traffic pattern every node's HCA
+        sees exactly one send and one receive — ftree cannot skew what
+        the pattern itself balances."""
+        from repro.collectives.schedule import Stage
+        from repro.simmpi.engine import TimingEngine
+
+        rng = np.random.default_rng(0)
+        engine = TimingEngine(wide)
+        nodes = rng.permutation(wide.n_nodes)
+        src = nodes * wide.cores_per_node
+        dst = np.roll(nodes, 1) * wide.cores_per_node
+        stage = Stage(src=src, dst=dst, units=np.ones(src.size))
+        loads = engine.link_loads(stage, np.arange(wide.n_cores), 1000.0)
+        hca_up = loads[wide.hca_up(np.arange(wide.n_nodes))]
+        assert np.all(hca_up == 1000.0)

@@ -1,0 +1,90 @@
+"""SLURM-style distribution parsing and layout tests."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.initial import (
+    block_bunch,
+    block_scatter,
+    cyclic_bunch,
+    cyclic_scatter,
+)
+from repro.topology.slurm import (
+    Distribution,
+    layout_from_distribution,
+    parse_distribution,
+)
+
+
+class TestParse:
+    def test_basic_pairs(self):
+        d = parse_distribution("block:cyclic")
+        assert d.node_policy == "block"
+        assert d.socket_policy == "cyclic"
+
+    def test_default_socket_policy(self):
+        assert parse_distribution("cyclic").socket_policy == "block"
+
+    def test_plane(self):
+        d = parse_distribution("plane=4:block")
+        assert d.node_policy == "plane"
+        assert d.plane_size == 4
+        assert str(d) == "plane=4:block"
+
+    def test_case_insensitive(self):
+        assert parse_distribution("BLOCK:FCYCLIC").socket_policy == "fcyclic"
+
+    @pytest.mark.parametrize(
+        "bad", ["", "spiral", "block:weird", "a:b:c", "plane", "plane=x", "plane=0"]
+    )
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_distribution(bad)
+
+
+class TestLayouts:
+    def test_matches_named_layouts(self, mid_cluster):
+        """The four paper layouts are special cases of the SLURM grammar."""
+        p = 64
+        cases = {
+            "block:block": block_bunch,
+            "block:fcyclic": block_scatter,
+            "cyclic:block": cyclic_bunch,
+            "cyclic:fcyclic": cyclic_scatter,
+        }
+        for spec, fn in cases.items():
+            got = layout_from_distribution(mid_cluster, p, spec)
+            assert np.array_equal(got, fn(mid_cluster, p)), spec
+
+    def test_cyclic_equals_fcyclic_at_socket_level(self, mid_cluster):
+        a = layout_from_distribution(mid_cluster, 32, "block:cyclic")
+        b = layout_from_distribution(mid_cluster, 32, "block:fcyclic")
+        assert np.array_equal(a, b)
+
+    def test_plane_distribution(self, mid_cluster):
+        # plane=2 over 8 nodes: ranks 0,1 -> node 0; 2,3 -> node 1; ...
+        L = layout_from_distribution(mid_cluster, 32, "plane=2:block")
+        nodes = mid_cluster.node_of(L)
+        assert nodes[:4].tolist() == [0, 0, 1, 1]
+        assert nodes[16:18].tolist() == [0, 0]  # wraps around
+
+    def test_plane_full_subscription(self, mid_cluster):
+        L = layout_from_distribution(mid_cluster, 64, "plane=4:block")
+        assert sorted(L.tolist()) == list(range(64))
+
+    def test_plane_overflow_detected(self, tiny_cluster):
+        # plane=3 on 4-core nodes: 16 ranks over 4 nodes -> last plane
+        # would need a 5th slot sequence that overflows
+        with pytest.raises(ValueError, match="overflow|exceeds"):
+            layout_from_distribution(tiny_cluster, 16, "plane=3:block")
+
+    def test_injective(self, mid_cluster):
+        for spec in ("block:block", "cyclic:fcyclic", "plane=2:cyclic"):
+            L = layout_from_distribution(mid_cluster, 40, spec)
+            assert np.unique(L).size == 40
+
+    def test_bounds(self, tiny_cluster):
+        with pytest.raises(ValueError):
+            layout_from_distribution(tiny_cluster, 0, "block")
+        with pytest.raises(ValueError):
+            layout_from_distribution(tiny_cluster, 17, "block")

@@ -1,0 +1,41 @@
+"""Topology visualization tests."""
+
+import pytest
+
+from repro.topology.visualize import render_node, render_tree, render_wiring
+
+
+class TestRenderNode:
+    def test_gpc_node(self, mid_cluster):
+        out = render_node(mid_cluster, 1)
+        assert "node1" in out
+        assert "socket0" in out and "socket1" in out
+        assert "[core 8]" in out and "[core 15]" in out
+
+    def test_out_of_range(self, mid_cluster):
+        with pytest.raises(ValueError):
+            render_node(mid_cluster, 99)
+
+
+class TestRenderTree:
+    def test_structure(self, mid_cluster):
+        out = render_tree(mid_cluster)
+        assert "core switches" in out
+        assert "leaf0" in out
+        assert "node0" in out
+
+    def test_elision(self):
+        from repro.topology.gpc import gpc_cluster
+
+        out = render_tree(gpc_cluster(512), max_leaves=2, max_nodes=2)
+        assert "more nodes" in out
+        assert "more leaves" in out
+
+
+class TestRenderWiring:
+    def test_gpc_blocking_factor(self):
+        from repro.topology.gpc import gpc_cluster
+
+        out = render_wiring(gpc_cluster(64))
+        assert "5:1" in out
+        assert "uplinks per leaf:      6" in out

@@ -1,0 +1,99 @@
+"""Bit-helper unit and property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bits import (
+    bit_reverse,
+    ceil_log2,
+    highest_power_of_two_below,
+    ilog2,
+    is_power_of_two,
+    next_power_of_two,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for k in range(20):
+            assert is_power_of_two(1 << k)
+
+    def test_non_powers(self):
+        for n in (0, -1, -4, 3, 5, 6, 7, 9, 12, 1000):
+            assert not is_power_of_two(n)
+
+
+class TestIlog2:
+    def test_exact(self):
+        for k in range(16):
+            assert ilog2(1 << k) == k
+
+    @pytest.mark.parametrize("bad", [0, -2, 3, 6, 12])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ValueError):
+            ilog2(bad)
+
+
+class TestCeilLog2:
+    def test_values(self):
+        assert ceil_log2(1) == 0
+        assert ceil_log2(2) == 1
+        assert ceil_log2(3) == 2
+        assert ceil_log2(4) == 2
+        assert ceil_log2(5) == 3
+        assert ceil_log2(1024) == 10
+        assert ceil_log2(1025) == 11
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_bound_property(self, n):
+        k = ceil_log2(n)
+        assert 2**k >= n
+        assert k == 0 or 2 ** (k - 1) < n
+
+
+class TestNextPowerOfTwo:
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_property(self, n):
+        m = next_power_of_two(n)
+        assert is_power_of_two(m)
+        assert m >= n
+        assert m // 2 < n
+
+
+class TestHighestPowerBelow:
+    def test_values(self):
+        assert highest_power_of_two_below(2) == 1
+        assert highest_power_of_two_below(3) == 2
+        assert highest_power_of_two_below(8) == 4
+        assert highest_power_of_two_below(9) == 8
+
+    def test_rejects_small(self):
+        with pytest.raises(ValueError):
+            highest_power_of_two_below(1)
+
+    @given(st.integers(min_value=2, max_value=10**9))
+    def test_property(self, n):
+        m = highest_power_of_two_below(n)
+        assert is_power_of_two(m)
+        assert m < n <= 2 * m
+
+
+class TestBitReverse:
+    def test_examples(self):
+        assert bit_reverse(0b001, 3) == 0b100
+        assert bit_reverse(0b110, 3) == 0b011
+        assert bit_reverse(0, 5) == 0
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            bit_reverse(8, 3)
+        with pytest.raises(ValueError):
+            bit_reverse(-1, 3)
+
+    @given(st.integers(min_value=0, max_value=2**12 - 1))
+    def test_involution(self, v):
+        assert bit_reverse(bit_reverse(v, 12), 12) == v

@@ -1,0 +1,41 @@
+"""Seeded-RNG helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng, spawn_rng
+
+
+class TestMakeRng:
+    def test_from_int_is_deterministic(self):
+        a = make_rng(7).integers(1000, size=8)
+        b = make_rng(7).integers(1000, size=8)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(10**9)
+        b = make_rng(2).integers(10**9)
+        assert a != b
+
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(0)
+        assert make_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRng:
+    def test_spawn_count(self):
+        kids = spawn_rng(make_rng(0), 5)
+        assert len(kids) == 5
+
+    def test_spawn_independence(self):
+        kids = spawn_rng(make_rng(0), 2)
+        a = kids[0].integers(10**9, size=4)
+        b = kids[1].integers(10**9, size=4)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rng(make_rng(0), -1)

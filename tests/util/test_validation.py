@@ -1,0 +1,60 @@
+"""Validation-helper tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.validation import (
+    check_in_range,
+    check_nonnegative,
+    check_permutation,
+    check_positive,
+)
+
+
+class TestScalarChecks:
+    def test_positive(self):
+        check_positive("x", 1)
+        check_positive("x", 0.5)
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+        with pytest.raises(ValueError):
+            check_positive("x", -3)
+
+    def test_nonnegative(self):
+        check_nonnegative("x", 0)
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -1e-9)
+
+    def test_in_range(self):
+        check_in_range("x", 0, 0, 4)
+        check_in_range("x", 3, 0, 4)
+        with pytest.raises(ValueError):
+            check_in_range("x", 4, 0, 4)
+        with pytest.raises(ValueError):
+            check_in_range("x", -1, 0, 4)
+
+
+class TestCheckPermutation:
+    @given(st.permutations(list(range(12))))
+    def test_accepts_permutations(self, perm):
+        out = check_permutation(perm, 12)
+        assert sorted(out.tolist()) == list(range(12))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="permutation"):
+            check_permutation([0, 1, 1, 3], 4)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_permutation([0, 1, 2, 4], 4)
+        with pytest.raises(ValueError):
+            check_permutation([-1, 1, 2, 3], 4)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="shape"):
+            check_permutation([0, 1, 2], 4)
+
+    def test_custom_name_in_message(self):
+        with pytest.raises(ValueError, match="mymap"):
+            check_permutation([0, 0], 2, name="mymap")
