@@ -13,7 +13,6 @@ Also reprices the headline comparison under 25% log-normal stage jitter
 to show the wins sit far outside timing variance.
 """
 
-import numpy as np
 import pytest
 
 from repro.collectives.allgather_ring import RingAllgather

@@ -17,8 +17,6 @@ reproduction's inflated RD-regime magnitudes (EXPERIMENTS.md deviation
 
 import pytest
 
-from repro.collectives.allgather_rd import RecursiveDoublingAllgather
-from repro.collectives.allgather_ring import RingAllgather
 from repro.evaluation.evaluator import AllgatherEvaluator
 from repro.mapping.initial import make_layout
 from repro.topology.cluster import ClusterTopology

@@ -14,7 +14,6 @@ These are *real wall-clock* measurements, so pytest-benchmark is the
 natural harness here: every mapper run is an actual benchmark round.
 """
 
-import time
 
 import pytest
 

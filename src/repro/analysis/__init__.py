@@ -1,0 +1,74 @@
+"""Static analysis for schedules, mappings and repo conventions.
+
+Three layers, all running without the event simulator:
+
+* :mod:`repro.analysis.schedule_verifier` — symbolic block-dataflow
+  execution of :class:`~repro.collectives.schedule.Schedule` objects
+  (causality, completeness, port contention, ... — ``SCH0xx`` codes);
+* :mod:`repro.analysis.mapping_checker` — bijectivity / distance-matrix /
+  cluster-consistency invariants (``MAP0xx`` / ``TOP0xx`` codes);
+* :mod:`repro.analysis.lint` — repo-specific AST lint rules
+  (``REP00x`` codes), runnable as ``python -m repro.analysis.lint src/``.
+
+``repro verify`` and ``repro lint`` expose the layers on the command
+line; ``REPRO_VERIFY=1`` (see :mod:`repro.analysis.runtime`) verifies
+every schedule the timing engines price.
+"""
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
+from repro.analysis.mapping_checker import (
+    check_cluster,
+    check_core_mapping,
+    check_distance_matrix,
+    check_rank_permutation,
+)
+from repro.analysis.runtime import (
+    REPRO_VERIFY_ENV,
+    ScheduleVerificationError,
+    maybe_verify_schedule,
+    verification_enabled,
+)
+from repro.analysis.schedule_verifier import (
+    CollectiveSemantics,
+    allgather_semantics,
+    bcast_semantics,
+    gather_semantics,
+    scatter_semantics,
+    semantics_for,
+    verify_algorithm,
+    verify_schedule,
+)
+
+def __getattr__(name):
+    # ``lint`` is imported lazily so ``python -m repro.analysis.lint`` does
+    # not execute the module twice (runpy's double-import warning).
+    if name in ("lint_paths", "lint_source"):
+        from repro.analysis import lint
+
+        return getattr(lint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticReport",
+    "Severity",
+    "lint_paths",
+    "lint_source",
+    "check_cluster",
+    "check_core_mapping",
+    "check_distance_matrix",
+    "check_rank_permutation",
+    "REPRO_VERIFY_ENV",
+    "ScheduleVerificationError",
+    "maybe_verify_schedule",
+    "verification_enabled",
+    "CollectiveSemantics",
+    "allgather_semantics",
+    "bcast_semantics",
+    "gather_semantics",
+    "scatter_semantics",
+    "semantics_for",
+    "verify_algorithm",
+    "verify_schedule",
+]

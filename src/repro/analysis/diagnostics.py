@@ -1,0 +1,162 @@
+"""Typed diagnostics shared by the static-analysis passes.
+
+Every check in :mod:`repro.analysis` reports findings as
+:class:`Diagnostic` records — an error code, a severity, a human-readable
+message and an optional location (stage index, message index, rank, file
+position).  Codes are stable identifiers documented in
+``docs/static_analysis.md``:
+
+========  ==============================================================
+code      meaning
+========  ==============================================================
+SCH001    schedule has zero stages (or an unusable communicator size)
+SCH002    message references a rank outside ``[0, p)``
+SCH003    ``units`` / ``blocks`` length mismatch on a message
+SCH004    causality violation — a rank sends a block it does not own yet
+SCH005    intra-stage port contention (duplicate sender or receiver)
+SCH006    duplicate transfer (same src -> dst twice in one stage)
+SCH007    redundant transfer (every carried block already owned by dst)
+SCH008    incomplete collective (a rank ends without its required blocks)
+MAP001    mapping is not a bijection (broken permutation / core reuse)
+MAP002    distance matrix is not square 2-D
+MAP003    distance matrix is not symmetric
+MAP004    distance matrix has a non-zero diagonal
+MAP005    distance matrix has negative entries
+MAP006    triangle-inequality violation (opt-in audit, warning)
+TOP001    cluster arithmetic inconsistency (cores / nodes / sockets)
+TOP002    cluster distance structure broken (ladder or matrix)
+TOP003    network capacity / fat-tree configuration inconsistency
+REP001    direct ``random`` / ``numpy.random`` use outside ``util/rng.py``
+REP002    unregistered or default-named ``CollectiveAlgorithm`` subclass
+REP003    in-place mutation of a distance-matrix parameter in ``mapping/``
+REP004    mapper ``map()`` returns without permutation validation
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["Diagnostic", "DiagnosticReport", "Severity"]
+
+
+class Severity:
+    """Diagnostic severity levels (plain constants, not an enum, so the
+    values read naturally in reports and JSON dumps)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static-analysis pass.
+
+    Attributes
+    ----------
+    code:
+        Stable identifier (``SCH004``, ``MAP001``, ``REP002``, ...).
+    message:
+        Human-readable description with concrete values.
+    severity:
+        :data:`Severity.ERROR` or :data:`Severity.WARNING`.
+    stage, message_index, rank:
+        Schedule-space location, when applicable.
+    path, line, col:
+        Source-space location (lint findings), when applicable.
+    """
+
+    code: str
+    message: str
+    severity: str = Severity.ERROR
+    stage: Optional[int] = None
+    message_index: Optional[int] = None
+    rank: Optional[int] = None
+    path: Optional[str] = None
+    line: Optional[int] = None
+    col: Optional[int] = None
+
+    def location(self) -> str:
+        """Compact location prefix for reports."""
+        if self.path is not None:
+            pos = f"{self.path}"
+            if self.line is not None:
+                pos += f":{self.line}"
+                if self.col is not None:
+                    pos += f":{self.col}"
+            return pos
+        parts = []
+        if self.stage is not None:
+            parts.append(f"stage {self.stage}")
+        if self.message_index is not None:
+            parts.append(f"msg {self.message_index}")
+        if self.rank is not None:
+            parts.append(f"rank {self.rank}")
+        return ", ".join(parts)
+
+    def __str__(self) -> str:
+        loc = self.location()
+        where = f" [{loc}]" if loc else ""
+        return f"{self.code}{where}: {self.message}"
+
+
+@dataclass
+class DiagnosticReport:
+    """An ordered collection of diagnostics with summary helpers."""
+
+    subject: str = ""
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(
+        self,
+        code: str,
+        message: str,
+        severity: str = Severity.ERROR,
+        **location,
+    ) -> Diagnostic:
+        """Record one finding and return it."""
+        diag = Diagnostic(code=code, message=message, severity=severity, **location)
+        self.diagnostics.append(diag)
+        return diag
+
+    def extend(self, other: "DiagnosticReport") -> None:
+        """Merge another report's findings into this one."""
+        self.diagnostics.extend(other.diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    def ok(self) -> bool:
+        """True iff no error-severity diagnostic was recorded."""
+        return not self.errors
+
+    def codes(self) -> List[str]:
+        """De-duplicated codes in first-appearance order (test helper)."""
+        seen: List[str] = []
+        for d in self.diagnostics:
+            if d.code not in seen:
+                seen.append(d.code)
+        return seen
+
+    def has(self, code: str) -> bool:
+        return any(d.code == code for d in self.diagnostics)
+
+    def format(self) -> str:
+        """Readable multi-line report."""
+        head = self.subject or "verification"
+        if not self.diagnostics:
+            return f"{head}: clean"
+        lines = [
+            f"{head}: {len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        ]
+        lines += [f"  {d}" for d in self.diagnostics]
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)

@@ -1,0 +1,403 @@
+"""Repo-specific AST lint pass: ``python -m repro.analysis.lint src/``.
+
+Generic linters cannot see this repo's contracts, so this pass encodes
+them as four rules (catalogued in ``docs/static_analysis.md``):
+
+``REP001``
+    No direct ``random`` / ``numpy.random`` *use* outside
+    ``util/rng.py``.  Every randomized component must draw from
+    :func:`repro.util.rng.make_rng` so experiments stay reproducible
+    from an explicit seed.  Type annotations such as
+    ``np.random.Generator`` are allowed — only calls and imports of the
+    module are flagged.
+
+``REP002``
+    Every :class:`~repro.collectives.schedule.CollectiveAlgorithm`
+    subclass must set a non-default ``name`` and be registered in
+    ``repro.collectives.registry._PATTERNS`` (so the mapping heuristics
+    can dispatch on it), or carry an explicit
+    ``# lint: unregistered-ok`` marker.
+
+``REP003``
+    Mapping heuristics must not mutate their distance-matrix parameter
+    ``D`` in place — ``D`` is shared across mappers and cached by the
+    cluster, so an in-place tweak would corrupt every later mapping.
+
+``REP004``
+    Every ``Mapper.map()`` implementation must route its result through
+    ``Mapper._finish`` or ``check_permutation`` before returning, so a
+    broken bijection can never escape a mapper silently.
+
+Any finding can be suppressed per line with ``# noqa`` or
+``# noqa: REP00x``.  Exit status is 1 iff findings remain.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
+
+__all__ = ["lint_paths", "lint_source", "main"]
+
+#: Marker comment that exempts a class from the REP002 registration check.
+UNREGISTERED_OK = "lint: unregistered-ok"
+
+#: Files (suffix-matched) whose purpose is to wrap the RNG.
+_RNG_MODULES = ("util/rng.py",)
+
+#: In-place numpy mutators whose first argument is the mutated array.
+_INPLACE_FUNCS = {"fill_diagonal", "copyto", "put", "place", "putmask"}
+
+#: Mutating ndarray methods.
+_INPLACE_METHODS = {"fill", "sort", "partition", "put", "itemset", "resize", "setflags"}
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """Flatten ``a.b.c`` attribute chains to ``"a.b.c"`` (None otherwise)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_numpy_random(dotted: Optional[str]) -> bool:
+    if not dotted:
+        return False
+    return dotted.startswith(("np.random.", "numpy.random.")) or dotted in (
+        "np.random",
+        "numpy.random",
+    )
+
+
+class _NoqaFilter:
+    """Per-line ``# noqa`` suppression, read straight from the source."""
+
+    def __init__(self, source: str) -> None:
+        self.lines = source.splitlines()
+
+    def suppressed(self, line: int, code: str) -> bool:
+        if not 1 <= line <= len(self.lines):
+            return False
+        text = self.lines[line - 1]
+        if "# noqa" not in text:
+            return False
+        marker = text.split("# noqa", 1)[1].strip()
+        if not marker.startswith(":"):
+            return True  # bare "# noqa" silences everything
+        return code in marker[1:].replace(",", " ").split()
+
+    def has_marker(self, line: int, marker: str) -> bool:
+        return 1 <= line <= len(self.lines) and marker in self.lines[line - 1]
+
+
+def _registered_patterns() -> Optional[set]:
+    """Algorithm names registered for heuristic dispatch (None = unknown)."""
+    try:
+        from repro.collectives.registry import _PATTERNS
+    except Exception:  # pragma: no cover - registry import must not kill lint
+        return None
+    return set(_PATTERNS)
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, source: str, patterns: Optional[set]) -> None:
+        self.path = path
+        self.noqa = _NoqaFilter(source)
+        self.patterns = patterns
+        self.findings: List[Diagnostic] = []
+        self.in_mapping_pkg = "mapping/" in path.replace("\\", "/")
+        self.is_rng_module = path.replace("\\", "/").endswith(_RNG_MODULES)
+        self._func_stack: List[ast.AST] = []
+
+    # ------------------------------------------------------------------
+    def _flag(self, code: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        if self.noqa.suppressed(line, code):
+            return
+        self.findings.append(
+            Diagnostic(
+                code=code,
+                message=message,
+                path=self.path,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # REP001 — direct randomness
+    # ------------------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        if not self.is_rng_module:
+            for alias in node.names:
+                top = alias.name.split(".")[0]
+                if top == "random" or alias.name.startswith("numpy.random"):
+                    self._flag(
+                        "REP001",
+                        node,
+                        f"import of {alias.name!r}: draw randomness from "
+                        "repro.util.rng.make_rng instead",
+                    )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if not self.is_rng_module and (
+            module == "random" or module.startswith("numpy.random")
+        ):
+            self._flag(
+                "REP001",
+                node,
+                f"import from {module!r}: draw randomness from "
+                "repro.util.rng.make_rng instead",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if not self.is_rng_module and dotted and _is_numpy_random(dotted):
+            self._flag(
+                "REP001",
+                node,
+                f"direct call {dotted}(...): use repro.util.rng.make_rng so the "
+                "seed is explicit",
+            )
+        # REP003: np.fill_diagonal(D, ...) style in-place mutation
+        if self.in_mapping_pkg and dotted:
+            func = dotted.split(".")[-1]
+            if func in _INPLACE_FUNCS and node.args:
+                target = node.args[0]
+                if isinstance(target, ast.Name) and self._is_matrix_param(target.id):
+                    self._flag(
+                        "REP003",
+                        node,
+                        f"{dotted}() mutates distance-matrix parameter "
+                        f"{target.id!r} in place",
+                    )
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _INPLACE_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and self._is_matrix_param(node.func.value.id)
+            ):
+                self._flag(
+                    "REP003",
+                    node,
+                    f"{node.func.value.id}.{node.func.attr}() mutates the "
+                    "distance-matrix parameter in place",
+                )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # REP003 — in-place mutation of the distance matrix
+    # ------------------------------------------------------------------
+    def _is_matrix_param(self, name: str) -> bool:
+        """True iff ``name`` is a ``D`` parameter of an enclosing function."""
+        if name != "D":
+            return False
+        for func in reversed(self._func_stack):
+            args = func.args
+            all_args = args.posonlyargs + args.args + args.kwonlyargs
+            if any(a.arg == "D" for a in all_args):
+                return True
+        return False
+
+    def _check_mutation_target(self, target: ast.AST, node: ast.AST) -> None:
+        if (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Name)
+            and self._is_matrix_param(target.value.id)
+        ):
+            self._flag(
+                "REP003",
+                node,
+                f"assignment into {target.value.id}[...] mutates the "
+                "distance-matrix parameter in place; operate on a copy",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self.in_mapping_pkg:
+            for target in node.targets:
+                self._check_mutation_target(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self.in_mapping_pkg:
+            self._check_mutation_target(node.target, node)
+            if isinstance(node.target, ast.Name) and self._is_matrix_param(
+                node.target.id
+            ):
+                self._flag(
+                    "REP003",
+                    node,
+                    f"augmented assignment to {node.target.id!r} mutates the "
+                    "distance-matrix parameter in place",
+                )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # function / class traversal
+    # ------------------------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._func_stack.append(node)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._func_stack.append(node)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        bases = {b for b in (_dotted_name(base) for base in node.bases) if b}
+        base_tails = {b.split(".")[-1] for b in bases}
+        if "CollectiveAlgorithm" in base_tails:
+            self._check_collective_class(node)
+        if "Mapper" in base_tails:
+            self._check_mapper_class(node)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # REP002 — algorithm naming / registration
+    # ------------------------------------------------------------------
+    def _check_collective_class(self, node: ast.ClassDef) -> None:
+        name_value: Optional[str] = None
+        name_node: ast.AST = node
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                targets = [t.id for t in stmt.targets if isinstance(t, ast.Name)]
+                if "name" in targets and isinstance(stmt.value, ast.Constant):
+                    if isinstance(stmt.value.value, str):
+                        name_value = stmt.value.value
+                        name_node = stmt
+        if name_value is None or name_value == "abstract":
+            self._flag(
+                "REP002",
+                node,
+                f"collective class {node.name} does not set a non-default "
+                "'name' class attribute",
+            )
+            return
+        if self.patterns is None or name_value in self.patterns:
+            return
+        if self.noqa.has_marker(
+            name_node.lineno, UNREGISTERED_OK
+        ) or self.noqa.has_marker(node.lineno, UNREGISTERED_OK):
+            return
+        self._flag(
+            "REP002",
+            name_node,
+            f"algorithm name {name_value!r} is not registered in "
+            "repro.collectives.registry._PATTERNS (register it or mark the "
+            f"class '# {UNREGISTERED_OK}')",
+        )
+
+    # ------------------------------------------------------------------
+    # REP004 — mapper output validation
+    # ------------------------------------------------------------------
+    def _check_mapper_class(self, node: ast.ClassDef) -> None:
+        for stmt in node.body:
+            if isinstance(stmt, ast.FunctionDef) and stmt.name == "map":
+                if self._is_abstract(stmt):
+                    continue
+                if not self._calls_validation(stmt):
+                    self._flag(
+                        "REP004",
+                        stmt,
+                        f"{node.name}.map() must pass its result through "
+                        "Mapper._finish or check_permutation before returning",
+                    )
+
+    @staticmethod
+    def _is_abstract(func: ast.FunctionDef) -> bool:
+        for deco in func.decorator_list:
+            if (_dotted_name(deco) or "").split(".")[-1] == "abstractmethod":
+                return True
+        body = [
+            s
+            for s in func.body
+            if not (isinstance(s, ast.Expr) and isinstance(s.value, ast.Constant))
+        ]
+        if not body:
+            return True
+        return all(
+            isinstance(s, ast.Raise) or (isinstance(s, ast.Pass)) for s in body
+        )
+
+    @staticmethod
+    def _calls_validation(func: ast.FunctionDef) -> bool:
+        for sub in ast.walk(func):
+            if isinstance(sub, ast.Call):
+                dotted = _dotted_name(sub.func) or ""
+                tail = dotted.split(".")[-1]
+                if tail in ("_finish", "check_permutation"):
+                    return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def lint_source(source: str, path: str = "<string>") -> List[Diagnostic]:
+    """Lint one module's source text."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                code="REP000",
+                message=f"syntax error: {exc.msg}",
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+            )
+        ]
+    linter = _Linter(path, source, _registered_patterns())
+    linter.visit(tree)
+    return sorted(linter.findings, key=lambda d: (d.path, d.line or 0, d.col or 0))
+
+
+def _iter_py_files(paths: Sequence[str]) -> Iterable[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: Sequence[str]) -> DiagnosticReport:
+    """Lint every ``.py`` file under the given files/directories."""
+    report = DiagnosticReport(subject="lint")
+    for path in _iter_py_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:  # pragma: no cover - unreadable file
+            report.add("REP000", f"cannot read {path}: {exc}", path=str(path))
+            continue
+        report.diagnostics.extend(lint_source(source, str(path)))
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro.analysis.lint [paths...]``."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    paths = args or ["src"]
+    report = lint_paths(paths)
+    for diag in report.diagnostics:
+        print(diag)
+    n = len(report.diagnostics)
+    print(f"lint: {n} finding(s) in {', '.join(paths)}")
+    return 1 if n else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Opt-in runtime verification guard (``REPRO_VERIFY=1``).
+
+Static verification is free compared to simulation, but it is not free
+compared to *nothing*, so the timing engines do not verify by default.
+Setting the environment variable ``REPRO_VERIFY=1`` (also ``true``,
+``on``, ``yes``) makes :class:`~repro.simmpi.engine.TimingEngine` and
+:class:`~repro.simmpi.eventsim.EventDrivenEngine` run the structural
+checks of :func:`repro.analysis.schedule_verifier.verify_schedule` on
+every schedule before pricing it, raising
+:class:`ScheduleVerificationError` on any error-severity diagnostic.
+
+Only the structural checks run here: at the engine layer the schedule's
+collective semantics are unknown (and compressed timing views carry no
+block lists anyway), and engines legitimately price multi-port stages
+(linear gather/bcast), so ``allow_multi_port`` is set.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.schedule_verifier import verify_schedule
+from repro.collectives.schedule import Schedule
+
+__all__ = [
+    "REPRO_VERIFY_ENV",
+    "ScheduleVerificationError",
+    "verification_enabled",
+    "maybe_verify_schedule",
+]
+
+#: Environment variable enabling the runtime guard.
+REPRO_VERIFY_ENV = "REPRO_VERIFY"
+
+_TRUTHY = ("1", "true", "on", "yes")
+
+
+class ScheduleVerificationError(ValueError):
+    """A schedule failed static verification under ``REPRO_VERIFY=1``."""
+
+    def __init__(self, report) -> None:
+        self.report = report
+        super().__init__(report.format())
+
+
+def verification_enabled() -> bool:
+    """True iff the runtime guard is switched on via the environment."""
+    return os.environ.get(REPRO_VERIFY_ENV, "").strip().lower() in _TRUTHY
+
+
+def maybe_verify_schedule(schedule: Schedule) -> None:
+    """Structurally verify ``schedule`` when ``REPRO_VERIFY=1`` is set.
+
+    No-op (and no verification cost) when the guard is off.
+    """
+    if not verification_enabled():
+        return
+    report = verify_schedule(schedule, None, allow_multi_port=True)
+    if not report.ok():
+        raise ScheduleVerificationError(report)

@@ -7,7 +7,7 @@ terminals and CI logs without matplotlib.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 __all__ = ["line_chart", "bar_chart"]
 

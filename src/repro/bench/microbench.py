@@ -10,13 +10,11 @@ series; the figure benches under ``benchmarks/`` print them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Sequence
 
-import numpy as np
 
 from repro.evaluation.evaluator import AllgatherEvaluator
 from repro.mapping.initial import make_layout
-from repro.topology.cluster import ClusterTopology
 
 __all__ = ["OSU_SIZES", "SweepPoint", "sweep_nonhierarchical", "sweep_hierarchical"]
 

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <subcommand>``.
 
-Five subcommands mirror the paper's workflow:
+The subcommands mirror the paper's workflow:
 
 * ``topo``      — describe a simulated cluster (structure, distance
   ladder, cost-model calibration probes);
@@ -10,9 +10,11 @@ Five subcommands mirror the paper's workflow:
 * ``adaptive``  — per-size adaptive reordering decisions (§VII);
 * ``bcast``     — MPI_Bcast improvement sweep (the §V BBMH claim);
 * ``profile``   — link-level congestion diagnosis of one configuration;
-* ``reproduce`` — regenerate the core paper artefacts in one command.
+* ``reproduce`` — regenerate the core paper artefacts in one command;
+* ``verify``    — static schedule / mapping verification (no simulation);
+* ``lint``      — repo-specific AST lint pass (REP00x rules).
 
-All commands accept ``--nodes`` to size the GPC-class cluster
+Simulation commands accept ``--nodes`` to size the GPC-class cluster
 (processes = 8 x nodes) and print plain-text tables.
 """
 
@@ -22,7 +24,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-import numpy as np
 
 from repro.apps.matvec import MatVecApp
 from repro.apps.solver import IterativeSolverApp
@@ -42,6 +43,11 @@ from repro.topology.gpc import gpc_cluster
 __all__ = ["main", "build_parser"]
 
 QUICK_SIZES = [1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144]
+
+#: Default communicator sizes for ``repro verify`` — mixes powers of two,
+#: odd sizes and primes so both the pow2-only and general algorithms get
+#: exercised off their happy path.
+VERIFY_P_SWEEP = [2, 3, 4, 7, 8, 16, 17, 32, 64]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -101,6 +107,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep = sub.add_parser("reproduce", help="regenerate the core paper artefacts")
     add_nodes(p_rep)
     p_rep.add_argument("--out", default=None, help="directory to write the reports to")
+
+    p_ver = sub.add_parser("verify", help="static schedule & mapping verification")
+    p_ver.add_argument(
+        "--alg", nargs="+", default=None,
+        help="algorithm names to verify (default: every registered algorithm)",
+    )
+    p_ver.add_argument(
+        "-p", "--sizes", dest="sizes", type=int, nargs="+", default=None,
+        help=f"communicator sizes (default: {VERIFY_P_SWEEP})",
+    )
+    p_ver.add_argument(
+        "--mappings", action="store_true",
+        help="also check topology invariants and mapping-heuristic outputs",
+    )
+    add_nodes(p_ver)
+    p_ver.add_argument(
+        "--triangle", action="store_true",
+        help="audit the distance matrix for triangle-inequality violations",
+    )
+
+    p_lint = sub.add_parser("lint", help="repo-specific AST lint pass (REP00x)")
+    p_lint.add_argument("paths", nargs="*", default=["src"], help="files or directories")
     return parser
 
 
@@ -270,6 +298,67 @@ def _cmd_reproduce(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from repro.analysis.mapping_checker import (
+        check_cluster,
+        check_core_mapping,
+        check_distance_matrix,
+    )
+    from repro.analysis.schedule_verifier import verify_algorithm
+    from repro.collectives.registry import make_algorithm, registered_algorithm_names
+    from repro.mapping.reorder import HEURISTICS, reorder_ranks
+
+    names = args.alg or registered_algorithm_names()
+    unknown = [n for n in names if n not in registered_algorithm_names()]
+    if unknown:
+        known = ", ".join(registered_algorithm_names())
+        print(f"error: unknown algorithm(s) {', '.join(unknown)}; registered: {known}")
+        return 2
+    sizes = args.sizes or VERIFY_P_SWEEP
+    total = 0
+    print(f"{'algorithm':>26} {'p':>5}  result")
+    for name in names:
+        for p in sizes:
+            alg = make_algorithm(name)
+            try:
+                alg.validate_p(p)
+            except ValueError:
+                print(f"{name:>26} {p:>5}  skip (unsupported p)")
+                continue
+            report = verify_algorithm(alg, p)
+            verdict = "ok" if not report.diagnostics else f"{len(report.diagnostics)} diagnostic(s)"
+            print(f"{name:>26} {p:>5}  {verdict}")
+            for diag in report.diagnostics:
+                print(f"    {diag}")
+            total += len(report.diagnostics)
+
+    if args.mappings:
+        cluster = gpc_cluster(n_nodes=args.nodes)
+        p = cluster.n_cores
+        print(f"\ntopology invariants ({cluster.n_nodes} nodes, {p} cores):")
+        reports = [check_cluster(cluster, triangle=args.triangle)]
+        D = cluster.distance_matrix()
+        reports.append(check_distance_matrix(D, triangle=args.triangle))
+        for pattern in sorted(HEURISTICS):
+            L = make_layout("cyclic-bunch", cluster, p)
+            res = reorder_ranks(pattern, L, D, rng=0)
+            rep = check_core_mapping(res.mapping, L)
+            rep.subject = f"{pattern} heuristic mapping"
+            reports.append(rep)
+        for rep in reports:
+            print(f"  {rep.format()}")
+            total += len(rep.diagnostics)
+
+    print(f"\nverify: {total} diagnostic(s)")
+    return 1 if total else 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis.lint import main as lint_main
+
+    return lint_main(args.paths)
+
+
 _COMMANDS = {
     "topo": _cmd_topo,
     "sweep": _cmd_sweep,
@@ -279,6 +368,8 @@ _COMMANDS = {
     "bcast": _cmd_bcast,
     "profile": _cmd_profile,
     "reproduce": _cmd_reproduce,
+    "verify": _cmd_verify,
+    "lint": _cmd_lint,
 }
 
 

@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.collectives.allgather_rd import rd_blocks_owned
 from repro.collectives.schedule import CollectiveAlgorithm, Schedule, Stage, make_stage
-from repro.util.bits import ilog2, is_power_of_two
+from repro.util.bits import ilog2
 
 __all__ = ["FoldedRecursiveDoublingAllgather"]
 

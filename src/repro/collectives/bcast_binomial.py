@@ -11,7 +11,7 @@ Used standalone for MPI_Bcast and as phase 3 of the hierarchical allgather
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence, Tuple
+from typing import Iterator, Tuple
 
 from repro.collectives import binomial
 from repro.collectives.schedule import CollectiveAlgorithm, Stage, make_stage

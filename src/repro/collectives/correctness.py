@@ -25,14 +25,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.collectives.schedule import CollectiveAlgorithm, Stage, make_stage
 from repro.simmpi.costmodel import CostModel
 from repro.simmpi.data import DataExecutor
-from repro.util.validation import check_permutation
 
 __all__ = [
     "OrderStrategy",

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.collectives import binomial
 from repro.collectives.allgather_rd import rd_blocks_owned
-from repro.collectives.schedule import CollectiveAlgorithm, Schedule, Stage, make_stage
+from repro.collectives.schedule import CollectiveAlgorithm, Schedule, Stage
 from repro.util.bits import ilog2, is_power_of_two
 
 __all__ = ["HierarchicalAllgather", "contiguous_groups"]
@@ -64,7 +64,7 @@ class HierarchicalAllgather(CollectiveAlgorithm):
         ``"binomial"`` (the paper's non-linear NL variant) or ``"linear"``.
     """
 
-    name = "hierarchical"
+    name = "hierarchical"  # lint: unregistered-ok (reordered per phase, not via _PATTERNS)
 
     def __init__(
         self,
@@ -81,6 +81,8 @@ class HierarchicalAllgather(CollectiveAlgorithm):
             raise ValueError("empty group")
         self.leader_alg = leader_alg
         self.intra = intra
+        # linear intra phases serialise several transfers on the leader
+        self.multi_port_stages = intra == "linear"
         self.p = sum(len(g) for g in self.groups)
         flat = sorted(r for g in self.groups for r in g)
         if flat != list(range(self.p)):

@@ -23,7 +23,10 @@ __all__ = ["LinearGather", "LinearBroadcast"]
 class LinearGather(CollectiveAlgorithm):
     """Every non-root rank sends its contribution directly to the root."""
 
-    name = "linear-gather"
+    name = "linear-gather"  # lint: unregistered-ok (no structured pattern to map)
+
+    #: the root drains every transfer in one stage by design
+    multi_port_stages = True
 
     def __init__(
         self,
@@ -48,7 +51,10 @@ class LinearGather(CollectiveAlgorithm):
 class LinearBroadcast(CollectiveAlgorithm):
     """The root sends the payload directly to every other rank."""
 
-    name = "linear-bcast"
+    name = "linear-bcast"  # lint: unregistered-ok (no structured pattern to map)
+
+    #: the root feeds every transfer in one stage by design
+    multi_port_stages = True
 
     def __init__(self, root: int = 0, payload_blocks: Tuple[int, ...] = (0,)) -> None:
         if root < 0:

@@ -58,7 +58,7 @@ def _stage(msgs: List[Tuple[int, int, int]], blocks, label: str) -> Stage:
 class MultiLevelAllgather(CollectiveAlgorithm):
     """Three-level leader-based allgather over nested node/socket groups."""
 
-    name = "multilevel"
+    name = "multilevel"  # lint: unregistered-ok (reordered per phase, not via _PATTERNS)
 
     def __init__(
         self,
@@ -75,6 +75,8 @@ class MultiLevelAllgather(CollectiveAlgorithm):
             raise ValueError("empty node or socket group")
         self.leader_alg = leader_alg
         self.intra = intra
+        # linear intra phases serialise several transfers on the leader
+        self.multi_port_stages = intra == "linear"
         flat = sorted(r for node in self.nodes for s in node for r in s)
         self.p = len(flat)
         if flat != list(range(self.p)):

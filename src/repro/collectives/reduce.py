@@ -19,7 +19,7 @@ from typing import Callable, Iterator
 import numpy as np
 
 from repro.collectives import binomial
-from repro.collectives.schedule import CollectiveAlgorithm, Schedule, Stage, make_stage
+from repro.collectives.schedule import CollectiveAlgorithm, Schedule, Stage
 
 __all__ = ["BinomialReduce", "simulate_reduce"]
 

@@ -14,12 +14,18 @@ it, which is how :func:`repro.mapping.reorder.reorder_ranks` dispatches.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.collectives.allgather_bruck import BruckAllgather
 from repro.collectives.allgather_rd import RecursiveDoublingAllgather
+from repro.collectives.allgather_rd_nonpow2 import FoldedRecursiveDoublingAllgather
+from repro.collectives.allreduce import RabenseifnerAllreduce, RecursiveDoublingAllreduce
 from repro.collectives.allgather_ring import RingAllgather
+from repro.collectives.bcast_binomial import BinomialBroadcast
+from repro.collectives.gather_binomial import BinomialGather
 from repro.collectives.hierarchical import HierarchicalAllgather
+from repro.collectives.reduce import BinomialReduce
+from repro.collectives.scatter_allgather import BinomialScatter
 from repro.collectives.schedule import CollectiveAlgorithm
 from repro.util.bits import is_power_of_two
 
@@ -28,6 +34,8 @@ __all__ = [
     "select_allgather",
     "select_hierarchical_allgather",
     "pattern_of",
+    "make_algorithm",
+    "registered_algorithm_names",
 ]
 
 #: Per-rank message size (bytes) below which recursive doubling is used.
@@ -47,6 +55,38 @@ _PATTERNS = {
     "allreduce-rd": "recursive-doubling",
     "allreduce-rabenseifner": "recursive-doubling",
 }
+
+
+#: Constructors for every registered algorithm, keyed by its ``name``.
+#: All take no arguments (roots default to 0), so ``make_algorithm`` can
+#: instantiate any registered pattern for verification sweeps and tests.
+_ALGORITHM_FACTORIES = {
+    "recursive-doubling": RecursiveDoublingAllgather,
+    "ring": RingAllgather,
+    "bruck": BruckAllgather,
+    "recursive-doubling-folded": FoldedRecursiveDoublingAllgather,
+    "binomial-bcast": BinomialBroadcast,
+    "binomial-gather": BinomialGather,
+    "binomial-scatter": BinomialScatter,
+    "binomial-reduce": BinomialReduce,
+    "allreduce-rd": RecursiveDoublingAllreduce,
+    "allreduce-rabenseifner": RabenseifnerAllreduce,
+}
+
+
+def registered_algorithm_names() -> list:
+    """Names of every registered (pattern-dispatchable) algorithm."""
+    return sorted(_ALGORITHM_FACTORIES)
+
+
+def make_algorithm(name: str) -> CollectiveAlgorithm:
+    """Instantiate a registered algorithm by its ``name``."""
+    try:
+        factory = _ALGORITHM_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(registered_algorithm_names())
+        raise KeyError(f"unknown algorithm {name!r}; registered: {known}")
+    return factory()
 
 
 def pattern_of(algorithm: CollectiveAlgorithm) -> str:

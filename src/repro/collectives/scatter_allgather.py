@@ -49,7 +49,7 @@ class BinomialScatter(CollectiveAlgorithm):
 class ScatterAllgatherBroadcast(CollectiveAlgorithm):
     """Binomial scatter followed by a ring or RD allgather of the slices."""
 
-    name = "scatter-allgather-bcast"
+    name = "scatter-allgather-bcast"  # lint: unregistered-ok (phases use BGMH/RMH patterns)
 
     def __init__(self, allgather: str = "ring") -> None:
         if allgather not in ("ring", "rd"):

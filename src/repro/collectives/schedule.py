@@ -117,6 +117,20 @@ class Schedule:
     local_copy_units: float = 0.0
     name: str = ""
 
+    def __post_init__(self) -> None:
+        if self.p < 2:
+            raise ValueError(f"a schedule needs p >= 2, got p={self.p}")
+        if not self.stages:
+            raise ValueError("a schedule needs at least one stage")
+        for i, s in enumerate(self.stages):
+            lo = int(min(s.src.min(), s.dst.min()))
+            hi = int(max(s.src.max(), s.dst.max()))
+            if lo < 0 or hi >= self.p:
+                raise ValueError(
+                    f"stage {i} references rank {lo if lo < 0 else hi} outside "
+                    f"[0, {self.p})"
+                )
+
     def n_stages(self) -> int:
         """Number of stage rounds including repeats."""
         return sum(s.repeat for s in self.stages)
@@ -130,10 +144,17 @@ class Schedule:
         return sum(s.total_units() for s in self.stages)
 
     def max_rank(self) -> int:
-        """Largest rank referenced (sanity checks)."""
+        """Largest rank referenced (sanity checks).
+
+        Raises :class:`ValueError` on a schedule with no stages instead of
+        returning 0 — an all-empty schedule must never be mistaken for a
+        valid single-rank one (construction already rejects it, but
+        mutated instances can reach this).
+        """
+        if not self.stages:
+            raise ValueError("schedule has no stages; no ranks are referenced")
         return max(
-            (int(max(s.src.max(initial=0), s.dst.max(initial=0))) for s in self.stages),
-            default=0,
+            int(max(s.src.max(initial=0), s.dst.max(initial=0))) for s in self.stages
         )
 
 

@@ -16,7 +16,7 @@ bucket, so the prediction cost is paid once, like the reordering itself.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -20,12 +20,12 @@ MPI_Allgather:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.collectives.bcast_binomial import BinomialBroadcast
-from repro.collectives.registry import DEFAULT_RD_THRESHOLD_BYTES, pattern_of
+from repro.collectives.registry import DEFAULT_RD_THRESHOLD_BYTES
 from repro.collectives.scatter_allgather import ScatterAllgatherBroadcast
 from repro.collectives.schedule import CollectiveAlgorithm
 from repro.mapping.reorder import reorder_ranks

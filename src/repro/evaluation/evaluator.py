@@ -26,7 +26,7 @@ intra-node pattern to optimise and only leaders are reordered.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

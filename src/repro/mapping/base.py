@@ -12,12 +12,11 @@ baselines alike) implements.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 
 from repro.util.rng import RngLike, make_rng
-from repro.util.validation import check_permutation
 
 __all__ = ["CorePool", "Mapper"]
 

@@ -14,7 +14,7 @@ and the ``bench_ablation_optimality`` bench.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

@@ -21,7 +21,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.mapping.base import Mapper
-from repro.util.bits import ilog2, is_power_of_two
+from repro.util.bits import is_power_of_two
 from repro.util.rng import RngLike
 
 __all__ = ["RDMH"]

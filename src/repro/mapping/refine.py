@@ -15,7 +15,7 @@ stretched edges, so a pass is ``O(k · p)`` rather than ``O(p^2)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Type
+from typing import Dict, Sequence, Type
 
 import numpy as np
 

@@ -29,7 +29,7 @@ from repro.collectives.correctness import (
     RankReordering,
     execute_reordered_allgather,
 )
-from repro.collectives.registry import pattern_of, select_allgather
+from repro.collectives.registry import select_allgather
 from repro.evaluation.evaluator import AllgatherEvaluator
 from repro.mapping.initial import make_layout
 from repro.mapping.reorder import reorder_ranks

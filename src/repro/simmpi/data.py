@@ -17,7 +17,7 @@ message, so malformed schedules fail loudly:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
 import numpy as np
 

@@ -20,14 +20,15 @@ enough to sweep 4096-process schedules on one machine.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.runtime import maybe_verify_schedule
 from repro.collectives.schedule import Schedule, Stage
 from repro.simmpi.costmodel import CostModel
 from repro.topology.cluster import ClusterTopology
-from repro.util.validation import check_permutation, check_positive
+from repro.util.validation import check_positive
 
 __all__ = ["TimingEngine", "TimingResult", "StageTiming"]
 
@@ -142,6 +143,7 @@ class TimingEngine:
             Additional local data movement to price (endShfl shuffles).
         """
         check_positive("block_bytes", block_bytes)
+        maybe_verify_schedule(schedule)  # opt-in static guard (REPRO_VERIFY=1)
         M = np.asarray(mapping, dtype=np.int64)
         if schedule.p > M.size:
             raise ValueError(

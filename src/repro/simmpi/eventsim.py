@@ -36,10 +36,11 @@ vectorised barrier engine remains the default for 4096-process sweeps.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.runtime import maybe_verify_schedule
 from repro.collectives.schedule import Schedule, Stage
 from repro.simmpi.costmodel import CostModel
 from repro.topology.cluster import ClusterTopology
@@ -99,6 +100,7 @@ class EventDrivenEngine:
     ) -> EventTimingResult:
         """Price ``schedule`` under ``mapping`` with event semantics."""
         check_positive("block_bytes", block_bytes)
+        maybe_verify_schedule(schedule)  # opt-in static guard (REPRO_VERIFY=1)
         M = np.asarray(mapping, dtype=np.int64)
         if schedule.p > M.size:
             raise ValueError(
@@ -149,15 +151,15 @@ class EventDrivenEngine:
 
         new_done = done.copy()
         for i in order:
-            links = [int(l) for l in routes[i] if l >= 0]
+            links = [int(lid) for lid in routes[i] if lid >= 0]
             # cut-through: the stream completes once every link has pushed
             # its share through, queueing FIFO behind earlier traffic
             ready = float(starts[i])
             start_tx = ready
             for link in links:
                 start_tx = max(start_tx, link_free.get(link, 0.0))
-            alpha = float(sum(self._alpha[l] for l in links))
-            beta_max = float(max(self._beta[l] for l in links)) if links else 0.0
+            alpha = float(sum(self._alpha[lid] for lid in links))
+            beta_max = float(max(self._beta[lid] for lid in links)) if links else 0.0
             finish = start_tx + alpha + float(nbytes[i]) * beta_max
             for link in links:
                 # each link serialises only its own share, from the moment

@@ -17,14 +17,13 @@ Used by ``benchmarks/bench_ext_degraded.py`` and the robustness tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.collectives.schedule import Schedule
-from repro.simmpi.costmodel import CostModel
 from repro.simmpi.engine import TimingEngine
-from repro.topology.cluster import ClusterTopology, LinkClass
+from repro.topology.cluster import ClusterTopology
 from repro.util.rng import RngLike, make_rng
 
 __all__ = [

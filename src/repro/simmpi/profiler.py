@@ -13,8 +13,8 @@ profiling a 4096-process schedule costs about as much as pricing it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -123,13 +123,13 @@ def profile_schedule(
     order = np.argsort(total_loads)[::-1][:top_links]
     hot = [
         HotLink(
-            link_id=int(l),
-            link_class=LinkClass(cluster.link_class[l]).name,
-            bytes=float(total_loads[l]),
-            description=_describe_link(engine, int(l)),
+            link_id=int(lid),
+            link_class=LinkClass(cluster.link_class[lid]).name,
+            bytes=float(total_loads[lid]),
+            description=_describe_link(engine, int(lid)),
         )
-        for l in order
-        if total_loads[l] > 0
+        for lid in order
+        if total_loads[lid] > 0
     ]
     total = sum(s for _, s in stage_seconds) + engine.cost.copy_cost(
         schedule.local_copy_units * block_bytes

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.collectives.schedule import Schedule
 from repro.simmpi.costmodel import CostModel
-from repro.simmpi.eventsim import EventDrivenEngine, MAX_MESSAGE_OPS
+from repro.simmpi.eventsim import EventDrivenEngine
 from repro.topology.cluster import ClusterTopology
 
 __all__ = ["MessageEvent", "record_timeline", "to_chrome_trace", "export_chrome_trace"]

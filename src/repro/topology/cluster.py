@@ -34,7 +34,7 @@ runs).
 from __future__ import annotations
 
 from enum import IntEnum
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

@@ -24,6 +24,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.topology.cluster import ClusterTopology
+from repro.util.validation import check_square_matrix, check_symmetric_matrix
 
 __all__ = ["DistanceExtractor", "ExtractionReport", "CorePosition"]
 
@@ -112,6 +113,8 @@ class DistanceExtractor:
         positions = self.gather_positions(cores)
         idx = np.array([p.core for p in positions], dtype=np.int64)
         dist = self.cluster.distance(idx[:, None], idx[None, :]).astype(np.float32)
+        check_square_matrix("distance matrix", dist)
+        check_symmetric_matrix("distance matrix", dist)
         dt = time.perf_counter() - t0
         report = ExtractionReport(
             n_processes=len(positions),

@@ -22,7 +22,6 @@ generalisation of the four named layouts in :mod:`repro.mapping.initial`
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 import numpy as np
 

@@ -7,7 +7,6 @@ machine a sweep ran on (``python -m repro topo`` uses it).
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.topology.cluster import ClusterTopology
 

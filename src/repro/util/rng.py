@@ -7,7 +7,7 @@ reproducible experiments every randomized component takes a
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -11,6 +11,8 @@ __all__ = [
     "check_positive",
     "check_nonnegative",
     "check_in_range",
+    "check_square_matrix",
+    "check_symmetric_matrix",
 ]
 
 
@@ -30,6 +32,40 @@ def check_in_range(name: str, value: int, lo: int, hi: int) -> None:
     """Raise :class:`ValueError` unless lo <= value < hi."""
     if not (lo <= value < hi):
         raise ValueError(f"{name} must be in [{lo}, {hi}), got {value}")
+
+
+def check_square_matrix(name: str, matrix) -> np.ndarray:
+    """Raise :class:`ValueError` unless ``matrix`` is 2-D and square.
+
+    Returns the input as an array so callers can validate and convert in
+    one step (mirrors :func:`check_permutation`).
+    """
+    arr = np.asarray(matrix)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got {arr.ndim}-D shape {arr.shape}")
+    if arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {arr.shape}")
+    return arr
+
+
+def check_symmetric_matrix(name: str, matrix, atol: float = 1e-6) -> np.ndarray:
+    """Raise :class:`ValueError` unless ``matrix`` is square and symmetric.
+
+    Physical distance matrices are symmetric by construction (a route and
+    its reverse cross the same channels); asymmetry means a corrupted or
+    mis-assembled matrix, which the mapping heuristics would silently
+    mis-optimise.
+    """
+    arr = check_square_matrix(name, matrix)
+    if arr.size:
+        delta = np.abs(arr - arr.T)
+        if float(delta.max()) > atol:
+            i, j = np.unravel_index(int(np.argmax(delta)), arr.shape)
+            raise ValueError(
+                f"{name} is not symmetric: [{i},{j}]={arr[i, j]:g} vs "
+                f"[{j},{i}]={arr[j, i]:g}"
+            )
+    return arr
 
 
 def check_permutation(perm: Sequence[int], n: int, name: str = "mapping") -> np.ndarray:

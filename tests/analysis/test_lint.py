@@ -1,0 +1,172 @@
+"""AST lint-pass tests: one positive and one negative case per REP rule."""
+
+import textwrap
+
+from repro.analysis.lint import lint_paths, lint_source, main
+
+
+def codes(source, path="src/repro/somewhere.py"):
+    return [d.code for d in lint_source(textwrap.dedent(source), path)]
+
+
+class TestRep001Randomness:
+    def test_import_random_flagged(self):
+        assert codes("import random\n") == ["REP001"]
+
+    def test_from_numpy_random_flagged(self):
+        assert codes("from numpy.random import default_rng\n") == ["REP001"]
+
+    def test_direct_call_flagged(self):
+        src = """
+        import numpy as np
+
+        def f():
+            return np.random.default_rng(0)
+        """
+        assert codes(src) == ["REP001"]
+
+    def test_rng_module_exempt(self):
+        src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert codes(src, path="src/repro/util/rng.py") == []
+
+    def test_annotation_not_flagged(self):
+        src = """
+        import numpy as np
+
+        def f(rng: np.random.Generator) -> None:
+            pass
+        """
+        assert codes(src) == []
+
+    def test_noqa_suppresses(self):
+        assert codes("import random  # noqa: REP001\n") == []
+        assert codes("import random  # noqa\n") == []
+
+
+class TestRep002Registration:
+    def test_default_name_flagged(self):
+        src = """
+        class Mystery(CollectiveAlgorithm):
+            pass
+        """
+        assert codes(src) == ["REP002"]
+
+    def test_unregistered_name_flagged(self):
+        src = """
+        class Mystery(CollectiveAlgorithm):
+            name = "not-a-registered-pattern"
+        """
+        assert codes(src) == ["REP002"]
+
+    def test_registered_name_clean(self):
+        src = """
+        class Ring(CollectiveAlgorithm):
+            name = "ring"
+        """
+        assert codes(src) == []
+
+    def test_marker_exempts(self):
+        src = """
+        class Mystery(CollectiveAlgorithm):
+            name = "not-a-registered-pattern"  # lint: unregistered-ok
+        """
+        assert codes(src) == []
+
+
+MAPPING_PATH = "src/repro/mapping/fake.py"
+
+
+class TestRep003MatrixMutation:
+    def test_subscript_assignment_flagged(self):
+        src = """
+        def heuristic(D):
+            D[0, 0] = 1.0
+        """
+        assert codes(src, MAPPING_PATH) == ["REP003"]
+
+    def test_fill_diagonal_flagged(self):
+        src = """
+        import numpy as np
+
+        def heuristic(D):
+            np.fill_diagonal(D, 9.0)
+        """
+        assert codes(src, MAPPING_PATH) == ["REP003"]
+
+    def test_augmented_assignment_flagged(self):
+        src = """
+        def heuristic(D):
+            D += 1.0
+        """
+        assert codes(src, MAPPING_PATH) == ["REP003"]
+
+    def test_copy_is_clean(self):
+        src = """
+        def heuristic(D):
+            E = D.copy()
+            E[0, 0] = 1.0
+            return E
+        """
+        assert codes(src, MAPPING_PATH) == []
+
+    def test_outside_mapping_pkg_not_flagged(self):
+        src = """
+        def f(D):
+            D[0, 0] = 1.0
+        """
+        assert codes(src, "src/repro/topology/fake.py") == []
+
+
+class TestRep004MapperValidation:
+    def test_unvalidated_map_flagged(self):
+        src = """
+        class Greedy(Mapper):
+            def map(self, layout, D):
+                return layout
+        """
+        assert codes(src, MAPPING_PATH) == ["REP004"]
+
+    def test_finish_is_accepted(self):
+        src = """
+        class Greedy(Mapper):
+            def map(self, layout, D):
+                return self._finish(layout, layout)
+        """
+        assert codes(src, MAPPING_PATH) == []
+
+    def test_check_permutation_is_accepted(self):
+        src = """
+        class Greedy(Mapper):
+            def map(self, layout, D):
+                check_permutation(layout, len(layout))
+                return layout
+        """
+        assert codes(src, MAPPING_PATH) == []
+
+    def test_abstract_map_skipped(self):
+        src = """
+        class Base(Mapper):
+            def map(self, layout, D):
+                raise NotImplementedError
+        """
+        assert codes(src, MAPPING_PATH) == []
+
+
+class TestDriver:
+    def test_syntax_error_reported(self):
+        assert codes("def broken(:\n") == ["REP000"]
+
+    def test_repo_source_tree_is_clean(self):
+        report = lint_paths(["src"])
+        assert len(report) == 0, report.format()
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main([str(clean)]) == 0
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        assert main([str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out
+        assert "1 finding(s)" in out

@@ -1,11 +1,10 @@
 """Application trace and runner tests (paper §VI-B substrate)."""
 
-import numpy as np
 import pytest
 
 from repro.apps.matvec import MatVecApp
 from repro.apps.nbody import NBodyApp
-from repro.apps.trace import AppPhase, AppResult, AppRunner, AppTrace
+from repro.apps.trace import AppPhase, AppRunner, AppTrace
 from repro.evaluation.evaluator import AllgatherEvaluator
 from repro.mapping.initial import block_bunch, cyclic_scatter
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bench.suite import QUICK_SIZES, SuiteResult, run_suite
+from repro.bench.suite import run_suite
 
 
 @pytest.fixture(scope="module")

@@ -6,7 +6,6 @@ other ranks.  These tests pin the family-wide invariants that individual
 algorithm tests cannot see.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

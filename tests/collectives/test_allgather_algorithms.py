@@ -8,7 +8,7 @@ from repro.collectives.allgather_bruck import BruckAllgather
 from repro.collectives.allgather_rd import RecursiveDoublingAllgather, rd_blocks_owned
 from repro.collectives.allgather_ring import RingAllgather
 from repro.simmpi.data import DataExecutor
-from repro.util.bits import ceil_log2, ilog2
+from repro.util.bits import ceil_log2
 
 
 def run_allgather(alg, p):

@@ -1,6 +1,5 @@
 """Multi-level hierarchical allgather tests (extension)."""
 
-import numpy as np
 import pytest
 
 from repro.collectives.multilevel import MultiLevelAllgather, socket_groups_for
@@ -113,7 +112,6 @@ class TestTiming:
         cross-socket traffic: only socket leaders cross the QPI during the
         gather, instead of every rank (the Ma et al. [6] motivation)."""
         from repro.simmpi.engine import TimingEngine
-        from repro.topology.cluster import LinkClass
         from repro.topology.gpc import ClusterTopology
         from repro.topology.hardware import MachineTopology
 

@@ -55,7 +55,20 @@ class TestSchedule:
         assert sched.total_units() == 3 + 2
         assert sched.max_rank() == 2
 
-    def test_empty_schedule(self):
-        sched = Schedule(p=1)
-        assert sched.n_stages() == 0
-        assert sched.max_rank() == 0
+    def test_empty_schedule_rejected(self):
+        # An all-empty schedule must never be mistaken for a valid one.
+        with pytest.raises(ValueError, match="at least one stage"):
+            Schedule(p=2)
+        with pytest.raises(ValueError, match="p >= 2"):
+            Schedule(p=1)
+
+    def test_rank_out_of_bounds_rejected(self):
+        st = make_stage([(0, 3, (0,))])
+        with pytest.raises(ValueError, match="outside"):
+            Schedule(p=3, stages=[st])
+
+    def test_max_rank_raises_on_mutated_empty_schedule(self):
+        sched = Schedule(p=3, stages=[make_stage([(0, 1, (0,))])])
+        sched.stages = []  # simulate post-construction corruption
+        with pytest.raises(ValueError, match="no stages"):
+            sched.max_rank()

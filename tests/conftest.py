@@ -1,6 +1,5 @@
 """Shared fixtures: small clusters and cached distance matrices."""
 
-import numpy as np
 import pytest
 
 from repro.simmpi.costmodel import CostModel

@@ -1,6 +1,5 @@
 """Adaptive reorderer tests (paper §VII future-work extension)."""
 
-import numpy as np
 import pytest
 
 from repro.evaluation.adaptive import AdaptiveReorderer

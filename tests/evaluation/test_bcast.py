@@ -1,6 +1,5 @@
 """Broadcast evaluator tests."""
 
-import numpy as np
 import pytest
 
 from repro.collectives.bcast_binomial import BinomialBroadcast

@@ -1,6 +1,5 @@
 """Stage-locality analysis tests — the paper's stage-wise claims, checked."""
 
-import numpy as np
 import pytest
 
 from repro.collectives.allgather_rd import RecursiveDoublingAllgather

@@ -1,6 +1,5 @@
 """Initial layout tests (paper §VI-A block/cyclic x bunch/scatter)."""
 
-import numpy as np
 import pytest
 
 from repro.mapping.initial import (

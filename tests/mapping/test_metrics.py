@@ -1,9 +1,7 @@
 """Mapping-quality metric tests."""
 
 import numpy as np
-import pytest
 
-from repro.collectives.allgather_ring import RingAllgather
 from repro.mapping.initial import block_bunch, cyclic_scatter
 from repro.mapping.metrics import (
     MappingQuality,

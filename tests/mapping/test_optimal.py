@@ -6,7 +6,7 @@ import pytest
 from repro.mapping.bbmh import BBMH
 from repro.mapping.bgmh import BGMH
 from repro.mapping.metrics import hop_bytes
-from repro.mapping.optimal import MAX_OPTIMAL_P, OptimalMapper
+from repro.mapping.optimal import OptimalMapper
 from repro.mapping.patterns import build_pattern
 from repro.mapping.rdmh import RDMH
 from repro.mapping.rmh import RMH

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.mapping.initial import block_bunch, cyclic_scatter
-from repro.mapping.reorder import HEURISTICS, MAPPER_KINDS, reorder_ranks
+from repro.mapping.reorder import HEURISTICS, reorder_ranks
 
 
 class TestDispatch:

@@ -1,9 +1,8 @@
 """Cost-model tests."""
 
-import numpy as np
 import pytest
 
-from repro.simmpi.costmodel import CostModel, DEFAULT_ALPHA, DEFAULT_BETA
+from repro.simmpi.costmodel import CostModel, DEFAULT_BETA
 from repro.topology.cluster import LinkClass
 
 

@@ -12,11 +12,7 @@ from repro.collectives.allgather_bruck import BruckAllgather
 from repro.collectives.allgather_rd import RecursiveDoublingAllgather
 from repro.collectives.allgather_rd_nonpow2 import FoldedRecursiveDoublingAllgather
 from repro.collectives.allgather_ring import RingAllgather
-from repro.collectives.correctness import (
-    OrderStrategy,
-    RankReordering,
-    execute_reordered_allgather,
-)
+from repro.collectives.correctness import RankReordering, execute_reordered_allgather
 from repro.collectives.hierarchical import HierarchicalAllgather, contiguous_groups
 from repro.collectives.multilevel import MultiLevelAllgather, socket_groups_for
 

@@ -110,10 +110,10 @@ class TestScheduleEvaluation:
     def test_units_scale_bytes(self, mid_engine, mid_cluster):
         M = np.arange(mid_cluster.n_cores)
         small = mid_engine.evaluate(
-            Schedule(p=2, stages=[one_stage([0], [8], units=[1.0])]), M, 1 << 20
+            Schedule(p=9, stages=[one_stage([0], [8], units=[1.0])]), M, 1 << 20
         ).total_seconds
         big = mid_engine.evaluate(
-            Schedule(p=2, stages=[one_stage([0], [8], units=[4.0])]), M, 1 << 20
+            Schedule(p=9, stages=[one_stage([0], [8], units=[4.0])]), M, 1 << 20
         ).total_seconds
         assert big > 2.5 * small
 

@@ -47,8 +47,8 @@ class TestFractionalUnits:
     def test_rabenseifner_fractions_priced(self, mid_engine, mid_cluster):
         """Fractional units (Rabenseifner's halving) scale the bytes."""
         M = np.arange(mid_cluster.n_cores)
-        half = Schedule(p=2, stages=[msg(0, 8, units=0.5)])
-        full = Schedule(p=2, stages=[msg(0, 8, units=1.0)])
+        half = Schedule(p=9, stages=[msg(0, 8, units=0.5)])
+        full = Schedule(p=9, stages=[msg(0, 8, units=1.0)])
         t_half = mid_engine.evaluate(half, M, 1 << 20).total_seconds
         t_full = mid_engine.evaluate(full, M, 1 << 20).total_seconds
         assert t_half < t_full
@@ -74,6 +74,6 @@ class TestResultObjects:
 
     def test_max_link_load_reported(self, mid_engine, mid_cluster):
         M = np.arange(mid_cluster.n_cores)
-        sched = Schedule(p=4, stages=[Stage(np.arange(4), np.arange(4) + 8, np.ones(4))])
+        sched = Schedule(p=12, stages=[Stage(np.arange(4), np.arange(4) + 8, np.ones(4))])
         res = mid_engine.evaluate(sched, M, 1000)
         assert res.stage_timings[0].max_link_load_bytes == pytest.approx(4000.0)

@@ -80,9 +80,9 @@ def test_repeat_equals_explicit_stages(seed, k):
     rng = np.random.default_rng(seed)
     stage = random_stage(rng, 8)
     repeated = Stage(src=stage.src, dst=stage.dst, units=stage.units, repeat=k)
-    sched_rep = Schedule(p=8, stages=[repeated])
+    sched_rep = Schedule(p=CLUSTER.n_cores, stages=[repeated])
     sched_exp = Schedule(
-        p=8,
+        p=CLUSTER.n_cores,
         stages=[Stage(src=stage.src, dst=stage.dst, units=stage.units) for _ in range(k)],
     )
     t_rep = ENGINE.evaluate(sched_rep, RANKS, 512.0).total_seconds

@@ -30,7 +30,7 @@ class TestSingleMessageAgreement:
         barrier, event = engines
         M = np.arange(mid_cluster.n_cores)
         for dst in (1, 5, 9, 40):
-            sched = Schedule(p=2, stages=[one_stage([0], [dst])])
+            sched = Schedule(p=dst + 1, stages=[one_stage([0], [dst])])
             tb = barrier.evaluate(sched, M, 8192).total_seconds
             te = event.evaluate(sched, M, 8192).total_seconds
             assert te == pytest.approx(tb)
@@ -38,7 +38,7 @@ class TestSingleMessageAgreement:
     def test_disjoint_messages_match(self, engines, mid_cluster):
         barrier, event = engines
         M = np.arange(mid_cluster.n_cores)
-        sched = Schedule(p=4, stages=[one_stage([0, 16], [1, 17])])
+        sched = Schedule(p=18, stages=[one_stage([0, 16], [1, 17])])
         tb = barrier.evaluate(sched, M, 8192).total_seconds
         te = event.evaluate(sched, M, 8192).total_seconds
         assert te == pytest.approx(tb)

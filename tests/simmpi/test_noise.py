@@ -20,7 +20,8 @@ from repro.simmpi.noise import (
 
 
 def one_msg(src, dst):
-    return Schedule(p=2, stages=[Stage(np.array([src]), np.array([dst]), np.ones(1))])
+    p = max(src, dst) + 1
+    return Schedule(p=p, stages=[Stage(np.array([src]), np.array([dst]), np.ones(1))])
 
 
 class TestDegradationBuilders:

@@ -1,6 +1,5 @@
 """Schedule profiler tests."""
 
-import numpy as np
 import pytest
 
 from repro.collectives.allgather_ring import RingAllgather

@@ -92,3 +92,45 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "blocking factor" in out
         assert "socket0" in out
+
+
+class TestVerifyCommand:
+    def test_verify_all_registered_clean(self, capsys):
+        rc = main(["verify", "-p", "4", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verify: 0 diagnostic(s)" in out
+        assert "ring" in out
+
+    def test_verify_single_algorithm(self, capsys):
+        rc = main(["verify", "--alg", "ring", "-p", "7"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ring" in out
+        assert "ok" in out
+
+    def test_verify_skips_unsupported_sizes(self, capsys):
+        rc = main(["verify", "--alg", "allreduce-rd", "-p", "7"])
+        assert rc == 0
+        assert "skip (unsupported p)" in capsys.readouterr().out
+
+    def test_verify_mappings(self, capsys):
+        rc = main(["verify", "--alg", "ring", "-p", "4", "--mappings", "--nodes", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "topology invariants" in out
+        assert "heuristic mapping: clean" in out
+
+
+class TestLintCommand:
+    def test_lint_src_clean(self, capsys):
+        rc = main(["lint", "src"])
+        assert rc == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_lint_flags_violations(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\n")
+        rc = main(["lint", str(dirty)])
+        assert rc == 1
+        assert "REP001" in capsys.readouterr().out

@@ -8,7 +8,6 @@ matrix, heuristics at p=4096) cannot hide until bench time.
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.evaluation.evaluator import AllgatherEvaluator

@@ -15,11 +15,8 @@ If an intentional model change lands, regenerate the constants with:
     PY
 """
 
-import numpy as np
 import pytest
 
-from repro.collectives.allgather_rd import RecursiveDoublingAllgather
-from repro.collectives.allgather_ring import RingAllgather
 from repro.evaluation.evaluator import AllgatherEvaluator
 from repro.mapping.initial import make_layout
 from repro.mapping.metrics import hop_bytes

@@ -1,6 +1,5 @@
 """End-to-end integration tests: the paper's pipeline at miniature scale."""
 
-import numpy as np
 import pytest
 
 from repro import (

@@ -13,7 +13,7 @@ from repro.collectives.allgather_rd import RecursiveDoublingAllgather
 from repro.collectives.allgather_ring import RingAllgather
 from repro.collectives.correctness import RankReordering, execute_reordered_allgather
 from repro.evaluation.evaluator import AllgatherEvaluator
-from repro.mapping.initial import block_bunch, cyclic_bunch, cyclic_scatter, make_layout
+from repro.mapping.initial import block_bunch, cyclic_bunch, cyclic_scatter
 from repro.mapping.rdmh import RDMH
 from repro.mapping.reorder import reorder_ranks
 from repro.topology.gpc import gpc_cluster
@@ -50,7 +50,7 @@ class TestSectionII:
 
         M = np.arange(cluster.n_cores)
         intra = Schedule(p=2, stages=[Stage(np.array([0]), np.array([1]), np.ones(1))])
-        inter = Schedule(p=2, stages=[Stage(np.array([0]), np.array([8]), np.ones(1))])
+        inter = Schedule(p=9, stages=[Stage(np.array([0]), np.array([8]), np.ones(1))])
         assert (
             ev.engine.evaluate(intra, M, 4096).total_seconds
             < ev.engine.evaluate(inter, M, 4096).total_seconds
@@ -66,9 +66,9 @@ class TestSectionII:
         engine = TimingEngine(wide)
         M = np.arange(wide.n_cores)
         # same leaf (node 1) vs a spine crossing (node 31, other leaf/line)
-        same_leaf = Schedule(p=2, stages=[Stage(np.array([0]), np.array([8]), np.ones(1))])
+        same_leaf = Schedule(p=9, stages=[Stage(np.array([0]), np.array([8]), np.ones(1))])
         cross = Schedule(
-            p=2, stages=[Stage(np.array([0]), np.array([31 * 8]), np.ones(1))]
+            p=31 * 8 + 1, stages=[Stage(np.array([0]), np.array([31 * 8]), np.ones(1))]
         )
         assert wide.channel_of(0, 8) == "leaf"
         assert wide.channel_of(0, 31 * 8) == "spine"

@@ -1,6 +1,5 @@
 """Fat-tree network model tests."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

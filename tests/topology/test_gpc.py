@@ -1,7 +1,5 @@
 """GPC system configuration tests (paper §VI, Fig. 2)."""
 
-import numpy as np
-import pytest
 
 from repro.topology.gpc import GPC_CORES_PER_NODE, gpc_cluster, single_node_cluster, small_cluster
 

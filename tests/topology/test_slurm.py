@@ -9,11 +9,7 @@ from repro.mapping.initial import (
     cyclic_bunch,
     cyclic_scatter,
 )
-from repro.topology.slurm import (
-    Distribution,
-    layout_from_distribution,
-    parse_distribution,
-)
+from repro.topology.slurm import layout_from_distribution, parse_distribution
 
 
 class TestParse:

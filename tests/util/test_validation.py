@@ -1,6 +1,5 @@
 """Validation-helper tests."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
