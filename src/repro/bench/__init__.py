@@ -7,6 +7,7 @@ from repro.bench.microbench import (
     sweep_nonhierarchical,
 )
 from repro.bench.ascii_plot import bar_chart, line_chart
+from repro.bench.perf import PerfReport, naive_sweep, run_perf
 from repro.bench.report import format_sweep_table, size_label
 from repro.bench.suite import QUICK_SIZES, SuiteResult, run_suite
 
@@ -22,4 +23,7 @@ __all__ = [
     "run_suite",
     "SuiteResult",
     "QUICK_SIZES",
+    "PerfReport",
+    "naive_sweep",
+    "run_perf",
 ]

@@ -5,15 +5,25 @@ over message sizes 1 B - 256 KiB at 4096 processes, for four initial
 mappings, and reports the percentage improvement of each reordering
 scheme over the default.  These sweep functions produce exactly those
 series; the figure benches under ``benchmarks/`` print them.
+
+The sweep is organised so the *size* loop is innermost and batched: per
+(layout, mapper, strategy) grid cell one
+:meth:`~repro.evaluation.evaluator.AllgatherEvaluator.reordered_latencies`
+call prices every message size against shared route/alpha/unit-load
+tables (see ``docs/performance.md``).  Passing ``workers=N`` additionally
+fans the (layout, mapper) grid cells out over a process pool — results
+are bit-identical to the serial sweep because every reordering seed is
+derived deterministically from the cell's content.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
-from repro.evaluation.evaluator import AllgatherEvaluator
+from repro.evaluation.evaluator import AllgatherEvaluator, LatencyReport
 from repro.mapping.initial import make_layout
 
 __all__ = ["OSU_SIZES", "SweepPoint", "sweep_nonhierarchical", "sweep_hierarchical"]
@@ -39,6 +49,8 @@ class SweepPoint:
     @property
     def improvement_pct(self) -> float:
         """Percent latency improvement over the default mapping."""
+        if self.base_us == 0.0:
+            return 0.0
         return 100.0 * (self.base_us - self.tuned_us) / self.base_us
 
     @property
@@ -60,9 +72,10 @@ def sweep_nonhierarchical(
     sizes: Iterable[int] = OSU_SIZES,
     mappers: Sequence[str] = ("heuristic", "scotch"),
     strategies: Sequence[str] = ("initcomm", "endshfl"),
+    workers: Optional[int] = None,
 ) -> List[SweepPoint]:
     """The Fig. 3 sweep: non-hierarchical allgather, four initial mappings."""
-    return _sweep(evaluator, p, layouts, sizes, mappers, strategies, False, "binomial")
+    return _sweep(evaluator, p, layouts, sizes, mappers, strategies, False, "binomial", workers)
 
 
 def sweep_hierarchical(
@@ -73,13 +86,91 @@ def sweep_hierarchical(
     mappers: Sequence[str] = ("heuristic", "scotch"),
     strategies: Sequence[str] = ("initcomm", "endshfl"),
     intra: str = "binomial",
+    workers: Optional[int] = None,
 ) -> List[SweepPoint]:
     """The Fig. 4 sweep: hierarchical allgather, block mappings only.
 
     The paper skips cyclic mappings here ("hierarchical allgather is not
     supported with cyclic mapping" in MVAPICH).
     """
-    return _sweep(evaluator, p, layouts, sizes, mappers, strategies, True, intra)
+    return _sweep(evaluator, p, layouts, sizes, mappers, strategies, True, intra, workers)
+
+
+# ----------------------------------------------------------------------
+# process-pool plumbing: workers inherit one pickled evaluator each via
+# the pool initializer instead of re-pickling it per submitted cell.
+# ----------------------------------------------------------------------
+_WORKER_EVALUATOR: Optional[AllgatherEvaluator] = None
+
+
+def _init_worker(evaluator: AllgatherEvaluator) -> None:
+    global _WORKER_EVALUATOR
+    _WORKER_EVALUATOR = evaluator
+
+
+def _worker_base_cell(args) -> Tuple[str, List[LatencyReport]]:
+    lname, p, sizes, hierarchical, intra = args
+    ev = _WORKER_EVALUATOR
+    L = make_layout(lname, ev.cluster, p)
+    return lname, ev.default_latencies(L, sizes, hierarchical, intra)
+
+
+def _worker_mapper_cell(args) -> Tuple[str, str, Dict[str, List[LatencyReport]]]:
+    lname, mapper, p, sizes, strategies, hierarchical, intra = args
+    ev = _WORKER_EVALUATOR
+    L = make_layout(lname, ev.cluster, p)
+    return lname, mapper, {
+        strategy: ev.reordered_latencies(L, sizes, mapper, strategy, hierarchical, intra)
+        for strategy in strategies
+    }
+
+
+def _compute_cells_parallel(
+    evaluator, p, layouts, sizes, mappers, strategies, hierarchical, intra, workers
+):
+    """Fan the (layout[, mapper]) grid cells out over a process pool."""
+    base: Dict[str, List[LatencyReport]] = {}
+    tuned: Dict[Tuple[str, str], Dict[str, List[LatencyReport]]] = {}
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_init_worker, initargs=(evaluator,)
+    ) as pool:
+        base_futs = [
+            pool.submit(_worker_base_cell, (lname, p, sizes, hierarchical, intra))
+            for lname in layouts
+        ]
+        cell_futs = [
+            pool.submit(
+                _worker_mapper_cell,
+                (lname, mapper, p, sizes, strategies, hierarchical, intra),
+            )
+            for lname in layouts
+            for mapper in mappers
+        ]
+        for fut in base_futs:
+            lname, reports = fut.result()
+            base[lname] = reports
+        for fut in cell_futs:
+            lname, mapper, by_strategy = fut.result()
+            tuned[(lname, mapper)] = by_strategy
+    return base, tuned
+
+
+def _compute_cells_serial(
+    evaluator, p, layouts, sizes, mappers, strategies, hierarchical, intra
+):
+    base: Dict[str, List[LatencyReport]] = {}
+    tuned: Dict[Tuple[str, str], Dict[str, List[LatencyReport]]] = {}
+    for lname in layouts:
+        L = make_layout(lname, evaluator.cluster, p)
+        base[lname] = evaluator.default_latencies(L, sizes, hierarchical, intra)
+        for mapper in mappers:
+            tuned[(lname, mapper)] = {
+                strategy: evaluator.reordered_latencies(
+                    L, sizes, mapper, strategy, hierarchical, intra
+                )
+                for strategy in strategies
+            }
+    return base, tuned
 
 
 def _sweep(
@@ -91,17 +182,25 @@ def _sweep(
     strategies: Sequence[str],
     hierarchical: bool,
     intra: str,
+    workers: Optional[int] = None,
 ) -> List[SweepPoint]:
+    sizes = list(sizes)
+    if workers is not None and workers > 1:
+        base, tuned = _compute_cells_parallel(
+            evaluator, p, layouts, sizes, mappers, strategies, hierarchical, intra, workers
+        )
+    else:
+        base, tuned = _compute_cells_serial(
+            evaluator, p, layouts, sizes, mappers, strategies, hierarchical, intra
+        )
+
     points: List[SweepPoint] = []
     for lname in layouts:
-        L = make_layout(lname, evaluator.cluster, p)
-        for bb in sizes:
-            base = evaluator.default_latency(L, bb, hierarchical, intra)
+        for si, bb in enumerate(sizes):
+            base_rep = base[lname][si]
             for mapper in mappers:
                 for strategy in strategies:
-                    tuned = evaluator.reordered_latency(
-                        L, bb, mapper, strategy, hierarchical, intra
-                    )
+                    rep = tuned[(lname, mapper)][strategy][si]
                     points.append(
                         SweepPoint(
                             layout=lname,
@@ -110,9 +209,9 @@ def _sweep(
                             strategy=strategy,
                             hierarchical=hierarchical,
                             intra=intra,
-                            algorithm=tuned.algorithm,
-                            base_us=base.seconds * 1e6,
-                            tuned_us=tuned.seconds * 1e6,
+                            algorithm=rep.algorithm,
+                            base_us=base_rep.seconds * 1e6,
+                            tuned_us=rep.seconds * 1e6,
                         )
                     )
     return points

@@ -1,0 +1,234 @@
+"""Self-timing harness: batched sweep pipeline vs. the naive per-size loop.
+
+Every paper figure is a sweep over message sizes × layouts × mappers ×
+restoration strategies, and for a fixed (schedule, mapping) the routes,
+alpha-sums and per-link *unit* loads are size-independent — the batched
+pipeline (``TimingEngine.evaluate_sizes`` + the evaluator's
+``*_latencies`` methods) computes them once per algorithm partition
+instead of once per point.  This harness times both pipelines on the same
+Fig. 3 sweep shape, cross-checks that they produce identical latencies,
+and persists the measurement to ``BENCH_sweep.json`` so the repo carries
+a perf trajectory across PRs.  ``python -m repro perf`` wraps it.
+
+Both pipelines are timed with the one-time rank reorderings precomputed
+(the paper's setting: "the whole rank reordering process happens only
+once at run-time"), so the ratio isolates the pricing pipeline itself.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.bench.microbench import OSU_SIZES, SweepPoint, _sweep
+from repro.evaluation.evaluator import AllgatherEvaluator
+from repro.mapping.initial import make_layout
+from repro.topology.gpc import gpc_cluster
+
+__all__ = ["PerfReport", "naive_sweep", "run_perf", "DEFAULT_BENCH_PATH"]
+
+#: Where ``run_perf`` persists its measurement by default.
+DEFAULT_BENCH_PATH = "BENCH_sweep.json"
+
+#: Reduced grid for the CI smoke mode (still crosses the rd/ring
+#: algorithm-selection threshold at 2 KiB).
+QUICK_SIZES = [1, 16, 256, 1024, 4096, 65536, 262144]
+QUICK_LAYOUTS = ["block-bunch", "cyclic-scatter"]
+
+FULL_LAYOUTS = ["block-bunch", "block-scatter", "cyclic-bunch", "cyclic-scatter"]
+
+
+@dataclass
+class PerfReport:
+    """Outcome of one batched-vs-naive sweep timing."""
+
+    p: int
+    n_nodes: int
+    n_points: int
+    naive_seconds: float
+    batched_seconds: float
+    speedup: float
+    points_per_sec_naive: float
+    points_per_sec_batched: float
+    max_rel_diff: float          # batched vs naive point latencies
+    sizes: List[int] = field(default_factory=list)
+    layouts: List[str] = field(default_factory=list)
+    mappers: List[str] = field(default_factory=list)
+    strategies: List[str] = field(default_factory=list)
+    workers: Optional[int] = None
+    quick: bool = False
+    repeats: int = 1
+    timestamp: float = 0.0
+    python: str = ""
+
+    def summary(self) -> str:
+        """Human-readable multi-line report (what ``repro perf`` prints)."""
+        return (
+            f"perf: p={self.p}, {self.n_points} sweep points\n"
+            f"  naive per-size loop : {self.naive_seconds:8.3f} s "
+            f"({self.points_per_sec_naive:8.1f} points/s)\n"
+            f"  batched pipeline    : {self.batched_seconds:8.3f} s "
+            f"({self.points_per_sec_batched:8.1f} points/s)"
+            + (f"  [workers={self.workers}]" if self.workers else "")
+            + f"\n  speedup             : {self.speedup:8.2f}x"
+            f"\n  max rel. difference : {self.max_rel_diff:.3e}"
+        )
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Persist the report as indented JSON; returns the path written."""
+        path = Path(path)
+        path.write_text(json.dumps(asdict(self), indent=2) + "\n")
+        return path
+
+
+def naive_sweep(
+    evaluator: AllgatherEvaluator,
+    p: int,
+    layouts: Sequence[str],
+    sizes: Sequence[int],
+    mappers: Sequence[str],
+    strategies: Sequence[str],
+) -> List[SweepPoint]:
+    """The seed pipeline: size loop outermost, every point priced alone.
+
+    Each point re-selects the algorithm, rebuilds its schedule and
+    re-prices it from scratch through :meth:`TimingEngine.evaluate` —
+    the reference the batched pipeline is timed against.
+    """
+    points: List[SweepPoint] = []
+    for lname in layouts:
+        L = make_layout(lname, evaluator.cluster, p)
+        for bb in sizes:
+            base = evaluator.default_latency(L, bb)
+            for mapper in mappers:
+                for strategy in strategies:
+                    tuned = evaluator.reordered_latency(L, bb, mapper, strategy)
+                    points.append(
+                        SweepPoint(
+                            layout=lname,
+                            block_bytes=int(bb),
+                            mapper=mapper,
+                            strategy=strategy,
+                            hierarchical=False,
+                            intra="binomial",
+                            algorithm=tuned.algorithm,
+                            base_us=base.seconds * 1e6,
+                            tuned_us=tuned.seconds * 1e6,
+                        )
+                    )
+    return points
+
+
+def _fresh_evaluator(
+    n_nodes: int, reorder_cache=None, cache_routes: bool = True
+) -> AllgatherEvaluator:
+    """Evaluator on its own cluster (cold route/pricing caches).
+
+    ``cache_routes=False`` turns the cluster-level route memoization off:
+    the naive reference is timed that way because the pre-batching
+    pipeline rebuilt every route table from scratch at every point.
+    """
+    ev = AllgatherEvaluator(gpc_cluster(n_nodes=n_nodes), rng=0)
+    ev.cluster.cache_routes = cache_routes
+    if reorder_cache is not None:
+        ev._reorder_cache = dict(reorder_cache)
+    return ev
+
+
+def _max_rel_diff(a: List[SweepPoint], b: List[SweepPoint]) -> float:
+    worst = 0.0
+    for pa, pb in zip(a, b):
+        for va, vb in ((pa.base_us, pb.base_us), (pa.tuned_us, pb.tuned_us)):
+            denom = max(abs(va), abs(vb), 1e-30)
+            worst = max(worst, abs(va - vb) / denom)
+    return worst
+
+
+def run_perf(
+    n_nodes: int = 32,
+    sizes: Optional[Sequence[int]] = None,
+    layouts: Optional[Sequence[str]] = None,
+    mappers: Sequence[str] = ("heuristic", "scotch"),
+    strategies: Sequence[str] = ("initcomm", "endshfl"),
+    workers: Optional[int] = None,
+    quick: bool = False,
+    repeats: int = 1,
+    out_path: Optional[Union[str, Path]] = DEFAULT_BENCH_PATH,
+) -> PerfReport:
+    """Time the Fig. 3 sweep through both pipelines and persist the result.
+
+    The default shape is the paper's Fig. 3 sweep (19 OSU sizes × 4
+    layouts × {heuristic, scotch} × {initComm, endShfl}) at
+    ``p = 8 * n_nodes``; ``quick=True`` shrinks the grid for CI smoke
+    runs.  Rank reorderings are computed once up front and shared by both
+    timed pipelines, mirroring the paper's one-time reordering cost.
+    """
+    if quick:
+        sizes = list(sizes if sizes is not None else QUICK_SIZES)
+        layouts = list(layouts if layouts is not None else QUICK_LAYOUTS)
+        mappers = list(mappers if mappers != ("heuristic", "scotch") else ["heuristic"])
+        strategies = list(
+            strategies if strategies != ("initcomm", "endshfl") else ["initcomm"]
+        )
+    else:
+        sizes = list(sizes if sizes is not None else OSU_SIZES)
+        layouts = list(layouts if layouts is not None else FULL_LAYOUTS)
+        mappers = list(mappers)
+        strategies = list(strategies)
+    repeats = max(1, int(repeats))
+
+    # One-time reordering warm-up (excluded from both timings).
+    warm = _fresh_evaluator(n_nodes)
+    p = warm.cluster.n_cores
+    for lname in layouts:
+        L = make_layout(lname, warm.cluster, p)
+        for mapper in mappers:
+            warm.reordered_latencies(L, sizes, mapper, strategies[0])
+
+    naive_best = float("inf")
+    batched_best = float("inf")
+    naive_points: List[SweepPoint] = []
+    batched_points: List[SweepPoint] = []
+    for _ in range(repeats):
+        ev_naive = _fresh_evaluator(n_nodes, warm._reorder_cache, cache_routes=False)
+        t0 = time.perf_counter()
+        naive_points = naive_sweep(ev_naive, p, layouts, sizes, mappers, strategies)
+        naive_best = min(naive_best, time.perf_counter() - t0)
+
+        ev_batched = _fresh_evaluator(n_nodes, warm._reorder_cache)
+        t0 = time.perf_counter()
+        batched_points = _sweep(
+            ev_batched, p, layouts, sizes, mappers, strategies, False, "binomial", workers
+        )
+        batched_best = min(batched_best, time.perf_counter() - t0)
+
+    n_points = len(batched_points)
+    report = PerfReport(
+        p=p,
+        n_nodes=n_nodes,
+        n_points=n_points,
+        naive_seconds=naive_best,
+        batched_seconds=batched_best,
+        speedup=naive_best / batched_best if batched_best > 0 else float("inf"),
+        points_per_sec_naive=n_points / naive_best if naive_best > 0 else float("inf"),
+        points_per_sec_batched=(
+            n_points / batched_best if batched_best > 0 else float("inf")
+        ),
+        max_rel_diff=_max_rel_diff(naive_points, batched_points),
+        sizes=[int(s) for s in sizes],
+        layouts=list(layouts),
+        mappers=list(mappers),
+        strategies=list(strategies),
+        workers=workers,
+        quick=quick,
+        repeats=repeats,
+        timestamp=time.time(),
+        python=platform.python_version(),
+    )
+    if out_path is not None:
+        report.write(out_path)
+    return report

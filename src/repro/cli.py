@@ -11,6 +11,8 @@ The subcommands mirror the paper's workflow:
 * ``bcast``     — MPI_Bcast improvement sweep (the §V BBMH claim);
 * ``profile``   — link-level congestion diagnosis of one configuration;
 * ``reproduce`` — regenerate the core paper artefacts in one command;
+* ``perf``      — time the batched sweep pipeline vs. the naive per-size
+  loop and persist the measurement to ``BENCH_sweep.json``;
 * ``verify``    — static schedule / mapping verification (no simulation);
 * ``lint``      — repo-specific AST lint pass (REP00x rules).
 
@@ -75,6 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--layouts", nargs="+", default=None, choices=sorted(INITIAL_LAYOUTS),
     )
+    p_sweep.add_argument(
+        "--workers", type=int, default=None,
+        help="fan (layout, mapper) grid cells out over N processes",
+    )
 
     p_app = sub.add_parser("app", help="application study (Fig. 5/6)")
     add_nodes(p_app)
@@ -107,6 +113,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep = sub.add_parser("reproduce", help="regenerate the core paper artefacts")
     add_nodes(p_rep)
     p_rep.add_argument("--out", default=None, help="directory to write the reports to")
+
+    p_perf = sub.add_parser(
+        "perf", help="time the batched sweep pipeline vs. the naive per-size loop"
+    )
+    p_perf.add_argument(
+        "--nodes", type=int, default=None,
+        help="compute nodes (8 cores each; default 32, or 8 with --quick)",
+    )
+    p_perf.add_argument(
+        "--quick", action="store_true",
+        help="reduced grid for CI smoke runs (fewer sizes/layouts/mappers)",
+    )
+    p_perf.add_argument(
+        "--workers", type=int, default=None,
+        help="fan (layout, mapper) grid cells out over N processes",
+    )
+    p_perf.add_argument("--repeats", type=int, default=1, help="best-of-N timing")
+    p_perf.add_argument(
+        "--out", default="BENCH_sweep.json", help="where to write the JSON measurement"
+    )
+    p_perf.add_argument(
+        "--min-speedup", type=float, default=1.0,
+        help="exit non-zero if the batched path is below this speedup",
+    )
 
     p_ver = sub.add_parser("verify", help="static schedule & mapping verification")
     p_ver.add_argument(
@@ -170,13 +200,15 @@ def _cmd_sweep(args) -> int:
     if args.hierarchical:
         layouts = args.layouts or ["block-bunch", "block-scatter"]
         points = sweep_hierarchical(
-            ev, p, layouts=layouts, sizes=sizes, mappers=args.mappers, intra=args.intra
+            ev, p, layouts=layouts, sizes=sizes, mappers=args.mappers, intra=args.intra,
+            workers=args.workers,
         )
         title = f"Hierarchical ({args.intra}) allgather improvement %, p={p}"
     else:
         layouts = args.layouts or sorted(INITIAL_LAYOUTS)
         points = sweep_nonhierarchical(
-            ev, p, layouts=layouts, sizes=sizes, mappers=args.mappers
+            ev, p, layouts=layouts, sizes=sizes, mappers=args.mappers,
+            workers=args.workers,
         )
         title = f"Non-hierarchical allgather improvement %, p={p}"
     print(format_sweep_table(points, title=title))
@@ -298,6 +330,27 @@ def _cmd_reproduce(args) -> int:
     return 0
 
 
+def _cmd_perf(args) -> int:
+    from repro.bench.perf import run_perf
+
+    n_nodes = args.nodes if args.nodes is not None else (8 if args.quick else 32)
+    report = run_perf(
+        n_nodes=n_nodes,
+        workers=args.workers,
+        quick=args.quick,
+        repeats=args.repeats,
+        out_path=args.out,
+    )
+    print(report.summary())
+    print(f"measurement written to {args.out}")
+    if report.speedup < args.min_speedup:
+        print(
+            f"FAIL: speedup {report.speedup:.2f}x below required {args.min_speedup:.2f}x"
+        )
+        return 1
+    return 0
+
+
 def _cmd_verify(args) -> int:
     from repro.analysis.mapping_checker import (
         check_cluster,
@@ -368,6 +421,7 @@ _COMMANDS = {
     "bcast": _cmd_bcast,
     "profile": _cmd_profile,
     "reproduce": _cmd_reproduce,
+    "perf": _cmd_perf,
     "verify": _cmd_verify,
     "lint": _cmd_lint,
 }

@@ -123,6 +123,7 @@ class AllgatherEvaluator:
         self.rng = make_rng(rng)
         self.D = cluster.distance_matrix()
         self._reorder_cache: Dict[Tuple, object] = {}
+        self._schedule_cache: Dict[Tuple, Schedule] = {}
 
     # ------------------------------------------------------------------
     # helpers
@@ -163,6 +164,213 @@ class AllgatherEvaluator:
         if strategy is OrderStrategy.END_SHUFFLE:
             return strategy.value, end_shuffle_seconds(reordering, block_bytes, self.cost)
         raise ValueError(f"strategy {strategy} not usable for {algorithm.name}")
+
+    def _restore_sizes(
+        self,
+        strat: OrderStrategy,
+        algorithm,
+        reordering: RankReordering,
+        sizes: Sequence[float],
+    ) -> Tuple[str, np.ndarray]:
+        """Batched :meth:`_restore`: one cost per size, priced together."""
+        zeros = np.zeros(len(sizes), dtype=np.float64)
+        if reordering.is_identity():
+            return OrderStrategy.NONE.value, zeros
+        if getattr(algorithm, "supports_inline_placement", False):
+            return OrderStrategy.INLINE.value, zeros
+        if strat is OrderStrategy.INIT_COMM:
+            stage = init_comm_stage(reordering)
+            if stage is None:
+                return OrderStrategy.NONE.value, zeros
+            pre = Schedule(p=reordering.p, stages=[stage], name="initcomm")
+            batch = self.engine.evaluate_sizes(pre, reordering.mapping, sizes)
+            return strat.value, batch.total_seconds
+        if strat is OrderStrategy.END_SHUFFLE:
+            costs = np.array(
+                [end_shuffle_seconds(reordering, bb, self.cost) for bb in sizes]
+            )
+            return strat.value, costs
+        raise ValueError(f"strategy {strat} not usable for {algorithm.name}")
+
+    # ------------------------------------------------------------------
+    # batched (multi-size) pipeline
+    # ------------------------------------------------------------------
+    def _schedule_for(self, algorithm, p: int, extra_key: Tuple = ()) -> Schedule:
+        """Build-once cache of compiled schedules.
+
+        Flat algorithms are fully determined by (name, p); hierarchical
+        ones also depend on their group structure, which callers encode in
+        ``extra_key``.
+        """
+        key = (algorithm.name, p) + tuple(extra_key)
+        sched = self._schedule_cache.get(key)
+        if sched is None:
+            sched = algorithm.schedule(p)
+            self._schedule_cache[key] = sched
+        return sched
+
+    @staticmethod
+    def _group_sizes(keys: Sequence) -> List[Tuple[object, List[int]]]:
+        """Group size indices by selection key, preserving first-seen order."""
+        groups: Dict[object, List[int]] = {}
+        order: List[object] = []
+        for i, k in enumerate(keys):
+            if k not in groups:
+                groups[k] = []
+                order.append(k)
+            groups[k].append(i)
+        return [(k, groups[k]) for k in order]
+
+    def default_latencies(
+        self,
+        layout: Sequence[int],
+        sizes: Sequence[float],
+        hierarchical: bool = False,
+        intra: str = "binomial",
+    ) -> List[LatencyReport]:
+        """Batched :meth:`default_latency`: one report per entry of ``sizes``.
+
+        Sizes are partitioned by the algorithm MVAPICH-style selection
+        picks for them; each partition is priced with a single
+        :meth:`TimingEngine.evaluate_sizes` call over a build-once
+        schedule, so routes and unit loads are computed once per
+        algorithm instead of once per size.
+        """
+        L = np.asarray(layout, dtype=np.int64)
+        p = L.size
+        sizes = list(sizes)
+        out: List[Optional[LatencyReport]] = [None] * len(sizes)
+        if hierarchical:
+            groups = self.groups_from_layout(L)
+            algs = [
+                select_hierarchical_allgather(groups, bb, intra, self.rd_threshold)
+                for bb in sizes
+            ]
+            extra_key = (_layout_key(L), "default")
+        else:
+            algs = [select_allgather(p, bb, self.rd_threshold) for bb in sizes]
+            extra_key = ()
+        for name, idxs in self._group_sizes([a.name for a in algs]):
+            alg = algs[idxs[0]]
+            sched = self._schedule_for(alg, p, extra_key)
+            batch = self.engine.evaluate_sizes(sched, L, [sizes[i] for i in idxs])
+            for j, i in enumerate(idxs):
+                coll = float(batch.total_seconds[j])
+                out[i] = LatencyReport(
+                    seconds=coll,
+                    algorithm=name,
+                    strategy=OrderStrategy.NONE.value,
+                    collective_seconds=coll,
+                )
+        return out  # type: ignore[return-value]
+
+    def reordered_latencies(
+        self,
+        layout: Sequence[int],
+        sizes: Sequence[float],
+        kind: str = "heuristic",
+        strategy: str = "initcomm",
+        hierarchical: bool = False,
+        intra: str = "binomial",
+    ) -> List[LatencyReport]:
+        """Batched :meth:`reordered_latency` over a size vector.
+
+        Reorderings are cached per (pattern, layout, mapper) exactly as in
+        the per-size path (same deterministic seeds, so results match);
+        schedules and route/unit-load pricing tables are built once per
+        algorithm partition rather than once per size.
+        """
+        L = np.asarray(layout, dtype=np.int64)
+        strat = OrderStrategy.parse(strategy)
+        sizes = list(sizes)
+        rng = _seed_for("reorder", _layout_key(L), kind, hierarchical, intra)
+        if hierarchical:
+            return self._hierarchical_reordered_batch(L, sizes, kind, strat, intra, rng)
+        return self._flat_reordered_batch(L, sizes, kind, strat, rng)
+
+    def _flat_reordered_batch(
+        self,
+        L: np.ndarray,
+        sizes: List[float],
+        kind: str,
+        strat: OrderStrategy,
+        rng: RngLike,
+    ) -> List[LatencyReport]:
+        p = L.size
+        out: List[Optional[LatencyReport]] = [None] * len(sizes)
+        algs = [select_allgather(p, bb, self.rd_threshold) for bb in sizes]
+        for name, idxs in self._group_sizes([a.name for a in algs]):
+            alg = algs[idxs[0]]
+            pattern = pattern_of(alg)
+            key = ("flat", pattern, _layout_key(L), kind)
+            res: ReorderResult = self._reorder_cache.get(key)  # type: ignore[assignment]
+            if res is None:
+                res = reorder_ranks(pattern, L, self.D, kind=kind, rng=rng)
+                self._reorder_cache[key] = res
+            sub = [sizes[i] for i in idxs]
+            sched = self._schedule_for(alg, p)
+            batch = self.engine.evaluate_sizes(sched, res.mapping, sub)
+            strategy_name, restores = self._restore_sizes(
+                strat, alg, res.reordering, sub
+            )
+            for j, i in enumerate(idxs):
+                coll = float(batch.total_seconds[j])
+                out[i] = LatencyReport(
+                    seconds=coll + float(restores[j]),
+                    algorithm=name,
+                    strategy=strategy_name,
+                    collective_seconds=coll,
+                    restore_seconds=float(restores[j]),
+                    reorder_seconds=res.total_seconds,
+                    mapper=res.mapper_name,
+                )
+        return out  # type: ignore[return-value]
+
+    def _hierarchical_reordered_batch(
+        self,
+        L: np.ndarray,
+        sizes: List[float],
+        kind: str,
+        strat: OrderStrategy,
+        intra: str,
+        rng: RngLike,
+    ) -> List[LatencyReport]:
+        G = len(self.groups_from_layout(L))
+        out: List[Optional[LatencyReport]] = [None] * len(sizes)
+        leader_algs = [
+            "rd" if bb < self.rd_threshold and is_power_of_two(G) else "ring"
+            for bb in sizes
+        ]
+        for leader_alg, idxs in self._group_sizes(leader_algs):
+            leader_pattern = (
+                "recursive-doubling" if leader_alg == "rd" else "ring"
+            )
+            key = ("hier", leader_pattern, intra, self.intra_heuristic, _layout_key(L), kind)
+            cached = self._reorder_cache.get(key)
+            if cached is None:
+                cached = self._hierarchical_reordering(L, kind, intra, leader_pattern, rng)
+                self._reorder_cache[key] = cached
+            reordering, groups_new, overhead = cached  # type: ignore[misc]
+
+            alg = HierarchicalAllgather(groups_new, leader_alg=leader_alg, intra=intra)
+            sub = [sizes[i] for i in idxs]
+            sched = self._schedule_for(
+                alg, L.size, (_layout_key(L), kind, self.intra_heuristic)
+            )
+            batch = self.engine.evaluate_sizes(sched, reordering.mapping, sub)
+            strategy_name, restores = self._restore_sizes(strat, alg, reordering, sub)
+            for j, i in enumerate(idxs):
+                coll = float(batch.total_seconds[j])
+                out[i] = LatencyReport(
+                    seconds=coll + float(restores[j]),
+                    algorithm=alg.name,
+                    strategy=strategy_name,
+                    collective_seconds=coll,
+                    restore_seconds=float(restores[j]),
+                    reorder_seconds=overhead,
+                    mapper=kind,
+                )
+        return out  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # non-hierarchical
@@ -359,4 +567,6 @@ class AllgatherEvaluator:
         tuned = self.reordered_latency(
             layout, block_bytes, kind, strategy, hierarchical, intra
         )
+        if base.seconds == 0.0:
+            return 0.0
         return 100.0 * (base.seconds - tuned.seconds) / base.seconds

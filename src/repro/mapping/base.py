@@ -58,6 +58,9 @@ class CorePool:
         self._pos: Dict[int, int] = {int(c): i for i, c in enumerate(self.cores)}
         self.rng = make_rng(rng)
         self.tie_break = tie_break
+        # pool-local distance view (ref pool index -> distances to every
+        # pool core), gathered lazily on the first closest-free query
+        self._pool_D: np.ndarray = None
 
     @property
     def n_free(self) -> int:
@@ -76,21 +79,38 @@ class CorePool:
             raise ValueError(f"core {core} already taken")
         self.free[pos] = False
 
+    def _distances_to(self, ref_core: int) -> np.ndarray:
+        """Distances from ``ref_core`` to every pool core (pool order).
+
+        Reference cores are almost always pool members (heuristics chain
+        off already-placed cores), so the pool's own distance sub-matrix
+        is gathered once and each later query is a row *view* — no
+        per-placement fancy-indexing of the full matrix.
+        """
+        pos = self._pos.get(int(ref_core))
+        if pos is None:  # reference outside the pool: direct gather
+            return self.D[int(ref_core), self.cores]
+        if self._pool_D is None:
+            self._pool_D = self.D[np.ix_(self.cores, self.cores)]
+        return self._pool_D[pos]
+
     def closest_free(self, ref_core: int) -> int:
         """The paper's ``find_closest_to``: free core nearest ``ref_core``.
 
         Ties are broken randomly ("if more than one core satisfy this
         condition, one of them is chosen randomly", §V-A) or by lowest id.
+        One masked scan over the cached distance view — no rebuild of the
+        free-core array per placement.
         """
-        free_cores = self.cores[self.free]
-        if free_cores.size == 0:
+        if not self.free.any():
             raise RuntimeError("no free cores left")
-        dist = self.D[int(ref_core), free_cores]
-        best = dist.min()
+        dist = self._distances_to(ref_core)
+        masked = np.where(self.free, dist, np.inf)
         if self.tie_break == "first":
-            return int(free_cores[int(np.argmin(dist))])
-        candidates = free_cores[dist == best]
-        return int(candidates[self.rng.integers(candidates.size)])
+            return int(self.cores[int(np.argmin(masked))])
+        best = masked.min()
+        candidates = np.flatnonzero(masked == best)
+        return int(self.cores[candidates[self.rng.integers(candidates.size)]])
 
 
 class Mapper(ABC):

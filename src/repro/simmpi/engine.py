@@ -19,6 +19,8 @@ enough to sweep 4096-process schedules on one machine.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -30,7 +32,17 @@ from repro.simmpi.costmodel import CostModel
 from repro.topology.cluster import ClusterTopology
 from repro.util.validation import check_positive
 
-__all__ = ["TimingEngine", "TimingResult", "StageTiming"]
+__all__ = [
+    "TimingEngine",
+    "TimingResult",
+    "StageTiming",
+    "StagePricing",
+    "SchedulePricing",
+    "BatchTimingResult",
+]
+
+#: (schedule, mapping) pricing tables kept per engine (LRU).
+PRICING_CACHE_SIZE = 64
 
 
 @dataclass(frozen=True)
@@ -70,6 +82,147 @@ class TimingResult:
         return "\n".join(lines)
 
 
+def _pareto_envelope(alpha_sum: np.ndarray, unit_drain: np.ndarray):
+    """Upper envelope of the per-message lines ``alpha + size * drain``.
+
+    For any size >= 0 the stage maximum is attained by a message whose
+    (alpha_sum, unit_drain) pair is not dominated by another message with
+    both a larger alpha-sum and a larger drain.  Keeping only the
+    non-dominated staircase compresses thousands of messages down to a
+    handful of candidate lines, and — because max() and multiplication by
+    a non-negative size are monotone in floating point too — evaluating
+    the envelope gives exactly the same maximum as scanning every message.
+    """
+    u_drain, inverse = np.unique(unit_drain, return_inverse=True)
+    u_alpha = np.full(u_drain.size, -np.inf)
+    np.maximum.at(u_alpha, inverse, alpha_sum)
+    # Drop any line whose alpha-sum is beaten at an equal-or-larger drain.
+    suffix_max = np.maximum.accumulate(u_alpha[::-1])[::-1]
+    keep = u_alpha >= suffix_max
+    return u_alpha[keep], u_drain[keep]
+
+
+@dataclass(frozen=True)
+class StagePricing:
+    """Size-independent pricing tables of one stage under one mapping.
+
+    ``env_alpha``/``env_drain`` hold the Pareto envelope of the stage's
+    per-message ``alpha_sum + block_bytes * unit_drain`` lines, where the
+    unit drain is the bandwidth term for a 1-byte block: one instance of
+    the stage costs ``max(env_alpha + block_bytes * env_drain)`` plus the
+    fixed stage overhead, for *any* block size.
+    """
+
+    label: str
+    repeat: int
+    n_messages: int
+    env_alpha: np.ndarray      # seconds (per-message route alpha-sums)
+    env_drain: np.ndarray      # seconds per block byte (bottleneck drain)
+    unit_load_max: float       # max per-link byte load at block_bytes = 1
+
+    def seconds_for(self, sizes: np.ndarray, stage_overhead: float) -> np.ndarray:
+        """Single-instance stage seconds for a vector of block sizes."""
+        per_size = (
+            self.env_alpha[None, :] + sizes[:, None] * self.env_drain[None, :]
+        ).max(axis=1)
+        return per_size + stage_overhead
+
+    def timing_for(self, block_bytes: float, stage_overhead: float) -> StageTiming:
+        """Per-size :class:`StageTiming` view (reports / trace tooling)."""
+        sizes = np.asarray([block_bytes], dtype=np.float64)
+        return StageTiming(
+            label=self.label,
+            seconds=float(self.seconds_for(sizes, stage_overhead)[0]),
+            repeat=self.repeat,
+            n_messages=self.n_messages,
+            max_link_load_bytes=self.unit_load_max * float(block_bytes),
+        )
+
+
+@dataclass
+class BatchTimingResult:
+    """Latency of one schedule under one mapping for a vector of sizes.
+
+    ``total_seconds[k]`` corresponds to ``sizes[k]`` and agrees with
+    :meth:`TimingEngine.evaluate` at that block size to floating-point
+    tolerance (the batched path factors the shared ``block_bytes`` out of
+    the bincount, so the rounding order differs slightly).
+    """
+
+    schedule_name: str
+    sizes: np.ndarray              # float64, the priced block sizes
+    total_seconds: np.ndarray      # per size
+    local_copy_seconds: np.ndarray  # per size
+    pricing: "SchedulePricing"
+
+    def result(self, k: int) -> TimingResult:
+        """Expand entry ``k`` into a full per-size :class:`TimingResult`."""
+        overhead = self.pricing.cost.stage_overhead
+        bb = float(self.sizes[k])
+        return TimingResult(
+            schedule_name=self.schedule_name,
+            total_seconds=float(self.total_seconds[k]),
+            stage_timings=[s.timing_for(bb, overhead) for s in self.pricing.stages],
+            local_copy_seconds=float(self.local_copy_seconds[k]),
+        )
+
+
+class SchedulePricing:
+    """Reusable pricing tables for one (schedule, mapping) pair.
+
+    Built once from the schedule's routes; pricing any block size
+    afterwards is a small envelope evaluation with no route construction,
+    no bincount and no per-message scan.  Obtained (and cached) via
+    :meth:`TimingEngine.pricing`.
+    """
+
+    def __init__(self, engine: "TimingEngine", schedule: Schedule, mapping: np.ndarray):
+        self.schedule_name = schedule.name
+        self.p = schedule.p
+        self.local_copy_units = float(schedule.local_copy_units)
+        self.cost = engine.cost
+        self.stages: List[StagePricing] = engine._price_schedule(schedule, mapping)
+
+    def evaluate_sizes(
+        self, sizes: Sequence[float], extra_copy_bytes: float = 0.0
+    ) -> BatchTimingResult:
+        """Price the whole size vector against the cached tables."""
+        sz = np.asarray(list(sizes), dtype=np.float64)
+        if sz.ndim != 1 or sz.size == 0:
+            raise ValueError("sizes must be a non-empty 1-D sequence")
+        if np.any(sz <= 0):
+            raise ValueError("block sizes must be positive")
+        overhead = self.cost.stage_overhead
+        total = np.zeros(sz.size, dtype=np.float64)
+        for stage in self.stages:
+            total += stage.seconds_for(sz, overhead) * stage.repeat
+        copy_bytes = self.local_copy_units * sz + extra_copy_bytes
+        copy_seconds = np.where(
+            copy_bytes > 0, self.cost.copy_alpha + copy_bytes * self.cost.copy_beta, 0.0
+        )
+        return BatchTimingResult(
+            schedule_name=self.schedule_name,
+            sizes=sz,
+            total_seconds=total + copy_seconds,
+            local_copy_seconds=copy_seconds,
+            pricing=self,
+        )
+
+
+def _schedule_fingerprint(schedule: Schedule) -> bytes:
+    """Content hash of a schedule (stage arrays, repeats, copy units)."""
+    h = hashlib.sha1()
+    h.update(
+        f"{schedule.p}|{schedule.name}|{schedule.local_copy_units}".encode()
+    )
+    for s in schedule.stages:
+        h.update(f"|{s.repeat}|{s.src.size}".encode())
+        h.update(np.ascontiguousarray(s.src).tobytes())
+        h.update(np.ascontiguousarray(s.dst).tobytes())
+        h.update(np.ascontiguousarray(s.units).tobytes())
+    return h.digest()
+
+
 class TimingEngine:
     """Binds schedules + mappings to the cluster and prices them."""
 
@@ -95,13 +248,14 @@ class TimingEngine:
                 raise ValueError("link_beta_scale entries must be positive")
             # a scale of k divides the link's bandwidth by k (degradation)
             self._beta = self._beta * scale
+        self._pricing_cache: "OrderedDict[tuple, SchedulePricing]" = OrderedDict()
 
     # ------------------------------------------------------------------
     def stage_time(self, stage: Stage, mapping: np.ndarray, block_bytes: float) -> StageTiming:
         """Price a single instance of ``stage`` under ``mapping``."""
         src_cores = mapping[stage.src]
         dst_cores = mapping[stage.dst]
-        routes = self.cluster.route_matrix(src_cores, dst_cores)
+        routes = self.cluster.routes_for(src_cores, dst_cores)
         valid = routes >= 0
         safe = np.where(valid, routes, 0)
         nbytes = stage.units * block_bytes
@@ -144,13 +298,7 @@ class TimingEngine:
         """
         check_positive("block_bytes", block_bytes)
         maybe_verify_schedule(schedule)  # opt-in static guard (REPRO_VERIFY=1)
-        M = np.asarray(mapping, dtype=np.int64)
-        if schedule.p > M.size:
-            raise ValueError(
-                f"schedule for p={schedule.p} but mapping covers only {M.size} ranks"
-            )
-        if M.min(initial=0) < 0 or M.max(initial=0) >= self.cluster.n_cores:
-            raise ValueError("mapping references cores outside the cluster")
+        M = self._check_mapping(schedule, mapping)
 
         timings = [self.stage_time(s, M, block_bytes) for s in schedule.stages]
         copy_bytes = schedule.local_copy_units * block_bytes + extra_copy_bytes
@@ -164,11 +312,136 @@ class TimingEngine:
         )
 
     # ------------------------------------------------------------------
+    # batched multi-size pricing
+    # ------------------------------------------------------------------
+    def _check_mapping(self, schedule: Schedule, mapping: Sequence[int]) -> np.ndarray:
+        M = np.asarray(mapping, dtype=np.int64)
+        if schedule.p > M.size:
+            raise ValueError(
+                f"schedule for p={schedule.p} but mapping covers only {M.size} ranks"
+            )
+        if M.min(initial=0) < 0 or M.max(initial=0) >= self.cluster.n_cores:
+            raise ValueError("mapping references cores outside the cluster")
+        return M
+
+    def _price_stage(self, stage: Stage, mapping: np.ndarray) -> StagePricing:
+        """Size-independent route / alpha / unit-load tables for one stage."""
+        src_cores = mapping[stage.src]
+        dst_cores = mapping[stage.dst]
+        routes = self.cluster.routes_for(src_cores, dst_cores)
+        valid = routes >= 0
+        safe = np.where(valid, routes, 0)
+
+        # Per-link load for a 1-byte block; the real load is linear in the
+        # block size, so one bincount serves every size.
+        unit_weights = np.broadcast_to(stage.units[:, None], routes.shape)[valid]
+        unit_load = np.bincount(
+            routes[valid], weights=unit_weights, minlength=self.cluster.n_links
+        )
+        alpha_sum = np.where(valid, self._alpha[safe], 0.0).sum(axis=1)
+        unit_drain = np.where(valid, self._beta[safe] * unit_load[safe], 0.0).max(axis=1)
+        env_alpha, env_drain = _pareto_envelope(alpha_sum, unit_drain)
+        return StagePricing(
+            label=stage.label,
+            repeat=stage.repeat,
+            n_messages=stage.n_messages,
+            env_alpha=env_alpha,
+            env_drain=env_drain,
+            unit_load_max=float(unit_load.max()) if unit_load.size else 0.0,
+        )
+
+    def _price_schedule(self, schedule: Schedule, mapping: np.ndarray) -> List[StagePricing]:
+        """Price every stage of ``schedule`` in one vectorised pass.
+
+        All stage messages are concatenated so the route lookup and the
+        per-link unit-load bincount run once per schedule instead of once
+        per stage; per-stage loads live in disjoint ``stage * n_links``
+        bins.  Per-bin summation order matches the per-stage path, so the
+        tables are bit-identical to pricing each stage alone.
+        """
+        stages = schedule.stages
+        if len(stages) <= 1:
+            return [self._price_stage(s, mapping) for s in stages]
+        counts = np.array([s.src.size for s in stages], dtype=np.int64)
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        src = np.concatenate([np.asarray(s.src) for s in stages])
+        dst = np.concatenate([np.asarray(s.dst) for s in stages])
+        units = np.concatenate([np.asarray(s.units, dtype=np.float64) for s in stages])
+
+        routes = self.cluster.routes_for(mapping[src], mapping[dst])
+        valid = routes >= 0
+        safe = np.where(valid, routes, 0)
+        n_links = self.cluster.n_links
+        stage_idx = np.repeat(np.arange(len(stages), dtype=np.int64), counts)
+        flat = stage_idx[:, None] * n_links + safe
+
+        unit_weights = np.broadcast_to(units[:, None], routes.shape)[valid]
+        unit_load = np.bincount(
+            flat[valid], weights=unit_weights, minlength=len(stages) * n_links
+        )
+        alpha_sum = np.where(valid, self._alpha[safe], 0.0).sum(axis=1)
+        unit_drain = np.where(valid, self._beta[safe] * unit_load[flat], 0.0).max(axis=1)
+
+        priced: List[StagePricing] = []
+        for i, stage in enumerate(stages):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            env_alpha, env_drain = _pareto_envelope(alpha_sum[lo:hi], unit_drain[lo:hi])
+            seg_load = unit_load[i * n_links : (i + 1) * n_links]
+            priced.append(
+                StagePricing(
+                    label=stage.label,
+                    repeat=stage.repeat,
+                    n_messages=stage.n_messages,
+                    env_alpha=env_alpha,
+                    env_drain=env_drain,
+                    unit_load_max=float(seg_load.max()) if seg_load.size else 0.0,
+                )
+            )
+        return priced
+
+    def pricing(self, schedule: Schedule, mapping: Sequence[int]) -> SchedulePricing:
+        """Cached :class:`SchedulePricing` for a (schedule, mapping) pair.
+
+        Keyed on content fingerprints, so equal schedules rebuilt by
+        different callers (or the same schedule priced under the same
+        mapping again) share one table.  The cache is bounded LRU.
+        """
+        maybe_verify_schedule(schedule)  # opt-in static guard (REPRO_VERIFY=1)
+        M = self._check_mapping(schedule, mapping)
+        m_used = np.ascontiguousarray(M[: schedule.p])
+        key = (_schedule_fingerprint(schedule), hashlib.sha1(m_used.tobytes()).digest())
+        hit = self._pricing_cache.get(key)
+        if hit is not None:
+            self._pricing_cache.move_to_end(key)
+            return hit
+        pricing = SchedulePricing(self, schedule, M)
+        self._pricing_cache[key] = pricing
+        if len(self._pricing_cache) > PRICING_CACHE_SIZE:
+            self._pricing_cache.popitem(last=False)
+        return pricing
+
+    def evaluate_sizes(
+        self,
+        schedule: Schedule,
+        mapping: Sequence[int],
+        sizes: Sequence[float],
+        extra_copy_bytes: float = 0.0,
+    ) -> BatchTimingResult:
+        """Price ``schedule`` for every block size in ``sizes`` at once.
+
+        Routes, alpha-sums and per-link unit-byte loads are computed once
+        (and cached across calls); each size then costs one envelope
+        evaluation.  Agrees with per-size :meth:`evaluate` to floating
+        point tolerance.
+        """
+        return self.pricing(schedule, mapping).evaluate_sizes(sizes, extra_copy_bytes)
+
+    # ------------------------------------------------------------------
     def link_loads(self, stage: Stage, mapping: np.ndarray, block_bytes: float) -> np.ndarray:
         """Per-link byte loads of one stage (diagnostics / tests)."""
         src_cores = np.asarray(mapping, dtype=np.int64)[stage.src]
         dst_cores = np.asarray(mapping, dtype=np.int64)[stage.dst]
-        routes = self.cluster.route_matrix(src_cores, dst_cores)
+        routes = self.cluster.routes_for(src_cores, dst_cores)
         valid = routes >= 0
         nbytes = stage.units * block_bytes
         weights = np.broadcast_to(nbytes[:, None], routes.shape)[valid]

@@ -142,7 +142,7 @@ class EventDrivenEngine:
     ) -> np.ndarray:
         src_cores = M[stage.src]
         dst_cores = M[stage.dst]
-        routes = self.cluster.route_matrix(src_cores, dst_cores)
+        routes = self.cluster.routes_for(src_cores, dst_cores)
         nbytes = stage.units * block_bytes
 
         # rendezvous start times, then FIFO processing order

@@ -47,7 +47,7 @@ class _RecordingEngine(EventDrivenEngine):
     def _run_round(self, stage, M, block_bytes, done, link_free):
         src_cores = M[stage.src]
         dst_cores = M[stage.dst]
-        routes = self.cluster.route_matrix(src_cores, dst_cores)
+        routes = self.cluster.routes_for(src_cores, dst_cores)
         nbytes = stage.units * block_bytes
         starts = np.maximum(done[stage.src], done[stage.dst]) + self.cost.stage_overhead
         order = np.argsort(starts, kind="stable")

@@ -33,6 +33,8 @@ runs).
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from enum import IntEnum
 from typing import Dict, List, Optional, Sequence
 
@@ -42,7 +44,18 @@ from repro.topology.fattree import FatTreeConfig, FatTreeNetwork
 from repro.topology.hardware import MachineTopology
 from repro.util.validation import check_positive
 
-__all__ = ["LinkClass", "ClusterTopology", "MAX_ROUTE_LEN", "DEFAULT_DISTANCE_WEIGHTS"]
+__all__ = [
+    "LinkClass",
+    "ClusterTopology",
+    "MAX_ROUTE_LEN",
+    "ROUTE_CACHE_SIZE",
+    "DEFAULT_DISTANCE_WEIGHTS",
+]
+
+#: Route tables kept in each cluster's batch-route cache (LRU entries).
+#: A table is ~``n_msgs x 12`` int64, so 128 entries of 4096-message
+#: stages are ~50 MB — bounded regardless of sweep length.
+ROUTE_CACHE_SIZE = 128
 
 #: Maximum number of directed links on any core-to-core route: core-up,
 #: src-mem, qpi-up, hca-up, 4 network links, hca-down, qpi-down, dst-mem,
@@ -145,6 +158,10 @@ class ClusterTopology:
 
         self._net_routes: Optional[np.ndarray] = None
         self._distance_matrix: Optional[np.ndarray] = None
+        self._route_cache: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        #: set False to make routes_for() rebuild every table (benchmarks
+        #: use this to time the uncached pre-PR pipeline)
+        self.cache_routes: bool = True
 
     # ------------------------------------------------------------------
     # core / node / socket arithmetic
@@ -305,6 +322,36 @@ class ClusterTopology:
         rows[:, 9] = np.where(cross_socket, self.qpi_down(d), -1)
         rows[:, 10] = self.mem_bus(d)
         rows[:, 11] = self.core_down(d)
+        return rows
+
+    def routes_for(self, src: Sequence[int], dst: Sequence[int]) -> np.ndarray:
+        """Memoized :meth:`route_matrix` for a batch of messages.
+
+        The route table of a stage depends only on the (src, dst) core
+        vectors — not on message sizes — so sweeps that re-price the same
+        (schedule, mapping) across many sizes, engines or exporters keep
+        rebuilding identical 12-column tables.  This entry point keys the
+        table on a content fingerprint of the two vectors and serves a
+        shared **read-only** array (callers must not mutate it; they only
+        ever scan it).  Bounded LRU of :data:`ROUTE_CACHE_SIZE` entries.
+        """
+        s = np.ascontiguousarray(np.asarray(src, dtype=np.int64))
+        d = np.ascontiguousarray(np.asarray(dst, dtype=np.int64))
+        if not self.cache_routes:
+            return self.route_matrix(s, d)
+        h = hashlib.sha1(s.size.to_bytes(8, "little"))
+        h.update(s.tobytes())
+        h.update(d.tobytes())
+        key = h.digest()
+        hit = self._route_cache.get(key)
+        if hit is not None:
+            self._route_cache.move_to_end(key)
+            return hit
+        rows = self.route_matrix(s, d)
+        rows.setflags(write=False)
+        self._route_cache[key] = rows
+        if len(self._route_cache) > ROUTE_CACHE_SIZE:
+            self._route_cache.popitem(last=False)
         return rows
 
     def route(self, src: int, dst: int) -> List[int]:

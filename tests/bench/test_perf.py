@@ -1,0 +1,80 @@
+"""Perf harness tests: batched-vs-naive equivalence and the report file."""
+
+import json
+
+import pytest
+
+from repro.bench.microbench import _sweep, sweep_nonhierarchical
+from repro.bench.perf import PerfReport, naive_sweep, run_perf
+from repro.evaluation.evaluator import AllgatherEvaluator
+
+
+@pytest.fixture(scope="module")
+def evaluator(mid_cluster):
+    return AllgatherEvaluator(mid_cluster, rng=0)
+
+
+SMALL = dict(
+    layouts=["block-bunch", "cyclic-scatter"],
+    sizes=[1, 1024, 4096, 65536],
+    mappers=["heuristic"],
+    strategies=["initcomm", "endshfl"],
+)
+
+
+class TestEquivalence:
+    def test_batched_matches_naive_pointwise(self, evaluator):
+        """Same grid through both pipelines: same points, same latencies."""
+        naive = naive_sweep(evaluator, 64, **SMALL)
+        batched = _sweep(
+            evaluator, 64, SMALL["layouts"], SMALL["sizes"], SMALL["mappers"],
+            SMALL["strategies"], False, "binomial", None,
+        )
+        assert len(naive) == len(batched)
+        for a, b in zip(naive, batched):
+            assert (a.layout, a.block_bytes, a.mapper, a.strategy) == (
+                b.layout, b.block_bytes, b.mapper, b.strategy
+            )
+            assert a.algorithm == b.algorithm
+            assert b.base_us == pytest.approx(a.base_us, rel=1e-9)
+            assert b.tuned_us == pytest.approx(a.tuned_us, rel=1e-9)
+
+    def test_workers_sweep_matches_serial(self, evaluator):
+        """The process-pool fan-out reproduces the serial sweep exactly."""
+        serial = sweep_nonhierarchical(evaluator, 64, **SMALL)
+        parallel = sweep_nonhierarchical(evaluator, 64, workers=2, **SMALL)
+        assert len(serial) == len(parallel)
+        for a, b in zip(serial, parallel):
+            assert a == b  # frozen dataclasses: full field equality
+
+
+class TestRunPerf:
+    def test_quick_report_and_json(self, tmp_path):
+        out = tmp_path / "bench.json"
+        report = run_perf(
+            n_nodes=4,
+            sizes=[1, 1024, 65536],
+            layouts=["block-bunch"],
+            mappers=["heuristic"],
+            strategies=["initcomm"],
+            quick=True,
+            out_path=out,
+        )
+        assert report.p == 32
+        assert report.n_points == 3
+        assert report.max_rel_diff <= 1e-9
+        assert report.naive_seconds > 0 and report.batched_seconds > 0
+        data = json.loads(out.read_text())
+        assert data["p"] == 32
+        assert data["speedup"] == pytest.approx(report.speedup)
+        assert data["sizes"] == [1, 1024, 65536]
+
+    def test_summary_mentions_speedup(self):
+        rep = PerfReport(
+            p=256, n_nodes=32, n_points=10, naive_seconds=1.0,
+            batched_seconds=0.1, speedup=10.0, points_per_sec_naive=10.0,
+            points_per_sec_batched=100.0, max_rel_diff=0.0,
+        )
+        text = rep.summary()
+        assert "10.00x" in text
+        assert "p=256" in text

@@ -4,6 +4,34 @@ import numpy as np
 import pytest
 
 from repro.mapping.base import CorePool, Mapper
+from repro.util.rng import make_rng
+
+
+class _NaiveCorePool:
+    """Reference replica of the pre-optimisation ``closest_free``.
+
+    Rebuilds the free-core array and gathers distances from the full
+    matrix on every query — the behaviour the cached masked-scan version
+    must reproduce placement-for-placement.
+    """
+
+    def __init__(self, D, cores, rng=0, tie_break="random"):
+        self.D = np.asarray(D)
+        self.cores = np.asarray(cores, dtype=np.int64)
+        self.free = np.ones(self.cores.size, dtype=bool)
+        self.rng = make_rng(rng)
+        self.tie_break = tie_break
+
+    def take(self, core):
+        self.free[int(np.flatnonzero(self.cores == core)[0])] = False
+
+    def closest_free(self, ref_core):
+        free_cores = self.cores[self.free]
+        d = self.D[int(ref_core), free_cores]
+        if self.tie_break == "first":
+            return int(free_cores[int(np.argmin(d))])
+        candidates = free_cores[d == d.min()]
+        return int(candidates[self.rng.integers(candidates.size)])
 
 
 class TestCorePool:
@@ -64,6 +92,36 @@ class TestCorePool:
     def test_bad_tie_break(self, tiny_D):
         with pytest.raises(ValueError):
             CorePool(tiny_D, [0], tie_break="nope")
+
+    @pytest.mark.parametrize("tie_break", ["random", "first"])
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_pins_naive_placements(self, mid_D, tie_break, seed):
+        """The cached masked-scan query yields *identical* placement
+        sequences (and rng consumption) to the naive rebuild-per-query
+        reference, in both tie-break modes."""
+        rng = np.random.default_rng(seed)
+        cores = rng.permutation(mid_D.shape[0])[:48]
+        fast = CorePool(mid_D, cores, rng=seed, tie_break=tie_break)
+        slow = _NaiveCorePool(mid_D, cores, rng=seed, tie_break=tie_break)
+        # greedy chain: each placement becomes the next reference core,
+        # like the paper heuristics walk their priority queues
+        ref = int(cores[0])
+        fast.take(ref)
+        slow.take(ref)
+        for _ in range(cores.size - 1):
+            a = fast.closest_free(ref)
+            b = slow.closest_free(ref)
+            assert a == b
+            fast.take(a)
+            slow.take(a)
+            ref = a
+
+    def test_external_reference_core(self, mid_D):
+        """Reference cores outside the pool still work (direct gather)."""
+        pool = CorePool(mid_D, list(range(8, 24)), tie_break="first")
+        naive = _NaiveCorePool(mid_D, list(range(8, 24)), tie_break="first")
+        for ref in (0, 40, 63):
+            assert pool.closest_free(ref) == naive.closest_free(ref)
 
 
 class TestMapperPlumbing:
