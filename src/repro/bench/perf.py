@@ -28,6 +28,7 @@ from repro.bench.microbench import OSU_SIZES, SweepPoint, _sweep
 from repro.evaluation.evaluator import AllgatherEvaluator
 from repro.mapping.initial import make_layout
 from repro.topology.gpc import gpc_cluster
+from repro.util.atomicio import atomic_write_text
 
 __all__ = ["PerfReport", "naive_sweep", "run_perf", "DEFAULT_BENCH_PATH"]
 
@@ -79,9 +80,13 @@ class PerfReport:
         )
 
     def write(self, path: Union[str, Path]) -> Path:
-        """Persist the report as indented JSON; returns the path written."""
+        """Persist the report as indented JSON; returns the path written.
+
+        The write is atomic (tmp file + rename), so a perf run killed
+        mid-write never leaves a torn ``BENCH_sweep.json`` behind.
+        """
         path = Path(path)
-        path.write_text(json.dumps(asdict(self), indent=2) + "\n")
+        atomic_write_text(path, json.dumps(asdict(self), indent=2) + "\n")
         return path
 
 

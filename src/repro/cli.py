@@ -10,6 +10,8 @@ The subcommands mirror the paper's workflow:
 * ``adaptive``  — per-size adaptive reordering decisions (§VII);
 * ``bcast``     — MPI_Bcast improvement sweep (the §V BBMH claim);
 * ``profile``   — link-level congestion diagnosis of one configuration;
+* ``faults``    — fault injection: price fail-stop vs. shrink-keep vs.
+  shrink-remap recovery after node failures;
 * ``reproduce`` — regenerate the core paper artefacts in one command;
 * ``perf``      — time the batched sweep pipeline vs. the naive per-size
   loop and persist the measurement to ``BENCH_sweep.json``;
@@ -81,6 +83,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="fan (layout, mapper) grid cells out over N processes",
     )
+    p_sweep.add_argument(
+        "--out-dir", default=None,
+        help="journal directory: checkpoint every grid cell and write the "
+        "merged sweep.json there (crash-safe, resumable)",
+    )
+    p_sweep.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="resume a checkpointed sweep from its journal directory, "
+        "skipping completed cells (other grid flags are ignored)",
+    )
+    p_sweep.add_argument(
+        "--max-retries", type=int, default=2,
+        help="per-cell retries before quarantining it (checkpointed runs)",
+    )
+    p_sweep.add_argument(
+        "--cell-timeout", type=float, default=None,
+        help="per-cell timeout in seconds (checkpointed parallel runs)",
+    )
 
     p_app = sub.add_parser("app", help="application study (Fig. 5/6)")
     add_nodes(p_app)
@@ -109,6 +129,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--layout", default="cyclic-scatter", choices=sorted(INITIAL_LAYOUTS))
     p_prof.add_argument("--block-bytes", type=int, default=65536)
     p_prof.add_argument("--reordered", action="store_true", help="profile after reordering")
+
+    p_flt = sub.add_parser(
+        "faults", help="price fail-stop / shrink-keep / shrink-remap recovery"
+    )
+    add_nodes(p_flt)
+    p_flt.add_argument(
+        "--fail-nodes", type=int, nargs="+", required=True,
+        help="node ids that fail at the start of the collective",
+    )
+    p_flt.add_argument("--layout", default="block-bunch", choices=sorted(INITIAL_LAYOUTS))
+    p_flt.add_argument(
+        "--sizes", type=int, nargs="+", default=None,
+        help=f"message sizes in bytes (default: {QUICK_SIZES})",
+    )
+    p_flt.add_argument(
+        "--kind", default="heuristic", choices=["heuristic", "scotch", "greedy"],
+        help="mapper re-run on the surviving cores for shrink-remap",
+    )
+    p_flt.add_argument(
+        "--patterns", nargs="+", default=None,
+        help="communication patterns to price (default: every registered heuristic)",
+    )
 
     p_rep = sub.add_parser("reproduce", help="regenerate the core paper artefacts")
     add_nodes(p_rep)
@@ -193,6 +235,8 @@ def _cmd_topo(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    if args.resume is not None or args.out_dir is not None:
+        return _cmd_sweep_checkpointed(args)
     cluster = gpc_cluster(n_nodes=args.nodes)
     p = cluster.n_cores
     ev = AllgatherEvaluator(cluster, rng=0)
@@ -212,6 +256,54 @@ def _cmd_sweep(args) -> int:
         )
         title = f"Non-hierarchical allgather improvement %, p={p}"
     print(format_sweep_table(points, title=title))
+    return 0
+
+
+def _cmd_sweep_checkpointed(args) -> int:
+    """Crash-safe journaled sweep (``--out-dir``) or its resume (``--resume``)."""
+    from repro.bench.runner import CheckpointedSweep, SweepSpec
+
+    if args.resume is not None:
+        sweep = CheckpointedSweep.resume(
+            args.resume,
+            workers=args.workers,
+            max_retries=args.max_retries,
+            cell_timeout=args.cell_timeout,
+        )
+    else:
+        sizes = OSU_SIZES if args.full_sizes else QUICK_SIZES
+        if args.hierarchical:
+            layouts = args.layouts or ["block-bunch", "block-scatter"]
+        else:
+            layouts = args.layouts or sorted(INITIAL_LAYOUTS)
+        spec = SweepSpec(
+            n_nodes=args.nodes,
+            layouts=tuple(layouts),
+            sizes=tuple(sizes),
+            mappers=tuple(args.mappers),
+            hierarchical=args.hierarchical,
+            intra=args.intra,
+        )
+        sweep = CheckpointedSweep(
+            spec,
+            args.out_dir,
+            workers=args.workers,
+            max_retries=args.max_retries,
+            cell_timeout=args.cell_timeout,
+        )
+    result = sweep.run()
+    spec = sweep.spec
+    kind = "Hierarchical" if spec.hierarchical else "Non-hierarchical"
+    p = 8 * spec.n_nodes
+    print(format_sweep_table(result.points, title=f"{kind} allgather improvement %, p={p}"))
+    print(
+        f"\njournal: {result.out_dir}  "
+        f"(resumed {result.n_resumed}, computed {result.n_computed} cells)"
+    )
+    if result.degraded_to_serial:
+        print("warning: process pool died; finished the sweep serially")
+    for cell, err in sorted(result.quarantined.items()):
+        print(f"warning: quarantined cell {cell}: {err}")
     return 0
 
 
@@ -319,6 +411,26 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.faults.recover import compare_recovery_policies
+
+    cluster = gpc_cluster(n_nodes=args.nodes)
+    p = cluster.n_cores
+    L = make_layout(args.layout, cluster, p)
+    sizes = args.sizes or QUICK_SIZES
+    comparisons = compare_recovery_policies(
+        cluster, L, args.fail_nodes, sizes, patterns=args.patterns, kind=args.kind
+    )
+    print(
+        f"recovery pricing on {args.layout}, p={p}, "
+        f"failed node(s) {sorted(set(args.fail_nodes))} ({args.kind} remap)\n"
+    )
+    for comp in comparisons:
+        print(comp.summary())
+        print()
+    return 0
+
+
 def _cmd_reproduce(args) -> int:
     from repro.bench.suite import run_suite
 
@@ -420,6 +532,7 @@ _COMMANDS = {
     "adaptive": _cmd_adaptive,
     "bcast": _cmd_bcast,
     "profile": _cmd_profile,
+    "faults": _cmd_faults,
     "reproduce": _cmd_reproduce,
     "perf": _cmd_perf,
     "verify": _cmd_verify,

@@ -373,6 +373,82 @@ class AllgatherEvaluator:
         return out  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
+    # fault recovery (batched)
+    # ------------------------------------------------------------------
+    def recovery_latencies(
+        self,
+        layout: Sequence[int],
+        sizes: Sequence[float],
+        failed_nodes: Sequence[int],
+        kind: str = "heuristic",
+        policy: str = "shrink-remap",
+    ) -> List[LatencyReport]:
+        """Batched allgather latency after node failures, per policy.
+
+        ``policy`` is one of ``repro.faults.recover.RECOVERY_POLICIES``:
+        ``"fail-stop"`` reports the abort (infinite latency),
+        ``"shrink-keep"`` prices the survivors under their old binding
+        with the holes closed up, and ``"shrink-remap"`` re-runs the
+        ``kind`` mapper on the surviving core pool and adopts the remap
+        wherever it prices no slower than keeping the old mapping.
+        Sizes are partitioned by algorithm and priced through the same
+        batched pipeline as :meth:`reordered_latencies`.
+        """
+        from repro.faults.shrink import shrink_layout
+
+        if policy not in ("fail-stop", "shrink-keep", "shrink-remap"):
+            raise ValueError(f"unknown recovery policy {policy!r}")
+        sizes = list(sizes)
+        if policy == "fail-stop":
+            return [
+                LatencyReport(
+                    seconds=float("inf"),
+                    algorithm="aborted",
+                    strategy="fail-stop",
+                    collective_seconds=float("inf"),
+                )
+                for _ in sizes
+            ]
+        survivors = shrink_layout(self.cluster, layout, failed_nodes)
+        p = survivors.size
+        out: List[Optional[LatencyReport]] = [None] * len(sizes)
+        algs = [select_allgather(p, bb, self.rd_threshold) for bb in sizes]
+        for name, idxs in self._group_sizes([a.name for a in algs]):
+            alg = algs[idxs[0]]
+            sub = [sizes[i] for i in idxs]
+            sched = self._schedule_for(alg, p)
+            keep = self.engine.evaluate_sizes(sched, survivors, sub).total_seconds
+            mapper = "keep"
+            seconds = keep
+            if policy == "shrink-remap":
+                pattern = pattern_of(alg)
+                key = ("recover", pattern, _layout_key(survivors), kind)
+                res: ReorderResult = self._reorder_cache.get(key)  # type: ignore[assignment]
+                if res is None:
+                    res = reorder_ranks(
+                        pattern,
+                        survivors,
+                        self.D,
+                        kind=kind,
+                        rng=_seed_for("recover", _layout_key(survivors), kind),
+                    )
+                    self._reorder_cache[key] = res
+                fresh = self.engine.evaluate_sizes(sched, res.mapping, sub).total_seconds
+                # hedged adoption: never worse than keeping the old binding
+                seconds = np.minimum(fresh, keep)
+                mapper = res.mapper_name
+            for j, i in enumerate(idxs):
+                coll = float(seconds[j])
+                out[i] = LatencyReport(
+                    seconds=coll,
+                    algorithm=name,
+                    strategy=policy,
+                    collective_seconds=coll,
+                    mapper=mapper,
+                )
+        return out  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
     # non-hierarchical
     # ------------------------------------------------------------------
     def default_latency(

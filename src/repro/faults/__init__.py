@@ -1,0 +1,53 @@
+"""Fault injection and shrink-and-remap recovery.
+
+The paper computes one reordered communicator at startup and assumes the
+cluster stays healthy; this package models what happens when it does not
+(see ``docs/robustness.md``):
+
+* :mod:`repro.faults.plan` — declarative fault scenarios (node
+  failures, HCA retrains, cable degradations, each with an onset) that
+  both timing engines accept via their ``fault_plan`` argument;
+* :mod:`repro.faults.shrink` — ULFM-style rank-space contraction past
+  the dead nodes;
+* :mod:`repro.faults.recover` — the fail-stop / shrink-keep-mapping /
+  shrink-remap policies priced side-by-side, with the paper's mapping
+  heuristics re-run on the surviving core pool.
+"""
+
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    FaultStopError,
+    cable_degradation,
+    hca_retrain,
+    single_node_failure,
+)
+from repro.faults.recover import (
+    RECOVERY_POLICIES,
+    PolicyPricing,
+    RecoveryComparison,
+    compare_recovery_policies,
+    recover,
+)
+from repro.faults.shrink import (
+    shrink_layout,
+    shrink_reordering,
+    surviving_ranks,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultStopError",
+    "single_node_failure",
+    "hca_retrain",
+    "cable_degradation",
+    "RECOVERY_POLICIES",
+    "PolicyPricing",
+    "RecoveryComparison",
+    "recover",
+    "compare_recovery_policies",
+    "shrink_layout",
+    "shrink_reordering",
+    "surviving_ranks",
+]

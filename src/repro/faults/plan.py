@@ -1,0 +1,276 @@
+"""Dynamic fault plans (what breaks, and when).
+
+``simmpi.noise`` models *static* degradation: the whole run is priced
+with a fixed ``link_beta_scale``.  Real faults have an onset — a node
+dies between stage 3 and 4, an HCA retrains halfway through a long ring
+— and the paper's one-shot reordering cannot react to them.  This module
+describes such scenarios declaratively:
+
+* a :class:`FaultEvent` is one fault (node failure, HCA retrain to a
+  lower rate, or cable degradation) with an onset expressed as a
+  communication *round index* — the schedule's stage list with per-stage
+  ``repeat`` counts expanded, so a ring's ``p-1`` iterations are
+  individually addressable — and optionally as *simulated seconds* (the
+  event engine's clock);
+* a :class:`FaultPlan` is an ordered collection of events plus the
+  queries both engines need: which nodes are dead at a given point, and
+  the cumulative bandwidth-scale vector of all active degradations.
+
+Faults are permanent once active (no repair mid-collective).  A failed
+node participating in a stage makes the collective undeliverable — the
+engines raise :class:`FaultStopError`, which is the *fail-stop* policy's
+outcome and the trigger for :mod:`repro.faults.recover`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultStopError",
+    "single_node_failure",
+    "hca_retrain",
+    "cable_degradation",
+]
+
+#: Recognised fault kinds.
+FAULT_KINDS = ("node-fail", "hca-retrain", "cable-degrade")
+
+
+class FaultStopError(RuntimeError):
+    """A failed node was asked to communicate (fail-stop abort).
+
+    Carries enough context for a recovery layer to shrink and retry:
+    the dead nodes, and where in the schedule the abort happened.
+    """
+
+    def __init__(
+        self,
+        failed_nodes: Iterable[int],
+        stage_index: int,
+        schedule_name: str = "",
+        at_seconds: Optional[float] = None,
+    ) -> None:
+        self.failed_nodes = tuple(sorted(int(n) for n in failed_nodes))
+        self.stage_index = int(stage_index)
+        self.schedule_name = schedule_name
+        self.at_seconds = at_seconds
+        where = f"stage {self.stage_index}"
+        if at_seconds is not None:
+            where += f" (t={at_seconds * 1e6:.1f} us)"
+        super().__init__(
+            f"collective {schedule_name or '<schedule>'} aborted at {where}: "
+            f"node(s) {list(self.failed_nodes)} failed"
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault with its onset.
+
+    ``onset_stage`` counts communication rounds: the schedule's stage
+    list with each stage's ``repeat`` expanded (for schedules without
+    repeats it is simply the stage index).  A fault with
+    ``onset_stage=k`` is active from round ``k`` on; ``0`` means present
+    from the start.  ``onset_seconds``, when given, is the activation
+    time on the event engine's simulated clock; the event engine falls
+    back to ``onset_stage`` when it is ``None``.
+    """
+
+    kind: str
+    onset_stage: int = 0
+    onset_seconds: Optional[float] = None
+    node: Optional[int] = None        # node-fail / hca-retrain target
+    links: Tuple[int, ...] = ()       # cable-degrade targets (network link ids)
+    factor: float = 1.0               # bandwidth division factor (degradations)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if self.onset_stage < 0:
+            raise ValueError(f"onset_stage must be >= 0, got {self.onset_stage}")
+        if self.onset_seconds is not None and self.onset_seconds < 0:
+            raise ValueError(f"onset_seconds must be >= 0, got {self.onset_seconds}")
+        if self.kind in ("node-fail", "hca-retrain") and self.node is None:
+            raise ValueError(f"{self.kind} event needs a target node")
+        if self.kind == "cable-degrade" and not self.links:
+            raise ValueError("cable-degrade event needs at least one link id")
+        if self.kind != "node-fail" and self.factor < 1.0:
+            raise ValueError(f"degradation factor must be >= 1, got {self.factor}")
+
+    def active_at_stage(self, stage_index: int) -> bool:
+        return stage_index >= self.onset_stage
+
+    def active_at_time(self, seconds: float, stage_index: int) -> bool:
+        if self.onset_seconds is not None:
+            return seconds >= self.onset_seconds
+        return self.active_at_stage(stage_index)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable set of fault events, queried by both engines."""
+
+    events: Tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for ev in self.events:
+            if not isinstance(ev, FaultEvent):
+                raise TypeError(
+                    f"FaultPlan events must be FaultEvent instances, got "
+                    f"{type(ev).__name__} (note: the scenario builders "
+                    f"already return complete FaultPlans)"
+                )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def with_event(self, event: FaultEvent) -> "FaultPlan":
+        return FaultPlan(self.events + (event,))
+
+    # ------------------------------------------------------------------
+    def validate(self, cluster) -> None:
+        """Check every target exists on ``cluster`` (raises ValueError)."""
+        for ev in self.events:
+            if ev.node is not None and not 0 <= ev.node < cluster.n_nodes:
+                raise ValueError(
+                    f"fault targets node {ev.node}, cluster has {cluster.n_nodes} nodes"
+                )
+            for lid in ev.links:
+                if not 0 <= int(lid) < cluster.n_links:
+                    raise ValueError(
+                        f"fault targets link {lid}, cluster has {cluster.n_links} links"
+                    )
+
+    @property
+    def failed_nodes(self) -> FrozenSet[int]:
+        """Every node that fails at any point of the plan."""
+        return frozenset(
+            int(ev.node) for ev in self.events if ev.kind == "node-fail"
+        )
+
+    def failed_nodes_at_stage(self, stage_index: int) -> FrozenSet[int]:
+        return frozenset(
+            int(ev.node)
+            for ev in self.events
+            if ev.kind == "node-fail" and ev.active_at_stage(stage_index)
+        )
+
+    def failed_nodes_at_time(self, seconds: float, stage_index: int) -> FrozenSet[int]:
+        return frozenset(
+            int(ev.node)
+            for ev in self.events
+            if ev.kind == "node-fail" and ev.active_at_time(seconds, stage_index)
+        )
+
+    # ------------------------------------------------------------------
+    def _scale_for(self, cluster, active: Sequence[FaultEvent]) -> Optional[np.ndarray]:
+        degradations = [ev for ev in active if ev.kind != "node-fail"]
+        if not degradations:
+            return None
+        scale = np.ones(cluster.n_links)
+        for ev in degradations:
+            if ev.kind == "hca-retrain":
+                ids = [int(cluster.hca_up(ev.node)), int(cluster.hca_down(ev.node))]
+            else:
+                ids = [int(lid) for lid in ev.links]
+            for lid in ids:
+                # concurrent degradations of one link compound
+                scale[lid] *= ev.factor
+        return scale
+
+    def beta_scale_at_stage(self, cluster, stage_index: int) -> Optional[np.ndarray]:
+        """Cumulative bandwidth-scale vector of degradations active at a stage.
+
+        ``None`` when no degradation is active (the common fast path).
+        """
+        return self._scale_for(
+            cluster, [ev for ev in self.events if ev.active_at_stage(stage_index)]
+        )
+
+    def degradations_active_at(
+        self, seconds: float, stage_index: int
+    ) -> Tuple[FaultEvent, ...]:
+        """Active degradation events on the event engine's clock."""
+        return tuple(
+            ev
+            for ev in self.events
+            if ev.kind != "node-fail" and ev.active_at_time(seconds, stage_index)
+        )
+
+    def beta_scale_for(self, cluster, events: Sequence[FaultEvent]) -> Optional[np.ndarray]:
+        """Scale vector of an explicit event subset (event-engine tracking)."""
+        return self._scale_for(cluster, list(events))
+
+    def final_beta_scale(self, cluster) -> Optional[np.ndarray]:
+        """Scale vector once every degradation has set in.
+
+        This is what a *recovered* run keeps living with: shrink removes
+        the dead nodes, but retrained HCAs and degraded cables persist.
+        """
+        return self._scale_for(cluster, self.events)
+
+
+# ----------------------------------------------------------------------
+# scenario builders
+# ----------------------------------------------------------------------
+def single_node_failure(
+    node: int, onset_stage: int = 0, onset_seconds: Optional[float] = None
+) -> FaultPlan:
+    """The canonical scenario: one node dies at the given onset."""
+    return FaultPlan(
+        (
+            FaultEvent(
+                kind="node-fail",
+                node=int(node),
+                onset_stage=onset_stage,
+                onset_seconds=onset_seconds,
+            ),
+        )
+    )
+
+
+def hca_retrain(
+    node: int,
+    factor: float,
+    onset_stage: int = 0,
+    onset_seconds: Optional[float] = None,
+) -> FaultPlan:
+    """One node's adapter retrains to ``1/factor`` of its bandwidth."""
+    return FaultPlan(
+        (
+            FaultEvent(
+                kind="hca-retrain",
+                node=int(node),
+                factor=float(factor),
+                onset_stage=onset_stage,
+                onset_seconds=onset_seconds,
+            ),
+        )
+    )
+
+
+def cable_degradation(
+    links: Iterable[int],
+    factor: float,
+    onset_stage: int = 0,
+    onset_seconds: Optional[float] = None,
+) -> FaultPlan:
+    """Specific switch cables degrade to ``1/factor`` of their bandwidth."""
+    return FaultPlan(
+        (
+            FaultEvent(
+                kind="cable-degrade",
+                links=tuple(int(x) for x in links),
+                factor=float(factor),
+                onset_stage=onset_stage,
+                onset_seconds=onset_seconds,
+            ),
+        )
+    )

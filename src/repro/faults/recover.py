@@ -1,0 +1,246 @@
+"""Shrink-and-remap recovery, priced policy-by-policy.
+
+After a fail-stop fault (:class:`~repro.faults.plan.FaultStopError`) a
+runtime has three options, and this module prices all of them
+side-by-side so the trade-off the paper never had to face — a *stale*
+topology-aware reordering after the machine changed under it — becomes
+measurable:
+
+* **fail-stop** — abort the job (MPI's default).  Latency: infinite.
+* **shrink-keep-mapping** — ULFM shrink only: dead ranks drop out, the
+  survivors keep whatever (possibly reordered) binding they had, holes
+  and all.  The old mapping was optimised for a communicator that no
+  longer exists.
+* **shrink-remap** — shrink, then re-run the registered
+  topology-aware heuristic (RDMH/RMH/BBMH/BGMH/BruckMH — whatever
+  matches the pattern) on the surviving core pool, exactly as the
+  paper's §IV reordering ran at startup.  The remapped binding is
+  *hedged*: recovery prices both candidates on the simulated engine and
+  adopts the remap only where it is no slower than keeping the old
+  mapping, so shrink-remap is never worse than shrink-keep-mapping.
+
+Degradations from the same :class:`~repro.faults.plan.FaultPlan`
+(retrained HCAs, damaged cables) persist into the recovered run: the
+post-recovery engine is built with the plan's final bandwidth-scale
+vector.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+import numpy as np
+
+from repro.collectives.allgather_bruck import BruckAllgather
+from repro.collectives.allgather_rd import RecursiveDoublingAllgather
+from repro.collectives.allgather_rd_nonpow2 import FoldedRecursiveDoublingAllgather
+from repro.collectives.allgather_ring import RingAllgather
+from repro.collectives.bcast_binomial import BinomialBroadcast
+from repro.collectives.gather_binomial import BinomialGather
+from repro.collectives.schedule import CollectiveAlgorithm
+from repro.faults.plan import FaultPlan
+from repro.faults.shrink import shrink_layout
+from repro.mapping.reorder import HEURISTICS, ReorderResult, reorder_ranks
+from repro.simmpi.costmodel import CostModel
+from repro.simmpi.engine import TimingEngine
+from repro.topology.cluster import ClusterTopology
+from repro.util.bits import is_power_of_two
+
+__all__ = [
+    "RECOVERY_POLICIES",
+    "PolicyPricing",
+    "RecoveryComparison",
+    "recover",
+    "compare_recovery_policies",
+]
+
+RECOVERY_POLICIES = ("fail-stop", "shrink-keep", "shrink-remap")
+
+
+def _seed_for(*parts) -> int:
+    """Deterministic recovery seed (content-derived, order-independent)."""
+    blob = "|".join(str(p) for p in parts).encode()
+    return int.from_bytes(hashlib.sha1(blob).digest()[:4], "big")
+
+
+def _pricing_algorithm(pattern: str, p: int) -> CollectiveAlgorithm:
+    """The collective used to price a pattern's mapping at size ``p``.
+
+    Each registered heuristic pattern gets the matching registered
+    algorithm; recursive doubling falls back to its folded non-power-of-
+    two variant, since shrink rarely leaves a power-of-two communicator.
+    """
+    if pattern == "recursive-doubling":
+        if is_power_of_two(p):
+            return RecursiveDoublingAllgather()
+        return FoldedRecursiveDoublingAllgather()
+    if pattern == "ring":
+        return RingAllgather()
+    if pattern == "bruck":
+        return BruckAllgather()
+    if pattern == "binomial-bcast":
+        return BinomialBroadcast()
+    if pattern == "binomial-gather":
+        return BinomialGather()
+    raise KeyError(f"no pricing algorithm for pattern {pattern!r}")
+
+
+def recover(
+    cluster: ClusterTopology,
+    layout: Sequence[int],
+    failed_nodes: Iterable[int],
+    pattern: str,
+    D: Optional[np.ndarray] = None,
+    kind: str = "heuristic",
+    rng: Optional[int] = None,
+) -> ReorderResult:
+    """Shrink ``layout`` past the dead nodes and re-run the mapper.
+
+    This is the paper's §IV run-time reordering, re-invoked on the
+    surviving core pool — the core of the *shrink-remap* policy.  The
+    returned result's ``layout`` is the shrunken (keep-mapping) binding
+    and its ``mapping`` the freshly remapped one.
+    """
+    survivors = shrink_layout(cluster, layout, failed_nodes)
+    if D is None:
+        D = cluster.distance_matrix()
+    if rng is None:
+        rng = _seed_for("recover", pattern, kind, survivors.tobytes().hex())
+    map_pattern = pattern
+    if pattern == "recursive-doubling" and not is_power_of_two(survivors.size):
+        # Shrink rarely leaves a power of two, where both RDMH and the RD
+        # pattern graph are undefined.  The folded variant that actually
+        # runs at such sizes communicates in bruck-style 2^s shifts, so
+        # map with the bruck pattern (BruckMH / bruck graph) instead.
+        map_pattern = "bruck"
+    return reorder_ranks(map_pattern, survivors, D, kind=kind, rng=rng)
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PolicyPricing:
+    """One policy's latency across the priced sizes."""
+
+    policy: str
+    completed: bool
+    seconds: np.ndarray                        # per size; +inf when aborted
+    mapper: str = "none"
+    remap_adopted: Optional[np.ndarray] = None  # per size (shrink-remap only)
+
+
+@dataclass
+class RecoveryComparison:
+    """Three recovery policies priced side-by-side for one pattern."""
+
+    pattern: str
+    heuristic: str
+    p_before: int
+    p_after: int
+    failed_nodes: tuple
+    sizes: np.ndarray
+    policies: Dict[str, PolicyPricing]
+
+    def summary(self) -> str:
+        """Readable per-size policy table."""
+        keep = self.policies["shrink-keep"].seconds
+        remap = self.policies["shrink-remap"].seconds
+        adopted = self.policies["shrink-remap"].remap_adopted
+        lines = [
+            f"{self.pattern} [{self.heuristic}] after node(s) "
+            f"{list(self.failed_nodes)} fail: p {self.p_before} -> {self.p_after}"
+        ]
+        lines.append(
+            f"  {'size':>10} {'fail-stop':>10} {'shrink-keep':>13} "
+            f"{'shrink-remap':>13} {'gain':>7}  remapped"
+        )
+        for k, bb in enumerate(self.sizes):
+            gain = (
+                100.0 * (keep[k] - remap[k]) / keep[k] if keep[k] > 0 else 0.0
+            )
+            lines.append(
+                f"  {int(bb):>10} {'aborted':>10} {keep[k] * 1e6:>11.1f}us "
+                f"{remap[k] * 1e6:>11.1f}us {gain:>6.1f}%  "
+                f"{'yes' if adopted is not None and adopted[k] else 'no'}"
+            )
+        return "\n".join(lines)
+
+
+def compare_recovery_policies(
+    cluster: ClusterTopology,
+    layout: Sequence[int],
+    faults: Union[FaultPlan, Iterable[int]],
+    sizes: Sequence[float],
+    patterns: Optional[Sequence[str]] = None,
+    kind: str = "heuristic",
+    cost_model: Optional[CostModel] = None,
+    D: Optional[np.ndarray] = None,
+) -> List[RecoveryComparison]:
+    """Price fail-stop / shrink-keep / shrink-remap for every heuristic.
+
+    ``faults`` is either a :class:`FaultPlan` (dead nodes come from its
+    node-fail events; its degradations persist into the recovered
+    engine) or a plain collection of failed node ids.  One
+    :class:`RecoveryComparison` is returned per pattern in ``patterns``
+    (default: every registered heuristic pattern), each priced through
+    the batched multi-size engine pipeline.
+    """
+    if isinstance(faults, FaultPlan):
+        faults.validate(cluster)
+        failed: Set[int] = set(faults.failed_nodes)
+        scale = faults.final_beta_scale(cluster)
+    else:
+        failed = {int(n) for n in faults}
+        scale = None
+    if not failed:
+        raise ValueError("fault scenario contains no node failures to recover from")
+
+    L = np.asarray(layout, dtype=np.int64)
+    survivors = shrink_layout(cluster, L, failed)
+    if D is None:
+        D = cluster.distance_matrix()
+    engine = TimingEngine(cluster, cost_model, link_beta_scale=scale)
+    sz = np.asarray(list(sizes), dtype=np.float64)
+    aborted = np.full(sz.size, np.inf)
+    failed_tuple = tuple(sorted(failed))
+
+    out: List[RecoveryComparison] = []
+    for pattern in patterns if patterns is not None else sorted(HEURISTICS):
+        alg = _pricing_algorithm(pattern, survivors.size)
+        sched = alg.schedule(survivors.size)
+        keep = engine.evaluate_sizes(sched, survivors, sz).total_seconds
+        res = recover(cluster, L, failed, pattern, D=D, kind=kind)
+        fresh = engine.evaluate_sizes(sched, res.mapping, sz).total_seconds
+        adopted = fresh <= keep
+        hedged = np.where(adopted, fresh, keep)
+        heuristic = res.mapper_name
+        out.append(
+            RecoveryComparison(
+                pattern=pattern,
+                heuristic=heuristic,
+                p_before=int(L.size),
+                p_after=int(survivors.size),
+                failed_nodes=failed_tuple,
+                sizes=sz,
+                policies={
+                    "fail-stop": PolicyPricing(
+                        policy="fail-stop", completed=False, seconds=aborted
+                    ),
+                    "shrink-keep": PolicyPricing(
+                        policy="shrink-keep",
+                        completed=True,
+                        seconds=keep,
+                        mapper="keep",
+                    ),
+                    "shrink-remap": PolicyPricing(
+                        policy="shrink-remap",
+                        completed=True,
+                        seconds=hedged,
+                        mapper=heuristic,
+                        remap_adopted=adopted,
+                    ),
+                },
+            )
+        )
+    return out

@@ -1,0 +1,82 @@
+"""ULFM-style communicator shrink.
+
+MPI's User-Level Failure Mitigation recovers from a fail-stop fault by
+building a new communicator from the survivors (``MPI_Comm_shrink``):
+dead processes are dropped and the remaining ranks are renumbered
+densely, preserving their relative order.  The physical fabric is
+unchanged — dead nodes still occupy their leaf ports, survivors keep
+their cores — so all routing, distances and link ids stay valid; only
+the *rank space* contracts.
+
+This module implements that contraction over the repo's layout/mapping
+arrays, and :meth:`repro.simmpi.communicator.VirtualComm.shrink` /
+:meth:`repro.topology.cluster.ClusterTopology.shrink` expose it on the
+user-facing objects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+import numpy as np
+
+from repro.collectives.correctness import RankReordering
+
+__all__ = [
+    "check_failed_nodes",
+    "surviving_ranks",
+    "shrink_layout",
+    "shrink_reordering",
+]
+
+
+def check_failed_nodes(cluster, failed_nodes: Iterable[int]) -> Set[int]:
+    """Validate and normalise a failed-node collection."""
+    failed = {int(n) for n in np.asarray(list(failed_nodes), dtype=np.int64)}
+    for node in failed:
+        if not 0 <= node < cluster.n_nodes:
+            raise ValueError(f"node {node} out of range [0, {cluster.n_nodes})")
+    if len(failed) >= cluster.n_nodes:
+        raise ValueError("cannot shrink: every node failed")
+    return failed
+
+
+def surviving_ranks(cluster, layout, failed_nodes: Iterable[int]) -> np.ndarray:
+    """Old ranks (indices into ``layout``) hosted on surviving nodes.
+
+    Ascending — survivors keep their relative order, the ULFM contract.
+    """
+    L = np.asarray(layout, dtype=np.int64)
+    failed = check_failed_nodes(cluster, failed_nodes)
+    nodes = cluster.node_of(L)
+    alive = ~np.isin(nodes, np.array(sorted(failed), dtype=np.int64))
+    survivors = np.flatnonzero(alive)
+    if survivors.size == 0:
+        raise ValueError("no surviving ranks (every process was on a failed node)")
+    return survivors
+
+
+def shrink_layout(cluster, layout, failed_nodes: Iterable[int]) -> np.ndarray:
+    """The survivors' cores, densely renumbered in old-rank order.
+
+    The result is a valid layout for a ``p' = len(result)`` communicator:
+    new rank ``r`` is the ``r``-th surviving old rank, still bound to the
+    core it always had (processes do not migrate during recovery).
+    """
+    L = np.asarray(layout, dtype=np.int64)
+    return L[surviving_ranks(cluster, L, failed_nodes)]
+
+
+def shrink_reordering(
+    cluster, reordering: RankReordering, failed_nodes: Iterable[int]
+) -> RankReordering:
+    """Shrink a (possibly reordered) communicator's rank binding.
+
+    Both the original layout and the current mapping are restricted to
+    the surviving processes; each side keeps its own rank order, so a
+    previously reordered communicator stays reordered (with holes closed
+    up) — the *shrink-keep-mapping* recovery policy.
+    """
+    layout = shrink_layout(cluster, reordering.layout, failed_nodes)
+    mapping = shrink_layout(cluster, reordering.mapping, failed_nodes)
+    return RankReordering(layout=layout, mapping=mapping)

@@ -133,6 +133,28 @@ class VirtualComm:
         )
 
     # ------------------------------------------------------------------
+    def shrink(self, failed_nodes: Sequence[int]) -> "VirtualComm":
+        """ULFM ``MPI_Comm_shrink``: drop ranks hosted on dead nodes.
+
+        Survivors are renumbered densely in rank order; a reordered
+        communicator stays reordered with the holes closed up (the
+        *shrink-keep-mapping* recovery state).  Chain with
+        :meth:`reordered` to realise *shrink-remap*:
+
+        >>> healed = comm.shrink([3]).reordered("ring")
+        """
+        from repro.faults.shrink import shrink_reordering
+
+        return VirtualComm(
+            session=self.session,
+            reordering=shrink_reordering(
+                self.session.cluster, self.reordering, failed_nodes
+            ),
+            info=dict(self.info),
+            pattern=self.pattern,
+        )
+
+    # ------------------------------------------------------------------
     def split(self, colors: Sequence[int]) -> Dict[int, "VirtualComm"]:
         """MPI_Comm_split: partition ranks by colour, keeping rank order.
 

@@ -253,6 +253,16 @@ class TimingEngine:
     # ------------------------------------------------------------------
     def stage_time(self, stage: Stage, mapping: np.ndarray, block_bytes: float) -> StageTiming:
         """Price a single instance of ``stage`` under ``mapping``."""
+        return self._stage_time(stage, mapping, block_bytes, self._beta)
+
+    def _stage_time(
+        self, stage: Stage, mapping: np.ndarray, block_bytes: float, beta: np.ndarray
+    ) -> StageTiming:
+        """Stage pricing against an explicit per-link beta table.
+
+        The fault-injection path swaps ``beta`` per stage as degradations
+        set in; the healthy path always passes ``self._beta``.
+        """
         src_cores = mapping[stage.src]
         dst_cores = mapping[stage.dst]
         routes = self.cluster.routes_for(src_cores, dst_cores)
@@ -265,7 +275,7 @@ class TimingEngine:
         load = np.bincount(routes[valid], weights=weights, minlength=self.cluster.n_links)
 
         alpha_sum = np.where(valid, self._alpha[safe], 0.0).sum(axis=1)
-        drain = np.where(valid, self._beta[safe] * load[safe], 0.0).max(axis=1)
+        drain = np.where(valid, beta[safe] * load[safe], 0.0).max(axis=1)
         per_msg = alpha_sum + drain
         return StageTiming(
             label=stage.label,
@@ -281,6 +291,7 @@ class TimingEngine:
         mapping: Sequence[int],
         block_bytes: float,
         extra_copy_bytes: float = 0.0,
+        fault_plan=None,
     ) -> TimingResult:
         """Total latency of ``schedule``.
 
@@ -295,12 +306,86 @@ class TimingEngine:
             Size of one block (the per-rank allgather message size).
         extra_copy_bytes:
             Additional local data movement to price (endShfl shuffles).
+        fault_plan:
+            Optional :class:`repro.faults.plan.FaultPlan`.  Degradations
+            take effect from their onset stage; a failed node that is
+            asked to communicate raises
+            :class:`repro.faults.plan.FaultStopError` (fail-stop
+            semantics — catch it and shrink via ``repro.faults``).
         """
         check_positive("block_bytes", block_bytes)
         maybe_verify_schedule(schedule)  # opt-in static guard (REPRO_VERIFY=1)
         M = self._check_mapping(schedule, mapping)
+        if fault_plan is not None:
+            return self._evaluate_with_faults(
+                schedule, M, block_bytes, extra_copy_bytes, fault_plan
+            )
 
         timings = [self.stage_time(s, M, block_bytes) for s in schedule.stages]
+        copy_bytes = schedule.local_copy_units * block_bytes + extra_copy_bytes
+        copy_seconds = self.cost.copy_cost(copy_bytes)
+        total = sum(t.total_seconds for t in timings) + copy_seconds
+        return TimingResult(
+            schedule_name=schedule.name,
+            total_seconds=total,
+            stage_timings=timings,
+            local_copy_seconds=copy_seconds,
+        )
+
+    def _evaluate_with_faults(
+        self,
+        schedule: Schedule,
+        M: np.ndarray,
+        block_bytes: float,
+        extra_copy_bytes: float,
+        fault_plan,
+    ) -> TimingResult:
+        """Round-wise pricing under a dynamic fault plan.
+
+        Fault onsets are indexed by communication *round* (the stage list
+        with per-stage ``repeat`` counts expanded, so a ring's p-1
+        iterations are p-1 distinct onsets).  Each round is priced with
+        the beta table of the degradations active at its index; the
+        first round in which a failed node must send or receive aborts
+        the collective.  Fault activation is monotone, so rounds are
+        re-priced only when the active event set changes.
+        """
+        # Local import: repro.faults imports this module at package level.
+        from dataclasses import replace
+
+        from repro.faults.plan import FaultStopError
+
+        fault_plan.validate(self.cluster)
+        timings: List[StageTiming] = []
+        round_idx = 0
+        for stage in schedule.stages:
+            state = None
+            timing: Optional[StageTiming] = None
+            for _ in range(stage.repeat):
+                key = tuple(
+                    ev.active_at_stage(round_idx) for ev in fault_plan.events
+                )
+                if timing is None or key != state:
+                    state = key
+                    failed = fault_plan.failed_nodes_at_stage(round_idx)
+                    if failed:
+                        touched = set(
+                            int(n)
+                            for n in np.union1d(
+                                self.cluster.node_of(M[stage.src]),
+                                self.cluster.node_of(M[stage.dst]),
+                            )
+                        )
+                        dead = touched & set(failed)
+                        if dead:
+                            raise FaultStopError(dead, round_idx, schedule.name)
+                    scale = fault_plan.beta_scale_at_stage(self.cluster, round_idx)
+                    beta = self._beta if scale is None else self._beta * scale
+                    timing = replace(
+                        self._stage_time(stage, M, block_bytes, beta), repeat=1
+                    )
+                timings.append(timing)
+                round_idx += 1
         copy_bytes = schedule.local_copy_units * block_bytes + extra_copy_bytes
         copy_seconds = self.cost.copy_cost(copy_bytes)
         total = sum(t.total_seconds for t in timings) + copy_seconds

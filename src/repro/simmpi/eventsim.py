@@ -97,8 +97,18 @@ class EventDrivenEngine:
         schedule: Schedule,
         mapping: Sequence[int],
         block_bytes: float,
+        fault_plan=None,
     ) -> EventTimingResult:
-        """Price ``schedule`` under ``mapping`` with event semantics."""
+        """Price ``schedule`` under ``mapping`` with event semantics.
+
+        ``fault_plan`` (a :class:`repro.faults.plan.FaultPlan`) injects
+        dynamic faults on the simulated clock: degradations apply to
+        messages starting at or after their onset, and a message touching
+        a failed node raises :class:`repro.faults.plan.FaultStopError`.
+        Events with ``onset_seconds`` unset activate by communication
+        round (stages expanded by their ``repeat`` counts, matching the
+        barrier engine's fault clock).
+        """
         check_positive("block_bytes", block_bytes)
         maybe_verify_schedule(schedule)  # opt-in static guard (REPRO_VERIFY=1)
         M = np.asarray(mapping, dtype=np.int64)
@@ -112,15 +122,23 @@ class EventDrivenEngine:
                 f"{n_ops} message events exceed the event engine's limit "
                 f"({MAX_MESSAGE_OPS}); use the vectorised TimingEngine"
             )
+        faults = None
+        if fault_plan is not None:
+            fault_plan.validate(self.cluster)
+            faults = _FaultTracker(self, fault_plan, schedule.name)
 
         done = np.zeros(M.size)              # per-rank readiness
         link_free = {}                        # link id -> next free time
         total_msgs = 0
 
+        round_idx = 0
         for stage in schedule.stages:
             for _ in range(stage.repeat):
-                done = self._run_round(stage, M, block_bytes, done, link_free)
+                done = self._run_round(
+                    stage, M, block_bytes, done, link_free, round_idx, faults
+                )
                 total_msgs += stage.n_messages
+                round_idx += 1
 
         copy = self.cost.copy_cost(schedule.local_copy_units * block_bytes)
         finish = done + copy
@@ -139,6 +157,8 @@ class EventDrivenEngine:
         block_bytes: float,
         done: np.ndarray,
         link_free: dict,
+        round_idx: int = 0,
+        faults: "Optional[_FaultTracker]" = None,
     ) -> np.ndarray:
         src_cores = M[stage.src]
         dst_cores = M[stage.dst]
@@ -155,11 +175,18 @@ class EventDrivenEngine:
             # cut-through: the stream completes once every link has pushed
             # its share through, queueing FIFO behind earlier traffic
             ready = float(starts[i])
+            if faults is None:
+                beta = self._beta
+            else:
+                faults.check_alive(
+                    ready, round_idx, int(src_cores[i]), int(dst_cores[i])
+                )
+                beta = faults.beta_at(ready, round_idx)
             start_tx = ready
             for link in links:
                 start_tx = max(start_tx, link_free.get(link, 0.0))
             alpha = float(sum(self._alpha[lid] for lid in links))
-            beta_max = float(max(self._beta[lid] for lid in links)) if links else 0.0
+            beta_max = float(max(beta[lid] for lid in links)) if links else 0.0
             finish = start_tx + alpha + float(nbytes[i]) * beta_max
             for link in links:
                 # each link serialises only its own share, from the moment
@@ -167,8 +194,52 @@ class EventDrivenEngine:
                 # start would let one busy link phantom-block idle links
                 # downstream and convoy the entire schedule
                 lf = max(link_free.get(link, 0.0), ready)
-                link_free[link] = lf + float(nbytes[i]) * self._beta[link]
+                link_free[link] = lf + float(nbytes[i]) * beta[link]
             s, d = int(stage.src[i]), int(stage.dst[i])
             new_done[s] = max(new_done[s], finish)
             new_done[d] = max(new_done[d], finish)
         return new_done
+
+
+class _FaultTracker:
+    """Incremental fault activation on the event engine's timeline.
+
+    Message start times are non-decreasing within a round and fault
+    activation is monotone (no repair), so the effective beta table only
+    changes when a new degradation sets in — track the active event set
+    and rebuild the table on transitions instead of per message.
+    """
+
+    def __init__(self, engine: EventDrivenEngine, plan, schedule_name: str) -> None:
+        self.engine = engine
+        self.plan = plan
+        self.schedule_name = schedule_name
+        self._active = ()
+        self._beta = engine._beta
+
+    def beta_at(self, seconds: float, round_idx: int) -> np.ndarray:
+        active = self.plan.degradations_active_at(seconds, round_idx)
+        if active != self._active:
+            self._active = active
+            scale = self.plan.beta_scale_for(self.engine.cluster, active)
+            self._beta = (
+                self.engine._beta if scale is None else self.engine._beta * scale
+            )
+        return self._beta
+
+    def check_alive(
+        self, seconds: float, round_idx: int, src_core: int, dst_core: int
+    ) -> None:
+        failed = self.plan.failed_nodes_at_time(seconds, round_idx)
+        if not failed:
+            return
+        touched = {
+            int(self.engine.cluster.node_of(src_core)),
+            int(self.engine.cluster.node_of(dst_core)),
+        }
+        dead = touched & set(failed)
+        if dead:
+            # Local import: repro.faults imports the engine modules.
+            from repro.faults.plan import FaultStopError
+
+            raise FaultStopError(dead, round_idx, self.schedule_name, at_seconds=seconds)

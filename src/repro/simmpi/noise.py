@@ -49,6 +49,7 @@ def degrade_links(
         raise ValueError(f"degradation factor must be >= 1, got {factor}")
     scale = no_degradation(cluster)
     for lid in link_ids:
+        lid = int(lid)  # accept numpy integers
         if not 0 <= lid < cluster.n_links:
             raise ValueError(f"link id {lid} out of range")
         scale[lid] = factor
@@ -65,6 +66,7 @@ def degrade_node_hca(
     """
     ids = []
     for node in nodes:
+        node = int(node)  # accept numpy integers
         if not 0 <= node < cluster.n_nodes:
             raise ValueError(f"node {node} out of range")
         ids.append(int(cluster.hca_up(node)))
@@ -78,7 +80,9 @@ def degrade_random_cables(
     """Degrade a random fraction of the fat-tree's switch cables."""
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction must be in [0, 1], got {fraction}")
-    n_net = cluster.network.n_links
+    # n_links may arrive as a numpy integer; Generator.choice needs a
+    # builtin int for its population argument on some numpy versions
+    n_net = int(cluster.network.n_links)
     k = int(round(fraction * n_net))
     picks = make_rng(rng).choice(n_net, size=k, replace=False) if k else []
     return degrade_links(cluster, [int(x) for x in picks], factor)

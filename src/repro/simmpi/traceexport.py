@@ -44,7 +44,7 @@ class _RecordingEngine(EventDrivenEngine):
         super().__init__(cluster, cost_model)
         self.events: List[MessageEvent] = []
 
-    def _run_round(self, stage, M, block_bytes, done, link_free):
+    def _run_round(self, stage, M, block_bytes, done, link_free, round_idx=0, faults=None):
         src_cores = M[stage.src]
         dst_cores = M[stage.dst]
         routes = self.cluster.routes_for(src_cores, dst_cores)
@@ -56,15 +56,20 @@ class _RecordingEngine(EventDrivenEngine):
         for i in order:
             links = [int(l) for l in routes[i] if l >= 0]
             ready = float(starts[i])
+            if faults is None:
+                beta = self._beta
+            else:
+                faults.check_alive(ready, round_idx, int(src_cores[i]), int(dst_cores[i]))
+                beta = faults.beta_at(ready, round_idx)
             start_tx = ready
             for link in links:
                 start_tx = max(start_tx, link_free.get(link, 0.0))
             alpha = float(sum(self._alpha[l] for l in links))
-            beta_max = float(max(self._beta[l] for l in links)) if links else 0.0
+            beta_max = float(max(beta[l] for l in links)) if links else 0.0
             finish = start_tx + alpha + float(nbytes[i]) * beta_max
             for link in links:
                 lf = max(link_free.get(link, 0.0), ready)
-                link_free[link] = lf + float(nbytes[i]) * self._beta[link]
+                link_free[link] = lf + float(nbytes[i]) * beta[link]
             s, d = int(stage.src[i]), int(stage.dst[i])
             new_done[s] = max(new_done[s], finish)
             new_done[d] = max(new_done[d], finish)

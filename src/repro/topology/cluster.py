@@ -410,6 +410,28 @@ class ClusterTopology:
         return self._distance_matrix
 
     # ------------------------------------------------------------------
+    # fault recovery
+    # ------------------------------------------------------------------
+    def shrink(self, failed_nodes: Sequence[int]) -> np.ndarray:
+        """ULFM-style shrink: the usable cores once ``failed_nodes`` died.
+
+        The physical fabric is unchanged (dead nodes keep their leaf
+        ports, so every link id, route and distance stays valid); what
+        contracts is the *usable core pool*.  Returns the surviving
+        global core ids in ascending order — feed them to
+        :mod:`repro.faults.shrink` to renumber a communicator's ranks.
+        """
+        failed = {int(n) for n in np.asarray(failed_nodes, dtype=np.int64).ravel()}
+        for node in failed:
+            if not 0 <= node < self.n_nodes:
+                raise ValueError(f"node {node} out of range [0, {self.n_nodes})")
+        if len(failed) >= self.n_nodes:
+            raise ValueError("cannot shrink: every node failed")
+        cores = np.arange(self.n_cores, dtype=np.int64)
+        alive = ~np.isin(self.node_of(cores), np.array(sorted(failed), dtype=np.int64))
+        return cores[alive]
+
+    # ------------------------------------------------------------------
     # channel classification (reporting / tests)
     # ------------------------------------------------------------------
     def channel_of(self, src: int, dst: int) -> str:

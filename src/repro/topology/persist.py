@@ -5,12 +5,25 @@ references."  This module is that save/load step: distance matrices go
 to compressed ``.npz`` with a topology fingerprint, reordering results to
 JSON.  Loading verifies the fingerprint so a matrix saved for one
 machine cannot silently be applied to another.
+
+Failure modes are typed so callers can react precisely:
+
+* :class:`FingerprintMismatchError` — the file is intact but belongs to
+  a *different* topology (re-extract, or load with the right cluster);
+* :class:`CorruptPersistFileError` — the file is torn, not valid
+  npz/JSON, or missing required fields (delete and re-save);
+
+both subclass :class:`PersistError` (itself a ``ValueError``, so older
+``except ValueError`` call sites keep working).  All saves are atomic
+(tmp file + rename) via :mod:`repro.util.atomicio`.
 """
 
 from __future__ import annotations
 
 import json
 import hashlib
+import os
+import zipfile
 from pathlib import Path
 from typing import Union
 
@@ -19,8 +32,12 @@ import numpy as np
 from repro.collectives.correctness import RankReordering
 from repro.mapping.reorder import ReorderResult
 from repro.topology.cluster import ClusterTopology
+from repro.util.atomicio import atomic_write_text
 
 __all__ = [
+    "PersistError",
+    "CorruptPersistFileError",
+    "FingerprintMismatchError",
     "topology_fingerprint",
     "save_distances",
     "load_distances",
@@ -29,6 +46,18 @@ __all__ = [
 ]
 
 PathLike = Union[str, Path]
+
+
+class PersistError(ValueError):
+    """Base class for persistence failures (a ``ValueError``)."""
+
+
+class CorruptPersistFileError(PersistError):
+    """The file exists but cannot be decoded (torn write, wrong format)."""
+
+
+class FingerprintMismatchError(PersistError):
+    """The file is intact but was saved for a different topology."""
 
 
 def topology_fingerprint(cluster: ClusterTopology) -> str:
@@ -53,35 +82,77 @@ def topology_fingerprint(cluster: ClusterTopology) -> str:
 
 # ----------------------------------------------------------------------
 def save_distances(cluster: ClusterTopology, path: PathLike) -> Path:
-    """Save the cluster's distance matrix with its fingerprint."""
+    """Save the cluster's distance matrix with its fingerprint.
+
+    Atomic: the npz is written to a temp sibling first, then renamed.
+    """
     path = Path(path)
+    # np.savez appends .npz if missing; pin the final name up front so the
+    # temp file can be renamed onto it
+    final = path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    tmp = final.with_name(final.name + ".tmp.npz")
     np.savez_compressed(
-        path,
+        tmp,
         D=cluster.distance_matrix(),
         fingerprint=np.bytes_(topology_fingerprint(cluster).encode()),
     )
-    # np.savez appends .npz if missing
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    os.replace(tmp, final)
+    return final
 
 
 def load_distances(cluster: ClusterTopology, path: PathLike) -> np.ndarray:
-    """Load a saved matrix, verifying it belongs to ``cluster``."""
-    with np.load(Path(path)) as data:
-        fp = bytes(data["fingerprint"]).decode()
-        if fp != topology_fingerprint(cluster):
-            raise ValueError(
-                f"distance file {path} was extracted for a different topology "
-                f"(fingerprint {fp} != {topology_fingerprint(cluster)})"
-            )
-        D = np.array(data["D"])
+    """Load a saved matrix, verifying it belongs to ``cluster``.
+
+    Raises
+    ------
+    FingerprintMismatchError
+        The file was extracted for a different topology.
+    CorruptPersistFileError
+        The file is truncated / not a distance npz at all.
+    FileNotFoundError
+        The path does not exist.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise FileNotFoundError(
+            f"{path}: no such distance file; run save_distances (or "
+            f"DistanceExtractor) for this cluster first"
+        )
+    try:
+        with np.load(path) as data:
+            fp = bytes(data["fingerprint"]).decode()
+            if fp != topology_fingerprint(cluster):
+                raise FingerprintMismatchError(
+                    f"distance file {path} was extracted for a different topology "
+                    f"(fingerprint {fp} != {topology_fingerprint(cluster)}); "
+                    f"re-extract for this cluster or load with the matching one"
+                )
+            D = np.array(data["D"])
+    except PersistError:
+        raise
+    except (
+        zipfile.BadZipFile,
+        OSError,
+        EOFError,
+        KeyError,
+        UnicodeDecodeError,
+        ValueError,  # np.load raises bare ValueError on non-npz bytes
+    ) as exc:
+        raise CorruptPersistFileError(
+            f"distance file {path} is corrupt or truncated ({type(exc).__name__}: "
+            f"{exc}); delete it and re-run the extraction"
+        ) from exc
     if D.shape != (cluster.n_cores, cluster.n_cores):
-        raise ValueError(f"distance matrix shape {D.shape} does not fit the cluster")
+        raise CorruptPersistFileError(
+            f"distance file {path}: matrix shape {D.shape} does not fit the "
+            f"cluster ({cluster.n_cores} cores); delete it and re-extract"
+        )
     return D
 
 
 # ----------------------------------------------------------------------
 def save_reordering(result: ReorderResult, path: PathLike) -> Path:
-    """Save a reordering (layout, mapping, provenance) as JSON."""
+    """Save a reordering (layout, mapping, provenance) as JSON, atomically."""
     path = Path(path)
     payload = {
         "pattern": result.pattern,
@@ -91,20 +162,52 @@ def save_reordering(result: ReorderResult, path: PathLike) -> Path:
         "layout": result.reordering.layout.tolist(),
         "mapping": result.reordering.mapping.tolist(),
     }
-    path.write_text(json.dumps(payload, indent=1))
+    atomic_write_text(path, json.dumps(payload, indent=1))
     return path
 
 
 def load_reordering(path: PathLike) -> ReorderResult:
-    """Load a saved reordering; validates it is a consistent permutation."""
-    payload = json.loads(Path(path).read_text())
+    """Load a saved reordering; validates it is a consistent permutation.
+
+    Raises
+    ------
+    CorruptPersistFileError
+        The file is not valid JSON, is missing required fields, or holds
+        an inconsistent layout/mapping pair.
+    FileNotFoundError
+        The path does not exist.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise FileNotFoundError(
+            f"{path}: no such reordering file; save one with save_reordering first"
+        )
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise CorruptPersistFileError(
+            f"reordering file {path} is not valid JSON ({exc}); it was likely "
+            f"truncated by an interrupted write — delete it and re-save"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise CorruptPersistFileError(
+            f"reordering file {path} does not hold a JSON object; delete and re-save"
+        )
     for key in ("pattern", "mapper", "layout", "mapping"):
         if key not in payload:
-            raise ValueError(f"reordering file {path} is missing {key!r}")
-    reordering = RankReordering(
-        layout=np.asarray(payload["layout"], dtype=np.int64),
-        mapping=np.asarray(payload["mapping"], dtype=np.int64),
-    )
+            raise CorruptPersistFileError(
+                f"reordering file {path} is missing {key!r}; delete and re-save"
+            )
+    try:
+        reordering = RankReordering(
+            layout=np.asarray(payload["layout"], dtype=np.int64),
+            mapping=np.asarray(payload["mapping"], dtype=np.int64),
+        )
+    except ValueError as exc:
+        raise CorruptPersistFileError(
+            f"reordering file {path} holds an inconsistent layout/mapping pair "
+            f"({exc}); delete and re-save"
+        ) from exc
     return ReorderResult(
         reordering=reordering,
         pattern=payload["pattern"],

@@ -1,0 +1,40 @@
+"""Crash-safe file writes (write-to-temp, then atomic rename).
+
+A process killed mid-``write_text`` leaves a truncated file behind; any
+later reader then dies on half a JSON document.  Every persistent
+artefact in this repo (``BENCH_sweep.json``, saved reorderings, sweep
+checkpoint cells) instead goes through :func:`atomic_write_text` /
+:func:`atomic_write_json`: the payload is written to a ``*.tmp`` sibling
+in the same directory and moved into place with ``os.replace``, which is
+atomic on POSIX and Windows.  Readers therefore see either the old
+complete file or the new complete file — never a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Union
+
+__all__ = ["atomic_write_text", "atomic_write_json"]
+
+PathLike = Union[str, Path]
+
+
+def atomic_write_text(path: PathLike, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically; returns the path written."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+    return path
+
+
+def atomic_write_json(path: PathLike, payload, indent: int = 1) -> Path:
+    """Serialise ``payload`` as JSON and write it atomically.
+
+    The document is fully serialised *before* any file is touched, so a
+    non-serialisable payload cannot leave a partial temp file either.
+    """
+    return atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")

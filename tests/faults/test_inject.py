@@ -1,0 +1,173 @@
+"""Fault injection in both engines (barrier and event-driven)."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.allgather_ring import RingAllgather
+from repro.collectives.allgather_rd import RecursiveDoublingAllgather
+from repro.faults import (
+    FaultStopError,
+    cable_degradation,
+    hca_retrain,
+    single_node_failure,
+)
+from repro.mapping.initial import block_bunch
+from repro.simmpi.engine import TimingEngine
+from repro.simmpi.eventsim import EventDrivenEngine
+
+
+@pytest.fixture(scope="module")
+def setting(mid_cluster):
+    M = block_bunch(mid_cluster, 64)
+    sched = RingAllgather().schedule(64)
+    return mid_cluster, M, sched
+
+
+class TestBarrierEngineInjection:
+    def test_no_plan_unchanged(self, mid_engine, setting):
+        _, M, sched = setting
+        assert (
+            mid_engine.evaluate(sched, M, 4096).total_seconds
+            == mid_engine.evaluate(sched, M, 4096, fault_plan=None).total_seconds
+        )
+
+    def test_degradation_onset_mid_schedule(self, mid_engine, setting):
+        _, M, sched = setting
+        base = mid_engine.evaluate(sched, M, 4096).total_seconds
+        early = mid_engine.evaluate(
+            sched, M, 4096, fault_plan=hca_retrain(2, 4.0, onset_stage=0)
+        ).total_seconds
+        late = mid_engine.evaluate(
+            sched, M, 4096, fault_plan=hca_retrain(2, 4.0, onset_stage=40)
+        ).total_seconds
+        # more degraded rounds => slower; both slower than clean
+        assert early > late > base
+
+    def test_onset_past_schedule_end_harmless(self, mid_engine, setting):
+        _, M, sched = setting
+        base = mid_engine.evaluate(sched, M, 4096).total_seconds
+        never = mid_engine.evaluate(
+            sched, M, 4096, fault_plan=hca_retrain(2, 4.0, onset_stage=10**6)
+        ).total_seconds
+        assert never == pytest.approx(base, rel=1e-12)
+
+    def test_node_failure_aborts_at_round(self, mid_engine, setting):
+        _, M, sched = setting
+        with pytest.raises(FaultStopError) as info:
+            mid_engine.evaluate(
+                sched, M, 4096, fault_plan=single_node_failure(3, onset_stage=30)
+            )
+        assert info.value.failed_nodes == (3,)
+        assert info.value.stage_index == 30
+        assert info.value.schedule_name == sched.name
+
+    def test_failure_after_last_round_harmless(self, mid_engine, setting):
+        _, M, sched = setting
+        base = mid_engine.evaluate(sched, M, 4096).total_seconds
+        ok = mid_engine.evaluate(
+            sched, M, 4096, fault_plan=single_node_failure(3, onset_stage=10**6)
+        ).total_seconds
+        assert ok == pytest.approx(base, rel=1e-12)
+
+    def test_untouched_node_failure_ignored(self, mid_cluster, mid_engine):
+        """A failed node outside the communicating set never aborts."""
+        M = block_bunch(mid_cluster, 16)  # nodes 0..1 only
+        sched = RecursiveDoublingAllgather().schedule(16)
+        base = mid_engine.evaluate(sched, M, 1024).total_seconds
+        ok = mid_engine.evaluate(
+            sched, M, 1024, fault_plan=single_node_failure(7)
+        ).total_seconds
+        assert ok == pytest.approx(base, rel=1e-12)
+
+    def test_cable_degradation_scales_route_traffic(self, mid_cluster, mid_engine):
+        M = block_bunch(mid_cluster, 64)
+        sched = RingAllgather().schedule(64)
+        base = mid_engine.evaluate(sched, M, 1 << 16).total_seconds
+        hca_ids = [int(mid_cluster.hca_up(0)), int(mid_cluster.hca_down(0))]
+        hurt = mid_engine.evaluate(
+            sched, M, 1 << 16, fault_plan=cable_degradation(hca_ids, 8.0)
+        ).total_seconds
+        assert hurt > base
+
+    def test_bad_target_rejected(self, mid_cluster, mid_engine, setting):
+        _, M, sched = setting
+        with pytest.raises(ValueError, match="node"):
+            mid_engine.evaluate(
+                sched, M, 4096,
+                fault_plan=single_node_failure(mid_cluster.n_nodes),
+            )
+
+
+class TestEventEngineInjection:
+    def test_round_clock_matches_barrier_semantics(self, setting):
+        cluster, M, sched = setting
+        engine = EventDrivenEngine(cluster)
+        base = engine.evaluate(sched, M, 4096).total_seconds
+        deg = engine.evaluate(
+            sched, M, 4096, fault_plan=hca_retrain(2, 4.0, onset_stage=30)
+        ).total_seconds
+        assert deg > base
+        with pytest.raises(FaultStopError) as info:
+            engine.evaluate(
+                sched, M, 4096, fault_plan=single_node_failure(3, onset_stage=30)
+            )
+        assert info.value.stage_index == 30
+
+    def test_onset_seconds_clock(self, setting):
+        cluster, M, sched = setting
+        engine = EventDrivenEngine(cluster)
+        base = engine.evaluate(sched, M, 4096).total_seconds
+        with pytest.raises(FaultStopError) as info:
+            engine.evaluate(
+                sched, M, 4096,
+                fault_plan=single_node_failure(3, onset_seconds=base / 2),
+            )
+        assert info.value.at_seconds is not None
+        assert info.value.at_seconds >= base / 2
+        # onset after the run finishes: no abort
+        ok = engine.evaluate(
+            sched, M, 4096,
+            fault_plan=single_node_failure(3, onset_seconds=base * 10),
+        ).total_seconds
+        assert ok == pytest.approx(base, rel=1e-12)
+
+    def test_degradation_onset_seconds_slows_tail_only(self, setting):
+        cluster, M, sched = setting
+        engine = EventDrivenEngine(cluster)
+        base = engine.evaluate(sched, M, 4096).total_seconds
+        early = engine.evaluate(
+            sched, M, 4096, fault_plan=hca_retrain(2, 4.0, onset_seconds=0.0)
+        ).total_seconds
+        late = engine.evaluate(
+            sched, M, 4096,
+            fault_plan=hca_retrain(2, 4.0, onset_seconds=0.8 * base),
+        ).total_seconds
+        assert early > late
+        assert late >= base
+
+    def test_engines_agree_on_full_degradation(self, setting):
+        """A from-the-start degradation equals a statically degraded engine."""
+        from repro.simmpi.noise import degrade_node_hca
+
+        cluster, M, sched = setting
+        scale = degrade_node_hca(cluster, [2], 4.0)
+        static = EventDrivenEngine(cluster, link_beta_scale=scale)
+        dynamic = EventDrivenEngine(cluster)
+        assert dynamic.evaluate(
+            sched, M, 4096, fault_plan=hca_retrain(2, 4.0)
+        ).total_seconds == pytest.approx(
+            static.evaluate(sched, M, 4096).total_seconds, rel=1e-12
+        )
+
+    def test_barrier_equivalent_too(self, mid_cluster, setting):
+        from repro.simmpi.noise import degrade_node_hca
+
+        _, M, sched = setting
+        scale = degrade_node_hca(mid_cluster, [2], 4.0)
+        static = TimingEngine(mid_cluster, link_beta_scale=scale)
+        dynamic = TimingEngine(mid_cluster)
+        assert dynamic.evaluate(
+            sched, M, 4096, fault_plan=hca_retrain(2, 4.0)
+        ).total_seconds == pytest.approx(
+            static.evaluate(sched, M, 4096).total_seconds, rel=1e-12
+        )

@@ -1,0 +1,105 @@
+"""FaultPlan / FaultEvent construction and query tests."""
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    FaultStopError,
+    cable_degradation,
+    hca_retrain,
+    single_node_failure,
+)
+
+
+class TestFaultEvent:
+    def test_kind_checked(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultEvent(kind="meteor-strike", node=0)
+
+    def test_node_required_for_node_faults(self):
+        with pytest.raises(ValueError, match="target node"):
+            FaultEvent(kind="node-fail")
+        with pytest.raises(ValueError, match="target node"):
+            FaultEvent(kind="hca-retrain", factor=2.0)
+
+    def test_links_required_for_cable_faults(self):
+        with pytest.raises(ValueError, match="link"):
+            FaultEvent(kind="cable-degrade", factor=2.0)
+
+    def test_factor_bound(self):
+        with pytest.raises(ValueError, match="factor"):
+            FaultEvent(kind="hca-retrain", node=0, factor=0.5)
+
+    def test_negative_onsets_rejected(self):
+        with pytest.raises(ValueError, match="onset_stage"):
+            FaultEvent(kind="node-fail", node=0, onset_stage=-1)
+        with pytest.raises(ValueError, match="onset_seconds"):
+            FaultEvent(kind="node-fail", node=0, onset_seconds=-0.1)
+
+    def test_activation_clocks(self):
+        ev = FaultEvent(kind="node-fail", node=0, onset_stage=3, onset_seconds=1e-4)
+        assert not ev.active_at_stage(2)
+        assert ev.active_at_stage(3)
+        # the time clock takes precedence when onset_seconds is set
+        assert ev.active_at_time(2e-4, stage_index=0)
+        assert not ev.active_at_time(0.5e-4, stage_index=99)
+        ev2 = FaultEvent(kind="node-fail", node=0, onset_stage=3)
+        assert ev2.active_at_time(0.0, stage_index=3)
+        assert not ev2.active_at_time(1.0, stage_index=2)
+
+
+class TestFaultPlan:
+    def test_builders_return_plans(self):
+        assert isinstance(single_node_failure(2), FaultPlan)
+        assert isinstance(hca_retrain(1, 4.0), FaultPlan)
+        assert isinstance(cable_degradation([0, 1], 2.0), FaultPlan)
+
+    def test_nested_plan_rejected(self):
+        with pytest.raises(TypeError, match="FaultEvent"):
+            FaultPlan((single_node_failure(0),))
+
+    def test_failed_nodes_by_stage(self):
+        plan = single_node_failure(3, onset_stage=2).with_event(
+            FaultEvent(kind="node-fail", node=5, onset_stage=4)
+        )
+        assert plan.failed_nodes == frozenset({3, 5})
+        assert plan.failed_nodes_at_stage(1) == frozenset()
+        assert plan.failed_nodes_at_stage(2) == frozenset({3})
+        assert plan.failed_nodes_at_stage(4) == frozenset({3, 5})
+
+    def test_validate_targets(self, mid_cluster):
+        with pytest.raises(ValueError, match="node"):
+            single_node_failure(mid_cluster.n_nodes).validate(mid_cluster)
+        with pytest.raises(ValueError, match="link"):
+            cable_degradation([mid_cluster.n_links], 2.0).validate(mid_cluster)
+        single_node_failure(0).validate(mid_cluster)  # no raise
+
+    def test_beta_scale_compounds(self, mid_cluster):
+        plan = cable_degradation([0], 2.0).with_event(
+            FaultEvent(kind="cable-degrade", links=(0,), factor=3.0)
+        )
+        scale = plan.final_beta_scale(mid_cluster)
+        assert scale[0] == pytest.approx(6.0)
+        assert np.all(scale[1:] == 1.0)
+
+    def test_no_degradation_returns_none(self, mid_cluster):
+        plan = single_node_failure(0)
+        assert plan.beta_scale_at_stage(mid_cluster, 0) is None
+        assert plan.final_beta_scale(mid_cluster) is None
+
+    def test_onset_gates_scale(self, mid_cluster):
+        plan = hca_retrain(1, 4.0, onset_stage=5)
+        assert plan.beta_scale_at_stage(mid_cluster, 4) is None
+        scale = plan.beta_scale_at_stage(mid_cluster, 5)
+        assert scale is not None and np.flatnonzero(scale > 1.0).size == 2
+
+
+class TestFaultStopError:
+    def test_carries_context(self):
+        err = FaultStopError([5, 3], 7, "ring", at_seconds=1e-4)
+        assert err.failed_nodes == (3, 5)
+        assert err.stage_index == 7
+        assert "ring" in str(err) and "7" in str(err)
+        assert isinstance(err, RuntimeError)

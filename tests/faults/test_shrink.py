@@ -1,0 +1,116 @@
+"""ULFM shrink semantics: layouts, reorderings, cluster and communicator."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.correctness import RankReordering
+from repro.faults.shrink import (
+    check_failed_nodes,
+    shrink_layout,
+    shrink_reordering,
+    surviving_ranks,
+)
+from repro.mapping.initial import block_bunch, cyclic_bunch
+from repro.mapping.reorder import reorder_ranks
+from repro.simmpi.communicator import Session
+
+
+class TestSurvivors:
+    def test_block_layout_drops_contiguous_cores(self, mid_cluster):
+        L = block_bunch(mid_cluster, 64)
+        survivors = surviving_ranks(mid_cluster, L, [0])
+        assert survivors.size == 56
+        # block-bunch puts ranks 0..7 on node 0
+        assert survivors.min() == 8
+        assert np.array_equal(survivors, np.arange(8, 64))
+
+    def test_cyclic_layout_drops_scattered_ranks(self, mid_cluster):
+        L = cyclic_bunch(mid_cluster, 64)
+        survivors = surviving_ranks(mid_cluster, L, [3])
+        assert survivors.size == 56
+        # survivors stay ascending (ULFM keeps relative order)
+        assert np.all(np.diff(survivors) > 0)
+        assert not np.any(mid_cluster.node_of(L[survivors]) == 3)
+
+    def test_validation(self, mid_cluster):
+        L = block_bunch(mid_cluster, 64)
+        with pytest.raises(ValueError, match="out of range"):
+            surviving_ranks(mid_cluster, L, [mid_cluster.n_nodes])
+        with pytest.raises(ValueError, match="every node"):
+            surviving_ranks(mid_cluster, L, range(mid_cluster.n_nodes))
+        assert check_failed_nodes(mid_cluster, np.array([1, 1, 2])) == {1, 2}
+
+    def test_no_survivors_rejected(self, mid_cluster):
+        # a sub-communicator living entirely on node 0
+        L = block_bunch(mid_cluster, 64)[:8]
+        with pytest.raises(ValueError, match="no surviving ranks"):
+            surviving_ranks(mid_cluster, L, [0])
+
+
+class TestShrinkLayout:
+    def test_cores_preserved(self, mid_cluster):
+        """Survivors keep their physical cores — no migration."""
+        L = cyclic_bunch(mid_cluster, 64)
+        shrunk = shrink_layout(mid_cluster, L, [5])
+        assert shrunk.size == 56
+        assert set(shrunk) <= set(L)
+        assert not np.any(mid_cluster.node_of(shrunk) == 5)
+
+    def test_cluster_shrink_matches_identity_layout(self, mid_cluster):
+        cores = mid_cluster.shrink([2, 4])
+        expected = shrink_layout(
+            mid_cluster, np.arange(mid_cluster.n_cores), [2, 4]
+        )
+        assert np.array_equal(cores, expected)
+        assert cores.size == mid_cluster.n_cores - 16
+
+    def test_cluster_shrink_validation(self, mid_cluster):
+        with pytest.raises(ValueError):
+            mid_cluster.shrink([mid_cluster.n_nodes])
+        with pytest.raises(ValueError):
+            mid_cluster.shrink(range(mid_cluster.n_nodes))
+
+
+class TestShrinkReordering:
+    def test_keeps_mapping_holes_closed(self, mid_cluster, mid_D):
+        L = cyclic_bunch(mid_cluster, 64)
+        res = reorder_ranks("ring", L, mid_D, rng=0)
+        shrunk = shrink_reordering(mid_cluster, res.reordering, [3])
+        assert isinstance(shrunk, RankReordering)
+        assert shrunk.p == 56
+        # both sides lost exactly the dead node's cores
+        assert not np.any(mid_cluster.node_of(shrunk.layout) == 3)
+        assert not np.any(mid_cluster.node_of(shrunk.mapping) == 3)
+        # layout and mapping still cover the same core multiset
+        assert set(shrunk.layout) == set(shrunk.mapping)
+
+    def test_identity_stays_identity(self, mid_cluster):
+        L = block_bunch(mid_cluster, 64)
+        shrunk = shrink_reordering(mid_cluster, RankReordering.identity(L), [1])
+        assert shrunk.is_identity()
+
+
+class TestCommunicatorShrink:
+    def test_shrink_size_and_chaining(self, mid_cluster):
+        sess = Session(mid_cluster, layout="cyclic-bunch")
+        comm = sess.comm_world()
+        shrunk = comm.shrink([3])
+        assert shrunk.size == 56
+        healed = shrunk.reordered("ring")
+        assert healed.size == 56
+        # remapped communicator still runs a correct allgather
+        out = healed.allgather_data(block_bytes=8)
+        assert out.shape[0] == 56
+
+    def test_reordered_then_shrunk_stays_reordered(self, mid_cluster):
+        sess = Session(mid_cluster, layout="cyclic-scatter")
+        ring = sess.comm_world().reordered("ring")
+        shrunk = ring.shrink([2])
+        assert shrunk.size == 56
+        assert shrunk.is_reordered()
+        assert shrunk.pattern == "ring"
+
+    def test_shrunk_latency_priceable(self, mid_cluster):
+        sess = Session(mid_cluster)
+        t = sess.comm_world().shrink([0]).allgather_latency(block_bytes=4096)
+        assert t > 0

@@ -51,6 +51,47 @@ class TestDegradationBuilders:
         assert degraded.size > 0
         assert degraded.max() < mid_cluster.network.n_links
 
+    def test_numpy_integer_inputs_accepted(self, mid_cluster):
+        """Link/node ids and link counts often arrive as numpy scalars."""
+        ids = np.array([3, 7], dtype=np.int64)
+        scale = degrade_links(mid_cluster, ids, 4.0)
+        assert scale[3] == 4.0 and scale[7] == 4.0
+        nodes = np.array([1], dtype=np.int32)
+        scale = degrade_node_hca(mid_cluster, nodes, 2.0)
+        assert np.flatnonzero(scale > 1.0).size == 2
+
+    def test_random_cables_numpy_link_count(self, mid_cluster, monkeypatch):
+        """n_links as a numpy integer must not break Generator.choice."""
+        monkeypatch.setattr(
+            mid_cluster.network, "n_links", np.int64(mid_cluster.network.n_links)
+        )
+        scale = degrade_random_cables(mid_cluster, 0.25, 3.0, rng=1)
+        assert np.flatnonzero(scale > 1.0).size > 0
+
+    def test_seed_reproducibility(self, mid_cluster):
+        """Same seed, same degradation vector — for every builder."""
+        for build in (
+            lambda r: degrade_random_cables(mid_cluster, 0.3, 2.5, rng=r),
+            lambda r: degrade_links(mid_cluster, [1, 2], 2.0),
+            lambda r: degrade_node_hca(mid_cluster, [2], 3.0),
+        ):
+            assert np.array_equal(build(7), build(7))
+        a = degrade_random_cables(mid_cluster, 0.3, 2.5, rng=7)
+        b = degrade_random_cables(mid_cluster, 0.3, 2.5, rng=8)
+        assert not np.array_equal(a, b)
+
+    def test_range_errors(self, mid_cluster):
+        with pytest.raises(ValueError, match="out of range"):
+            degrade_node_hca(mid_cluster, [mid_cluster.n_nodes], 2.0)
+        with pytest.raises(ValueError, match="out of range"):
+            degrade_node_hca(mid_cluster, [-1], 2.0)
+        with pytest.raises(ValueError, match="factor"):
+            degrade_node_hca(mid_cluster, [0], 0.25)
+        with pytest.raises(ValueError, match="fraction"):
+            degrade_random_cables(mid_cluster, -0.1, 2.0)
+        with pytest.raises(ValueError, match="factor"):
+            degrade_random_cables(mid_cluster, 0.5, 0.5)
+
 
 class TestDegradedEngine:
     def test_degraded_hca_slows_that_node(self, mid_cluster):
@@ -114,6 +155,39 @@ class TestJitter:
             evaluate_with_jitter(mid_engine, sched, M, 64, sigma=-1)
         with pytest.raises(ValueError):
             evaluate_with_jitter(mid_engine, sched, M, 64, n_trials=0)
+
+    def test_fixed_seed_determinism(self, mid_engine, mid_cluster):
+        sched = RingAllgather().schedule(16)
+        M = block_bunch(mid_cluster, 16)
+        a = evaluate_with_jitter(mid_engine, sched, M, 1024, sigma=0.3, n_trials=15, rng=5)
+        b = evaluate_with_jitter(mid_engine, sched, M, 1024, sigma=0.3, n_trials=15, rng=5)
+        assert a == b  # frozen dataclass: full field-wise equality
+        c = evaluate_with_jitter(mid_engine, sched, M, 1024, sigma=0.3, n_trials=15, rng=6)
+        assert a != c
+
+    def test_zero_sigma_collapses_to_engine_latency(self, mid_engine, mid_cluster):
+        """sigma=0 makes every trial the deterministic engine latency."""
+        sched = RingAllgather().schedule(16)
+        M = block_bunch(mid_cluster, 16)
+        res = evaluate_with_jitter(mid_engine, sched, M, 1024, sigma=0.0, n_trials=3)
+        exact = mid_engine.evaluate(sched, M, 1024).total_seconds
+        assert res.min_seconds == res.max_seconds == pytest.approx(res.mean_seconds)
+        # per-stage resummation only changes float associativity
+        assert res.mean_seconds == pytest.approx(exact, rel=1e-12)
+
+    def test_spread_widens_with_sigma(self, mid_engine, mid_cluster):
+        """max - min spread is non-decreasing in sigma at a fixed seed."""
+        sched = RingAllgather().schedule(16)
+        M = block_bunch(mid_cluster, 16)
+        spreads = []
+        for sigma in (0.0, 0.1, 0.3, 0.6):
+            res = evaluate_with_jitter(
+                mid_engine, sched, M, 1024, sigma=sigma, n_trials=25, rng=4
+            )
+            spreads.append(res.max_seconds - res.min_seconds)
+        assert spreads == sorted(spreads)
+        assert spreads[0] == pytest.approx(0.0, abs=1e-15)
+        assert spreads[-1] > spreads[1] > 0
 
     def test_reordering_win_survives_noise(self, mid_engine, mid_cluster, mid_D):
         """The paper's cyclic+ring win is far outside timing variance."""

@@ -22,6 +22,19 @@ class TestParser:
         assert args.hierarchical
         assert args.intra == "linear"
 
+    def test_sweep_checkpoint_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "--out-dir", "j", "--max-retries", "5", "--cell-timeout", "2.5"]
+        )
+        assert args.out_dir == "j"
+        assert args.max_retries == 5
+        assert args.cell_timeout == 2.5
+        assert args.resume is None
+
+    def test_faults_requires_fail_nodes(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "--nodes", "8"])
+
 
 class TestCommands:
     def test_topo(self, capsys):
@@ -47,6 +60,27 @@ class TestCommands:
         )
         assert rc == 0
         assert "Hierarchical (linear)" in capsys.readouterr().out
+
+    def test_sweep_checkpointed_and_resume(self, tmp_path, capsys):
+        flags = [
+            "sweep", "--nodes", "2", "--layouts", "block-bunch",
+            "--mappers", "heuristic", "--out-dir", str(tmp_path / "j"),
+        ]
+        assert main(flags) == 0
+        out = capsys.readouterr().out
+        assert "Hrstc+initComm" in out
+        assert "computed 2 cells" in out
+        assert (tmp_path / "j" / "sweep.json").is_file()
+        assert main(["sweep", "--resume", str(tmp_path / "j")]) == 0
+        assert "resumed 2, computed 0" in capsys.readouterr().out
+
+    def test_faults(self, capsys):
+        rc = main(["faults", "--nodes", "8", "--fail-nodes", "7",
+                   "--sizes", "1024", "65536", "--patterns", "ring"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "p 64 -> 56" in out
+        assert "shrink-remap" in out and "aborted" in out
 
     def test_app(self, capsys):
         rc = main(["app", "--nodes", "4", "--steps", "3", "--app", "matvec"])

@@ -7,6 +7,9 @@ from repro.mapping.initial import cyclic_bunch
 from repro.mapping.reorder import reorder_ranks
 from repro.topology.gpc import gpc_cluster, small_cluster
 from repro.topology.persist import (
+    CorruptPersistFileError,
+    FingerprintMismatchError,
+    PersistError,
     load_distances,
     load_reordering,
     save_distances,
@@ -51,6 +54,36 @@ class TestDistances:
         assert path.suffix == ".npz"
         assert path.exists()
 
+    def test_no_temp_file_left_behind(self, tmp_path):
+        save_distances(small_cluster(), tmp_path / "dist.npz")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["dist.npz"]
+
+    def test_wrong_cluster_is_typed(self, tmp_path):
+        path = save_distances(small_cluster(), tmp_path / "dist.npz")
+        with pytest.raises(FingerprintMismatchError, match="different topology"):
+            load_distances(gpc_cluster(8), path)
+        # still a ValueError for older call sites
+        with pytest.raises(ValueError):
+            load_distances(gpc_cluster(8), path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        cl = small_cluster()
+        path = save_distances(cl, tmp_path / "dist.npz")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CorruptPersistFileError, match="corrupt or truncated"):
+            load_distances(cl, path)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        bad = tmp_path / "dist.npz"
+        bad.write_bytes(b"this is not an npz archive")
+        with pytest.raises(CorruptPersistFileError, match="re-run the extraction"):
+            load_distances(small_cluster(), bad)
+
+    def test_missing_file_is_filenotfound(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no such distance file"):
+            load_distances(small_cluster(), tmp_path / "nope.npz")
+
 
 class TestReordering:
     def test_roundtrip(self, tmp_path, mid_cluster, mid_D):
@@ -74,5 +107,38 @@ class TestReordering:
         bad.write_text(
             '{"pattern": "ring", "mapper": "rmh", "layout": [0, 1], "mapping": [0, 2]}'
         )
-        with pytest.raises(ValueError):
+        with pytest.raises(CorruptPersistFileError, match="inconsistent"):
             load_reordering(bad)
+
+    def test_truncated_json_rejected(self, tmp_path, mid_cluster, mid_D):
+        L = cyclic_bunch(mid_cluster, 32)
+        res = reorder_ranks("ring", L, mid_D, rng=0)
+        path = save_reordering(res, tmp_path / "ring.json")
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(CorruptPersistFileError, match="not valid JSON"):
+            load_reordering(path)
+
+    def test_missing_key_is_typed(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"pattern": "ring"}')
+        with pytest.raises(CorruptPersistFileError, match="missing"):
+            load_reordering(bad)
+        assert issubclass(CorruptPersistFileError, PersistError)
+        assert issubclass(PersistError, ValueError)
+
+    def test_non_object_payload_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2, 3]")
+        with pytest.raises(CorruptPersistFileError, match="JSON object"):
+            load_reordering(bad)
+
+    def test_missing_file_is_filenotfound(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no such reordering file"):
+            load_reordering(tmp_path / "nope.json")
+
+    def test_save_is_atomic(self, tmp_path, mid_cluster, mid_D):
+        L = cyclic_bunch(mid_cluster, 32)
+        res = reorder_ranks("ring", L, mid_D, rng=0)
+        save_reordering(res, tmp_path / "ring.json")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["ring.json"]
