@@ -7,7 +7,14 @@ from repro.bench.microbench import (
     sweep_nonhierarchical,
 )
 from repro.bench.ascii_plot import bar_chart, line_chart
-from repro.bench.perf import PerfReport, naive_sweep, run_perf
+from repro.bench.perf import (
+    MappingPerfCase,
+    MappingPerfReport,
+    PerfReport,
+    naive_sweep,
+    run_mapping_perf,
+    run_perf,
+)
 from repro.bench.report import format_sweep_table, size_label
 from repro.bench.suite import QUICK_SIZES, SuiteResult, run_suite
 
@@ -26,4 +33,7 @@ __all__ = [
     "PerfReport",
     "naive_sweep",
     "run_perf",
+    "run_mapping_perf",
+    "MappingPerfCase",
+    "MappingPerfReport",
 ]

@@ -24,16 +24,35 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
+import numpy as np
+
 from repro.bench.microbench import OSU_SIZES, SweepPoint, _sweep
 from repro.evaluation.evaluator import AllgatherEvaluator
 from repro.mapping.initial import make_layout
+from repro.mapping.reorder import HEURISTICS
 from repro.topology.gpc import gpc_cluster
 from repro.util.atomicio import atomic_write_text
 
-__all__ = ["PerfReport", "naive_sweep", "run_perf", "DEFAULT_BENCH_PATH"]
+__all__ = [
+    "PerfReport",
+    "naive_sweep",
+    "run_perf",
+    "DEFAULT_BENCH_PATH",
+    "MappingPerfCase",
+    "MappingPerfReport",
+    "run_mapping_perf",
+    "DEFAULT_MAPPING_BENCH_PATH",
+]
 
 #: Where ``run_perf`` persists its measurement by default.
 DEFAULT_BENCH_PATH = "BENCH_sweep.json"
+
+#: Where ``run_mapping_perf`` persists its measurement by default.
+DEFAULT_MAPPING_BENCH_PATH = "BENCH_mappings.json"
+
+#: Communicator sizes for the mapping-construction benchmark (paper
+#: scale: GPC is 4096 cores).
+MAPPING_P_VALUES = (256, 1024, 4096)
 
 #: Reduced grid for the CI smoke mode (still crosses the rd/ring
 #: algorithm-selection threshold at 2 KiB).
@@ -151,6 +170,175 @@ def _max_rel_diff(a: List[SweepPoint], b: List[SweepPoint]) -> float:
             denom = max(abs(va), abs(vb), 1e-30)
             worst = max(worst, abs(va - vb) / denom)
     return worst
+
+
+@dataclass
+class MappingPerfCase:
+    """Naive vs. vectorised mapping construction at one communicator size.
+
+    ``naive_seconds`` / ``vectorized_seconds`` time the *whole*
+    construction path a runtime would pay at startup: distance
+    preparation (dense matrix vs. implicit backend) plus one mapping per
+    registered heuristic.  ``naive_map_seconds`` /
+    ``vectorized_map_seconds`` isolate the per-heuristic mapping time
+    against a warm distance backend.  All numbers are minima over the
+    run's repeats (the machines this runs on are noisy).
+    """
+
+    p: int
+    n_nodes: int
+    naive_seconds: float
+    vectorized_seconds: float
+    speedup: float
+    naive_map_seconds: dict
+    vectorized_map_seconds: dict
+    mismatches: int
+
+
+@dataclass
+class MappingPerfReport:
+    """Outcome of one naive-vs-vectorised mapping benchmark run."""
+
+    cases: List[MappingPerfCase]
+    layout: str
+    heuristics: List[str]
+    repeats: int
+    quick: bool = False
+    timestamp: float = 0.0
+    python: str = ""
+
+    def summary(self) -> str:
+        """Human-readable table (what ``repro perf --mappings`` prints)."""
+        lines = [
+            f"mapping construction, layout={self.layout!r}, "
+            f"{len(self.heuristics)} heuristics, best of {self.repeats}:",
+            f"  {'p':>6} {'naive':>10} {'vectorized':>11} {'speedup':>8}  mismatches",
+        ]
+        for c in self.cases:
+            lines.append(
+                f"  {c.p:>6} {c.naive_seconds * 1e3:>8.1f}ms "
+                f"{c.vectorized_seconds * 1e3:>9.1f}ms {c.speedup:>7.2f}x  "
+                f"{c.mismatches}"
+            )
+        return "\n".join(lines)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Persist as indented JSON (atomic write); returns the path."""
+        path = Path(path)
+        atomic_write_text(path, json.dumps(asdict(self), indent=2) + "\n")
+        return path
+
+
+def _mapping_case(
+    p: int, patterns: Sequence[str], layout: str, repeats: int
+) -> MappingPerfCase:
+    """Benchmark one communicator size through both placement engines."""
+    n_nodes = max(1, -(-p // 8))  # gpc: 8 cores per node
+    cluster = gpc_cluster(n_nodes=n_nodes)
+    L = make_layout(layout, cluster, p)
+    mappers = {
+        name: (HEURISTICS[name](engine="naive"), HEURISTICS[name](engine="vectorized"))
+        for name in patterns
+    }
+
+    # Placement identity first: both engines must agree bit-for-bit.
+    D = cluster.distance_matrix()
+    impl = cluster.implicit_distances()
+    mismatches = 0
+    for i, (naive, vect) in enumerate(mappers.values()):
+        seed = 1000 + i
+        mismatches += int(
+            np.count_nonzero(naive.map(L, D, rng=seed) != vect.map(L, impl, rng=seed))
+        )
+
+    # Construction timings include distance preparation on a *fresh*
+    # cluster: the dense matrix is the naive path's startup cost, the
+    # implicit backend's coordinate tables the vectorised path's.
+    naive_total = vect_total = float("inf")
+    for r in range(repeats):
+        fresh = gpc_cluster(n_nodes=n_nodes)
+        t0 = time.perf_counter()
+        Dr = fresh.distance_matrix()
+        for i, (naive, _) in enumerate(mappers.values()):
+            naive.map(L, Dr, rng=r * 10 + i)
+        naive_total = min(naive_total, time.perf_counter() - t0)
+
+        fresh = gpc_cluster(n_nodes=n_nodes)
+        t0 = time.perf_counter()
+        ir = fresh.implicit_distances()
+        for i, (_, vect) in enumerate(mappers.values()):
+            vect.map(L, ir, rng=r * 10 + i)
+        vect_total = min(vect_total, time.perf_counter() - t0)
+
+    # Per-heuristic mapping time against warm backends.
+    naive_map = {name: float("inf") for name in mappers}
+    vect_map = {name: float("inf") for name in mappers}
+    for r in range(repeats):
+        for i, (name, (naive, vect)) in enumerate(mappers.items()):
+            seed = r * 10 + i
+            t0 = time.perf_counter()
+            naive.map(L, D, rng=seed)
+            naive_map[name] = min(naive_map[name], time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            vect.map(L, impl, rng=seed)
+            vect_map[name] = min(vect_map[name], time.perf_counter() - t0)
+
+    return MappingPerfCase(
+        p=p,
+        n_nodes=n_nodes,
+        naive_seconds=naive_total,
+        vectorized_seconds=vect_total,
+        speedup=naive_total / vect_total if vect_total > 0 else float("inf"),
+        naive_map_seconds=naive_map,
+        vectorized_map_seconds=vect_map,
+        mismatches=mismatches,
+    )
+
+
+def run_mapping_perf(
+    p_values: Optional[Sequence[int]] = MAPPING_P_VALUES,
+    repeats: int = 5,
+    layout: str = "block-bunch",
+    patterns: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    out_path: Optional[Union[str, Path]] = DEFAULT_MAPPING_BENCH_PATH,
+) -> MappingPerfReport:
+    """Time naive vs. vectorised greedy placement and persist the result.
+
+    For each ``p`` the same five heuristics run through both placement
+    engines — the per-query :class:`~repro.mapping.base.CorePool`
+    reference and :meth:`HierarchicalFreePool.execute_program
+    <repro.mapping.base.HierarchicalFreePool.execute_program>` — against
+    their natural distance backends (dense matrix vs. implicit).  The
+    construction timing includes distance preparation, since avoiding
+    the dense :math:`O(n_{cores}^2)` matrix is the implicit backend's
+    point.  Placements must be bit-identical (``mismatches`` is asserted
+    zero by the tier-1 tests); ``quick=True`` shrinks to p=256 for CI.
+    """
+    if quick:
+        p_values = [256]
+        repeats = min(repeats, 2)
+    p_values = [int(p) for p in (p_values if p_values is not None else MAPPING_P_VALUES)]
+    if not p_values:
+        raise ValueError("p_values must be non-empty")
+    repeats = max(1, int(repeats))
+    patterns = list(patterns) if patterns is not None else sorted(HEURISTICS)
+    unknown = [pat for pat in patterns if pat not in HEURISTICS]
+    if unknown:
+        raise KeyError(f"unknown heuristic pattern(s) {unknown}")
+
+    report = MappingPerfReport(
+        cases=[_mapping_case(p, patterns, layout, repeats) for p in p_values],
+        layout=layout,
+        heuristics=patterns,
+        repeats=repeats,
+        quick=quick,
+        timestamp=time.time(),
+        python=platform.python_version(),
+    )
+    if out_path is not None:
+        report.write(out_path)
+    return report
 
 
 def run_perf(

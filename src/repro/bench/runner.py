@@ -36,12 +36,14 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.microbench import OSU_SIZES, SweepPoint
 from repro.evaluation.evaluator import AllgatherEvaluator, LatencyReport
+from repro.mapping.cache import MAPPING_CACHE_ENV
 from repro.mapping.initial import make_layout
 from repro.topology.gpc import gpc_cluster
 from repro.util.atomicio import atomic_write_json
@@ -283,6 +285,30 @@ class CheckpointedSweep:
         self.out_dir.mkdir(parents=True, exist_ok=True)
         self.cells_dir.mkdir(exist_ok=True)
         self._write_manifest()
+        with self._mapping_cache_env():
+            return self._run_cells()
+
+    @contextmanager
+    def _mapping_cache_env(self):
+        """Point the mapping cache at the journal dir for this run.
+
+        Reorderings are content-addressed (topology fingerprint x layout x
+        mapper x seed), so cells recomputed on resume — or priced by pool
+        workers, which inherit the environment at spawn — reuse mappings
+        from ``<out_dir>/mapcache`` instead of recomputing them.  A caller
+        who already set :data:`~repro.mapping.cache.MAPPING_CACHE_ENV`
+        wins; the variable is restored on exit either way.
+        """
+        prior = os.environ.get(MAPPING_CACHE_ENV)
+        if prior is None:
+            os.environ[MAPPING_CACHE_ENV] = str(self.out_dir / "mapcache")
+        try:
+            yield
+        finally:
+            if prior is None:
+                os.environ.pop(MAPPING_CACHE_ENV, None)
+
+    def _run_cells(self) -> SweepRunResult:
 
         done: Dict[str, Dict] = {}
         pending: List[str] = []

@@ -179,6 +179,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-speedup", type=float, default=1.0,
         help="exit non-zero if the batched path is below this speedup",
     )
+    p_perf.add_argument(
+        "--mappings", action="store_true",
+        help="benchmark naive vs. vectorised mapping construction instead of the sweep",
+    )
+    p_perf.add_argument(
+        "-p", "--p-values", dest="p_values", type=int, nargs="+", default=None,
+        help="communicator sizes for --mappings (default: 256 1024 4096)",
+    )
 
     p_ver = sub.add_parser("verify", help="static schedule & mapping verification")
     p_ver.add_argument(
@@ -402,7 +410,7 @@ def _cmd_profile(args) -> int:
     mapping = L
     tag = "default mapping"
     if args.reordered:
-        res = reorder_ranks(pattern_of(alg), L, ev.D, rng=0)
+        res = reorder_ranks(pattern_of(alg), L, ev.distances, rng=0)
         mapping = res.mapping
         tag = f"reordered ({res.mapper_name})"
     print(f"{alg.name} @ {args.block_bytes} B on {args.layout} [{tag}], p={p}\n")
@@ -443,7 +451,30 @@ def _cmd_reproduce(args) -> int:
 
 
 def _cmd_perf(args) -> int:
-    from repro.bench.perf import run_perf
+    from repro.bench.perf import run_mapping_perf, run_perf
+
+    if args.mappings:
+        out = args.out if args.out != "BENCH_sweep.json" else "BENCH_mappings.json"
+        report = run_mapping_perf(
+            p_values=args.p_values if args.p_values else None,
+            repeats=max(args.repeats, 1 if args.quick else 5),
+            quick=args.quick,
+            out_path=out,
+        )
+        print(report.summary())
+        print(f"measurement written to {out}")
+        bad = [c for c in report.cases if c.mismatches]
+        slow = [c for c in report.cases if c.speedup < args.min_speedup]
+        if bad:
+            print(f"FAIL: placement mismatch at p={[c.p for c in bad]}")
+            return 1
+        if slow:
+            print(
+                f"FAIL: speedup below required {args.min_speedup:.2f}x "
+                f"at p={[c.p for c in slow]}"
+            )
+            return 1
+        return 0
 
     n_nodes = args.nodes if args.nodes is not None else (8 if args.quick else 32)
     report = run_perf(
@@ -504,9 +535,10 @@ def _cmd_verify(args) -> int:
         reports = [check_cluster(cluster, triangle=args.triangle)]
         D = cluster.distance_matrix()
         reports.append(check_distance_matrix(D, triangle=args.triangle))
+        distances = cluster.implicit_distances()
         for pattern in sorted(HEURISTICS):
             L = make_layout("cyclic-bunch", cluster, p)
-            res = reorder_ranks(pattern, L, D, rng=0)
+            res = reorder_ranks(pattern, L, distances, rng=0)
             rep = check_core_mapping(res.mapping, L)
             rep.subject = f"{pattern} heuristic mapping"
             reports.append(rep)

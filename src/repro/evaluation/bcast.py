@@ -91,8 +91,17 @@ class BcastEvaluator:
         self.tree_threshold = tree_threshold
         self.rd_threshold = rd_threshold
         self.rng = make_rng(rng)
-        self.D = cluster.distance_matrix()
+        # Implicit distances: per-row on demand + cache-keying fingerprint.
+        self.distances = cluster.implicit_distances()
+        self._D = None
         self._cache = {}
+
+    @property
+    def D(self):
+        """Dense distance matrix (materialised lazily, for legacy callers)."""
+        if self._D is None:
+            self._D = self.cluster.distance_matrix()
+        return self._D
 
     # ------------------------------------------------------------------
     def _pattern_for(self, alg: CollectiveAlgorithm) -> str:
@@ -141,7 +150,7 @@ class BcastEvaluator:
         key = (pattern, L.tobytes(), kind)
         res = self._cache.get(key)
         if res is None:
-            res = reorder_ranks(pattern, L, self.D, kind=kind, rng=rng)
+            res = reorder_ranks(pattern, L, self.distances, kind=kind, rng=rng)
             self._cache[key] = res
         return BcastReport(
             seconds=self._evaluate(alg, res.mapping, p, message_bytes),

@@ -121,9 +121,20 @@ class AllgatherEvaluator:
         self.rd_threshold = rd_threshold
         self.intra_heuristic = intra_heuristic
         self.rng = make_rng(rng)
-        self.D = cluster.distance_matrix()
+        # Mapping-facing distances: the implicit backend computes rows on
+        # demand (no dense n_cores x n_cores materialisation) and carries
+        # the topology fingerprint that keys the mapping cache.
+        self.distances = cluster.implicit_distances()
+        self._D: Optional[np.ndarray] = None
         self._reorder_cache: Dict[Tuple, object] = {}
         self._schedule_cache: Dict[Tuple, Schedule] = {}
+
+    @property
+    def D(self) -> np.ndarray:
+        """Dense distance matrix (materialised lazily, for legacy callers)."""
+        if self._D is None:
+            self._D = self.cluster.distance_matrix()
+        return self._D
 
     # ------------------------------------------------------------------
     # helpers
@@ -305,7 +316,7 @@ class AllgatherEvaluator:
             key = ("flat", pattern, _layout_key(L), kind)
             res: ReorderResult = self._reorder_cache.get(key)  # type: ignore[assignment]
             if res is None:
-                res = reorder_ranks(pattern, L, self.D, kind=kind, rng=rng)
+                res = reorder_ranks(pattern, L, self.distances, kind=kind, rng=rng)
                 self._reorder_cache[key] = res
             sub = [sizes[i] for i in idxs]
             sched = self._schedule_for(alg, p)
@@ -507,7 +518,7 @@ class AllgatherEvaluator:
         key = ("flat", pattern, _layout_key(L), kind)
         res: ReorderResult = self._reorder_cache.get(key)  # type: ignore[assignment]
         if res is None:
-            res = reorder_ranks(pattern, L, self.D, kind=kind, rng=rng)
+            res = reorder_ranks(pattern, L, self.distances, kind=kind, rng=rng)
             self._reorder_cache[key] = res
         coll = self.engine.evaluate(alg.schedule(p), res.mapping, block_bytes).total_seconds
         strategy_name, restore = self._restore(strat, alg, res.reordering, block_bytes)
@@ -563,7 +574,7 @@ class AllgatherEvaluator:
             if intra == "binomial" and len(g) > 1:
                 mapper = self._intra_mapper(kind, len(g))
                 t0 = _time.perf_counter()
-                M_g = mapper.map(cores_g, self.D, rng=rng)
+                M_g = mapper.map(cores_g, self.distances, rng=rng)
                 overhead += _time.perf_counter() - t0
             else:
                 M_g = cores_g.copy()
@@ -572,7 +583,7 @@ class AllgatherEvaluator:
         # Leader-level reordering over the (possibly new) leader cores.
         leader_cores = np.array([mg[0] for mg in per_group_cores], dtype=np.int64)
         if G > 1:
-            res = reorder_ranks(leader_pattern, leader_cores, self.D, kind=kind, rng=rng)
+            res = reorder_ranks(leader_pattern, leader_cores, self.distances, kind=kind, rng=rng)
             overhead += res.total_seconds
             # node_perm[j] = which original group acts as leader-rank j
             pos = {int(c): g for g, c in enumerate(leader_cores)}

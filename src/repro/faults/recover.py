@@ -105,7 +105,10 @@ def recover(
     """
     survivors = shrink_layout(cluster, layout, failed_nodes)
     if D is None:
-        D = cluster.distance_matrix()
+        # Implicit backend: no dense matrix, and its fingerprint makes the
+        # remap content-addressable in the mapping cache, so repeated
+        # recovery drills over the same survivor pool hit the cache.
+        D = cluster.implicit_distances()
     if rng is None:
         rng = _seed_for("recover", pattern, kind, survivors.tobytes().hex())
     map_pattern = pattern
@@ -199,7 +202,7 @@ def compare_recovery_policies(
     L = np.asarray(layout, dtype=np.int64)
     survivors = shrink_layout(cluster, L, failed)
     if D is None:
-        D = cluster.distance_matrix()
+        D = cluster.implicit_distances()
     engine = TimingEngine(cluster, cost_model, link_beta_scale=scale)
     sz = np.asarray(list(sizes), dtype=np.float64)
     aborted = np.full(sz.size, np.inf)

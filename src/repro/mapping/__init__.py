@@ -7,7 +7,21 @@ quality metrics and the :func:`reorder_ranks` entry point.
 """
 
 from repro.mapping.analysis import StageLocality, locality_table, stage_locality
-from repro.mapping.base import CorePool, Mapper
+from repro.mapping.base import (
+    PLACEMENT_ENGINES,
+    CorePool,
+    GreedyPlacementMapper,
+    HierarchicalFreePool,
+    Mapper,
+    PoolExhaustedError,
+    as_distance_lookup,
+)
+from repro.mapping.cache import (
+    MAPPING_CACHE_ENV,
+    MappingCache,
+    global_mapping_cache,
+    mapping_cache_key,
+)
 from repro.mapping.rdmh import RDMH
 from repro.mapping.rmh import RMH
 from repro.mapping.bbmh import BBMH
@@ -40,7 +54,16 @@ __all__ = [
     "stage_locality",
     "locality_table",
     "CorePool",
+    "HierarchicalFreePool",
+    "PoolExhaustedError",
     "Mapper",
+    "GreedyPlacementMapper",
+    "PLACEMENT_ENGINES",
+    "as_distance_lookup",
+    "MAPPING_CACHE_ENV",
+    "MappingCache",
+    "global_mapping_cache",
+    "mapping_cache_key",
     "RDMH",
     "RMH",
     "BBMH",

@@ -19,58 +19,63 @@ discussed in §V-A3, for the ablation bench:
 
 from __future__ import annotations
 
-from typing import Sequence
-
-import numpy as np
+from typing import Iterator, Tuple
 
 from repro.collectives import binomial
-from repro.mapping.base import Mapper
-from repro.util.rng import RngLike
+from repro.mapping.base import GreedyPlacementMapper
 
 __all__ = ["BBMH"]
 
 _TRAVERSALS = ("small-first", "large-first", "bft")
 
 
-class BBMH(Mapper):
+class BBMH(GreedyPlacementMapper):
     """Binomial-broadcast mapping heuristic; valid for any process count."""
 
     pattern = "binomial-bcast"
     name = "bbmh"
 
-    def __init__(self, traversal: str = "small-first", tie_break: str = "random") -> None:
+    def __init__(
+        self,
+        traversal: str = "small-first",
+        tie_break: str = "random",
+        engine: str = "auto",
+    ) -> None:
         if traversal not in _TRAVERSALS:
             raise ValueError(f"traversal must be one of {_TRAVERSALS}, got {traversal!r}")
+        super().__init__(tie_break=tie_break, engine=engine)
         self.traversal = traversal
-        self.tie_break = tie_break
 
-    def map(self, layout: Sequence[int], D: np.ndarray, rng: RngLike = 0) -> np.ndarray:
-        L, M, pool = self._setup(layout, D, rng, self.tie_break)
-        p = L.size
+    def placements(self, p: int) -> Iterator[Tuple[int, int]]:
+        """Tree edges in the configured traversal order (child, parent).
 
+        Returns a materialised sequence rather than a nested generator: a
+        ``yield from`` recursion would route every edge through a
+        ceil(log2 p)-deep generator chain, which is measurable at p=4096.
+        """
         if self.traversal == "bft":
             # Stage order: every child close to its parent, earliest
             # broadcast stages first.
-            for edges in binomial.bcast_edges_by_stage(p):
-                for par, child in edges:
-                    target = pool.closest_free(int(M[par]))
-                    pool.take(target)
-                    M[child] = target
-            return self._finish(M, L)
+            return iter(
+                [
+                    (child, par)
+                    for edges in binomial.bcast_edges_by_stage(p)
+                    for par, child in edges
+                ]
+            )
 
         # Depth-first recursion of Algorithm 4.  The tree height is
         # ceil(log2 p), so plain recursion is safe at any realistic p.
         reverse = self.traversal == "large-first"
+        out: list = []
 
         def rec(ref_rank: int) -> None:
             kids = binomial.children(ref_rank, p)  # small subtrees first
             if reverse:
                 kids = list(reversed(kids))
             for _bit, child in kids:
-                target = pool.closest_free(int(M[ref_rank]))
-                pool.take(target)
-                M[child] = target
+                out.append((child, ref_rank))
                 rec(child)
 
         rec(0)
-        return self._finish(M, L)
+        return iter(out)

@@ -17,32 +17,24 @@ binomial-tree edges.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterator, Tuple
 
-import numpy as np
-
-from repro.mapping.base import Mapper
+from repro.mapping.base import GreedyPlacementMapper
 from repro.util.bits import ceil_log2
-from repro.util.rng import RngLike
 
 __all__ = ["BGMH"]
 
 
-class BGMH(Mapper):
+class BGMH(GreedyPlacementMapper):
     """Binomial-gather mapping heuristic; valid for any process count."""
 
     pattern = "binomial-gather"
     name = "bgmh"
 
-    def __init__(self, tie_break: str = "random") -> None:
-        self.tie_break = tie_break
-
-    def map(self, layout: Sequence[int], D: np.ndarray, rng: RngLike = 0) -> np.ndarray:
-        L, M, pool = self._setup(layout, D, rng, self.tie_break)
-        p = L.size
+    def placements(self, p: int) -> Iterator[Tuple[int, int]]:
+        """Binomial-tree edges by decreasing weight (``i``), refs snapshotted."""
         if p == 1:
-            return self._finish(M, L)
-
+            return
         refs = [0]  # the set V of potential reference cores
         i = 1 << (ceil_log2(p) - 1)
         while i > 0:
@@ -50,9 +42,6 @@ class BGMH(Mapper):
                 new_rank = ref + i
                 if new_rank >= p:
                     continue
-                target = pool.closest_free(int(M[ref]))
-                pool.take(target)
-                M[new_rank] = target
+                yield new_rank, ref
                 refs.append(new_rank)
             i //= 2
-        return self._finish(M, L)

@@ -10,60 +10,75 @@ of the *latest* stages and promotes the reference after two placements.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Iterator, Optional, Tuple
 
-import numpy as np
-
-from repro.mapping.base import Mapper
+from repro.mapping.base import GreedyPlacementMapper
 from repro.util.bits import ceil_log2
-from repro.util.rng import RngLike
 
 __all__ = ["BruckMH"]
 
 
-class BruckMH(Mapper):
+class BruckMH(GreedyPlacementMapper):
     """Bruck-pattern mapping heuristic; valid for any process count."""
 
     pattern = "bruck"
     name = "bruckmh"
 
-    def __init__(self, update_after: int = 2, tie_break: str = "random") -> None:
+    def __init__(
+        self, update_after: int = 2, tie_break: str = "random", engine: str = "auto"
+    ) -> None:
         if update_after < 1:
             raise ValueError(f"update_after must be >= 1, got {update_after}")
+        super().__init__(tie_break=tie_break, engine=engine)
         self.update_after = update_after
-        self.tie_break = tie_break
 
-    @staticmethod
-    def _partners(rank: int, p: int) -> List[int]:
-        """Partners of ``rank`` ordered by decreasing stage (message size)."""
-        out: List[int] = []
-        for s in reversed(range(ceil_log2(p))):
-            dist = 1 << s
-            for cand in ((rank + dist) % p, (rank - dist) % p):
-                if cand != rank and cand not in out:
-                    out.append(cand)
-        return out
+    def placements(self, p: int) -> Iterator[Tuple[int, int]]:
+        """Latest-stage partners first, reference promoted every two placements.
 
-    def map(self, layout: Sequence[int], D: np.ndarray, rng: RngLike = 0) -> np.ndarray:
-        L, M, pool = self._setup(layout, D, rng, self.tie_break)
-        p = L.size
+        Partner scans resume from a per-reference cursor: ``mapped`` only
+        ever grows, so every candidate before the previous hit stays
+        mapped and never needs re-checking — the total scan work is
+        linear in the scan sequence length instead of quadratic.
+        """
         if p == 1:
-            return self._finish(M, L)
-
-        mapped = np.zeros(p, dtype=bool)
+            return
+        nst = ceil_log2(p)
+        seq_len = 2 * nst
+        mapped = [False] * p
         mapped[0] = True
         mapped_order = [0]
+        cursors: dict = {}
+
+        def first_unmapped(ref: int) -> Optional[int]:
+            # Decreasing-stage candidate order (+dist then -dist), resumable.
+            i = cursors.get(ref, 0)
+            while i < seq_len:
+                dist = 1 << (nst - 1 - (i >> 1))
+                cand = (ref + dist) % p if (i & 1) == 0 else (ref - dist) % p
+                if not mapped[cand] and cand != ref:
+                    cursors[ref] = i
+                    return cand
+                i += 1
+            cursors[ref] = i
+            return None
+
         ref = 0
         placed_for_ref = 0
         n_mapped = 1
         while n_mapped < p:
-            new_rank = self._first_unmapped_partner(ref, p, mapped)
+            new_rank = first_unmapped(ref)
             if new_rank is None:
-                new_rank, ref = self._rewind(mapped_order, mapped, p)
+                for r in reversed(mapped_order):
+                    new_rank = first_unmapped(r)
+                    if new_rank is not None:
+                        ref = r
+                        break
+                else:
+                    # Fully disconnected leftovers cannot happen (the shift
+                    # graph is connected), but keep a hard failure just in case.
+                    raise RuntimeError("no rank with unmapped partners, yet ranks remain")
                 placed_for_ref = 0
-            target = pool.closest_free(int(M[ref]))
-            pool.take(target)
-            M[new_rank] = target
+            yield new_rank, ref
             mapped[new_rank] = True
             mapped_order.append(new_rank)
             n_mapped += 1
@@ -71,20 +86,3 @@ class BruckMH(Mapper):
             if placed_for_ref >= self.update_after:
                 ref = new_rank
                 placed_for_ref = 0
-        return self._finish(M, L)
-
-    def _first_unmapped_partner(self, ref: int, p: int, mapped: np.ndarray) -> Optional[int]:
-        for cand in self._partners(ref, p):
-            if not mapped[cand]:
-                return cand
-        return None
-
-    def _rewind(self, mapped_order, mapped: np.ndarray, p: int):
-        """Most recent placement with an unmapped partner (or any unmapped)."""
-        for r in reversed(mapped_order):
-            cand = self._first_unmapped_partner(r, p, mapped)
-            if cand is not None:
-                return cand, r
-        # Fully disconnected leftovers cannot happen (the shift graph is
-        # connected), but keep a hard failure just in case.
-        raise RuntimeError("no rank with unmapped partners, yet ranks remain")

@@ -14,7 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.mapping.base import Mapper
+from repro.mapping.base import Mapper, as_distance_lookup
 from repro.mapping.patterns import PatternGraph
 from repro.util.rng import RngLike, make_rng
 
@@ -36,7 +36,7 @@ class GreedyGraphMapper(Mapper):
             raise ValueError(
                 f"layout has {L.size} processes but the pattern graph has {self.graph.p}"
             )
-        D = np.asarray(D)
+        D = as_distance_lookup(D)  # dense matrix or implicit row backend
         p = L.size
         adj = self.graph.adjacency()
         generator = make_rng(rng)

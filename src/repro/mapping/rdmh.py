@@ -16,38 +16,37 @@ largest-message stage *and* its partner already touches two mapped ranks.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterator, Tuple
 
-import numpy as np
-
-from repro.mapping.base import Mapper
+from repro.mapping.base import GreedyPlacementMapper
 from repro.util.bits import is_power_of_two
-from repro.util.rng import RngLike
 
 __all__ = ["RDMH"]
 
 
-class RDMH(Mapper):
+class RDMH(GreedyPlacementMapper):
     """Recursive-doubling mapping heuristic."""
 
     pattern = "recursive-doubling"
     name = "rdmh"
 
-    def __init__(self, update_after: int = 2, tie_break: str = "random") -> None:
+    def __init__(
+        self, update_after: int = 2, tie_break: str = "random", engine: str = "auto"
+    ) -> None:
         if update_after < 1:
             raise ValueError(f"update_after must be >= 1, got {update_after}")
+        super().__init__(tie_break=tie_break, engine=engine)
         self.update_after = update_after
-        self.tie_break = tie_break
 
-    def map(self, layout: Sequence[int], D: np.ndarray, rng: RngLike = 0) -> np.ndarray:
-        L, M, pool = self._setup(layout, D, rng, self.tie_break)
-        p = L.size
-        if p == 1:
-            return self._finish(M, L)
-        if not is_power_of_two(p):
+    def _validate_p(self, p: int) -> None:
+        if p > 1 and not is_power_of_two(p):
             raise ValueError(f"RDMH requires a power-of-two process count, got {p}")
 
-        mapped = np.zeros(p, dtype=bool)
+    def placements(self, p: int) -> Iterator[Tuple[int, int]]:
+        """Partners in decreasing stage order with reference promotion."""
+        if p == 1:
+            return
+        mapped = [False] * p
         mapped[0] = True
         mapped_order = [0]
         ref = 0
@@ -70,9 +69,7 @@ class RDMH(Mapper):
                 placed_for_ref = 0
                 continue
             new_rank = ref ^ i
-            target = pool.closest_free(int(M[ref]))
-            pool.take(target)
-            M[new_rank] = target
+            yield new_rank, ref
             mapped[new_rank] = True
             mapped_order.append(new_rank)
             n_mapped += 1
@@ -81,10 +78,9 @@ class RDMH(Mapper):
                 ref = new_rank       # promote the newest placement
                 i = p // 2           # and restart from the last stage
                 placed_for_ref = 0
-        return self._finish(M, L)
 
     @staticmethod
-    def _rewind(mapped_order, mapped: np.ndarray, p: int) -> int:
+    def _rewind(mapped_order, mapped, p: int) -> int:
         """Most recently mapped rank that still has an unmapped partner."""
         for r in reversed(mapped_order):
             i = p // 2

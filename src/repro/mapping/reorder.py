@@ -26,6 +26,7 @@ from repro.mapping.base import Mapper
 from repro.mapping.bbmh import BBMH
 from repro.mapping.bgmh import BGMH
 from repro.mapping.bruckmh import BruckMH
+from repro.mapping.cache import MappingCache, global_mapping_cache, mapping_cache_key
 from repro.mapping.greedy import GreedyGraphMapper
 from repro.mapping.patterns import build_pattern
 from repro.mapping.rdmh import RDMH
@@ -56,6 +57,9 @@ class ReorderResult:
     mapper_name: str
     map_seconds: float
     graph_seconds: float = 0.0
+    #: True when the permutation came out of the mapping cache; the
+    #: recorded seconds are then those of the original computation.
+    cached: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -67,12 +71,24 @@ class ReorderResult:
         return self.reordering.mapping
 
 
+def _cache_for(cache) -> "MappingCache | None":
+    """Resolve the ``cache`` argument of :func:`reorder_ranks`."""
+    if cache == "auto":
+        return global_mapping_cache()
+    if cache == "off" or cache is None:
+        return None
+    if isinstance(cache, MappingCache):
+        return cache
+    raise ValueError(f"cache must be 'auto', 'off', or a MappingCache, got {cache!r}")
+
+
 def reorder_ranks(
     pattern: str,
     layout: Sequence[int],
     D: np.ndarray,
     kind: str = "heuristic",
     rng: RngLike = 0,
+    cache="auto",
     **mapper_kwargs,
 ) -> ReorderResult:
     """Compute a rank reordering for ``pattern``.
@@ -85,11 +101,19 @@ def reorder_ranks(
     layout:
         Initial layout ``L[old_rank] = core``.
     D:
-        Core-by-core distance matrix of the cluster.
+        Core-by-core distances: the dense matrix, or an
+        :class:`~repro.topology.implicit.ImplicitDistances` backend.
     kind:
         ``"heuristic"`` — the paper's fine-tuned mapper for the pattern;
         ``"scotch"`` — the Scotch-like recursive-bipartitioning baseline;
         ``"greedy"`` — the Hoefler-Snir-style greedy baseline.
+    cache:
+        ``"auto"`` (default) — consult the process-global
+        :func:`~repro.mapping.cache.global_mapping_cache` whenever the
+        result is content-addressable: ``D`` carries a topology
+        fingerprint and ``rng`` is a plain integer seed.  ``"off"``
+        disables caching; a :class:`~repro.mapping.cache.MappingCache`
+        instance uses that cache.
     mapper_kwargs:
         Forwarded to the mapper constructor (e.g. ``tie_break="first"``,
         ``traversal=...``, ``update_after=...``).
@@ -98,6 +122,27 @@ def reorder_ranks(
         raise ValueError(f"kind must be one of {MAPPER_KINDS}, got {kind!r}")
     L = np.asarray(layout, dtype=np.int64)
     p = L.size
+
+    cache_obj = _cache_for(cache)
+    key = None
+    if cache_obj is not None:
+        fp = getattr(D, "fingerprint", None)
+        if callable(fp):  # ClusterTopology-style callable fingerprints
+            fp = fp()
+        if isinstance(fp, str) and isinstance(rng, (int, np.integer)):
+            key = mapping_cache_key(fp, pattern, kind, L, int(rng), mapper_kwargs)
+            entry = cache_obj.get(key)
+            if entry is not None and entry["layout"] == L.tolist():
+                return ReorderResult(
+                    reordering=RankReordering(
+                        layout=L, mapping=np.asarray(entry["mapping"], dtype=np.int64)
+                    ),
+                    pattern=pattern,
+                    mapper_name=entry.get("mapper_name", "mapper"),
+                    map_seconds=float(entry.get("map_seconds", 0.0)),
+                    graph_seconds=float(entry.get("graph_seconds", 0.0)),
+                    cached=True,
+                )
 
     graph_seconds = 0.0
     if kind == "heuristic":
@@ -120,6 +165,20 @@ def reorder_ranks(
     t0 = time.perf_counter()
     M = mapper.map(L, D, rng=rng)
     map_seconds = time.perf_counter() - t0
+
+    if key is not None:
+        cache_obj.put(
+            key,
+            {
+                "mapping": M.tolist(),
+                "layout": L.tolist(),
+                "pattern": pattern,
+                "kind": kind,
+                "mapper_name": mapper.name,
+                "map_seconds": map_seconds,
+                "graph_seconds": graph_seconds,
+            },
+        )
 
     return ReorderResult(
         reordering=RankReordering(layout=L, mapping=M),

@@ -8,33 +8,20 @@ updating the reference at every step.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterator, Tuple
 
-import numpy as np
-
-from repro.mapping.base import Mapper
-from repro.util.rng import RngLike
+from repro.mapping.base import GreedyPlacementMapper
 
 __all__ = ["RMH"]
 
 
-class RMH(Mapper):
+class RMH(GreedyPlacementMapper):
     """Ring mapping heuristic; valid for any process count."""
 
     pattern = "ring"
     name = "rmh"
 
-    def __init__(self, tie_break: str = "random") -> None:
-        self.tie_break = tie_break
-
-    def map(self, layout: Sequence[int], D: np.ndarray, rng: RngLike = 0) -> np.ndarray:
-        L, M, pool = self._setup(layout, D, rng, self.tie_break)
-        p = L.size
-        ref = 0
-        for _ in range(p - 1):
-            new_rank = (ref + 1) % p
-            target = pool.closest_free(int(M[ref]))
-            pool.take(target)
-            M[new_rank] = target
-            ref = new_rank
-        return self._finish(M, L)
+    def placements(self, p: int) -> Iterator[Tuple[int, int]]:
+        """The chain: each rank placed next to its ring predecessor."""
+        for ref in range(p - 1):
+            yield ref + 1, ref

@@ -25,7 +25,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from repro.mapping.base import Mapper
+from repro.mapping.base import Mapper, as_distance_lookup
 from repro.mapping.patterns import PatternGraph
 from repro.util.rng import RngLike, make_rng
 
@@ -62,7 +62,9 @@ class ScotchLikeMapper(Mapper):
         generator = make_rng(rng)
         M = np.full(L.size, -1, dtype=np.int64)
         adj = self.graph.adjacency()
-        self._recurse(np.arange(L.size, dtype=np.int64), L.copy(), M, adj, np.asarray(D), generator)
+        self._recurse(
+            np.arange(L.size, dtype=np.int64), L.copy(), M, adj, as_distance_lookup(D), generator
+        )
         return self._finish(M, L)
 
     # ------------------------------------------------------------------

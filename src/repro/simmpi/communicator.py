@@ -118,7 +118,7 @@ class VirtualComm:
         result = reorder_ranks(
             pattern,
             self.reordering.mapping,
-            self.session.evaluator.D,
+            self.session.evaluator.distances,
             kind=kind,
             rng=rng,
             **mapper_kwargs,

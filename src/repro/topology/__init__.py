@@ -13,6 +13,9 @@ physical system:
   classes, routes and the core-to-core distance matrix;
 * :mod:`repro.topology.distances` — the simulated one-time distance
   extraction step (paper §IV / Fig. 7a);
+* :mod:`repro.topology.implicit` — the row-on-demand distance backend
+  (no dense matrix), carrying coordinates and the topology fingerprint
+  for the vectorised mapping driver and the mapping cache;
 * :mod:`repro.topology.gpc` — ready-made cluster configurations, including
   the SciNet GPC system of the paper's evaluation.
 """
@@ -21,6 +24,7 @@ from repro.topology.hardware import MachineTopology
 from repro.topology.fattree import FatTreeNetwork, FatTreeConfig
 from repro.topology.cluster import ClusterTopology, LinkClass
 from repro.topology.distances import DistanceExtractor, ExtractionReport
+from repro.topology.implicit import CoreCoords, ImplicitDistances
 from repro.topology.gpc import gpc_cluster, small_cluster, single_node_cluster
 from repro.topology.persist import (
     load_distances,
@@ -40,6 +44,8 @@ __all__ = [
     "LinkClass",
     "DistanceExtractor",
     "ExtractionReport",
+    "ImplicitDistances",
+    "CoreCoords",
     "gpc_cluster",
     "small_cluster",
     "single_node_cluster",

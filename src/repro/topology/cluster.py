@@ -34,6 +34,7 @@ runs).
 from __future__ import annotations
 
 import hashlib
+import json
 from collections import OrderedDict
 from enum import IntEnum
 from typing import Dict, List, Optional, Sequence
@@ -158,6 +159,8 @@ class ClusterTopology:
 
         self._net_routes: Optional[np.ndarray] = None
         self._distance_matrix: Optional[np.ndarray] = None
+        self._implicit_distances = None  # lazy ImplicitDistances view
+        self._fingerprint: Optional[str] = None
         self._route_cache: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
         #: set False to make routes_for() rebuild every table (benchmarks
         #: use this to time the uncached pre-PR pipeline)
@@ -408,6 +411,47 @@ class ClusterTopology:
                 cores[:, None], cores[None, :]
             ).astype(np.float32)
         return self._distance_matrix
+
+    def implicit_distances(self):
+        """Row-on-demand distance backend (no dense D materialisation).
+
+        Returns the cluster's cached :class:`repro.topology.implicit.
+        ImplicitDistances` view — the scalable alternative to
+        :meth:`distance_matrix` for large core counts.  Rows computed by
+        the view are bit-identical to the dense matrix.
+        """
+        if self._implicit_distances is None:
+            # Local import: implicit.py imports this module at top level.
+            from repro.topology.implicit import ImplicitDistances
+
+            self._implicit_distances = ImplicitDistances(self)
+        return self._implicit_distances
+
+    def fingerprint(self) -> str:
+        """Stable identity of this cluster's structure (shape + wiring + weights).
+
+        Two clusters with equal fingerprints produce identical distance
+        matrices, routes and link layouts; the mapping cache and the
+        persisted distance files key on this value.
+        """
+        if self._fingerprint is None:
+            cfg = self.network.config
+            payload = {
+                "n_nodes": self.n_nodes,
+                "n_sockets": self.machine.n_sockets,
+                "cores_per_socket": self.machine.cores_per_socket,
+                "n_leaves": cfg.n_leaves,
+                "nodes_per_leaf": cfg.nodes_per_leaf,
+                "n_core_switches": cfg.n_core_switches,
+                "lines_per_core": cfg.lines_per_core,
+                "spines_per_core": cfg.spines_per_core,
+                "leaf_uplinks_per_core": cfg.leaf_uplinks_per_core,
+                "line_spine_multiplicity": cfg.line_spine_multiplicity,
+                "weights": {k.name: v for k, v in sorted(self.weights.items())},
+            }
+            blob = json.dumps(payload, sort_keys=True).encode()
+            self._fingerprint = hashlib.sha256(blob).hexdigest()[:16]
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # fault recovery

@@ -21,7 +21,6 @@ both subclass :class:`PersistError` (itself a ``ValueError``, so older
 from __future__ import annotations
 
 import json
-import hashlib
 import os
 import zipfile
 from pathlib import Path
@@ -61,43 +60,88 @@ class FingerprintMismatchError(PersistError):
 
 
 def topology_fingerprint(cluster: ClusterTopology) -> str:
-    """Stable identity of a cluster's structure (shape + wiring + weights)."""
-    cfg = cluster.network.config
-    payload = {
-        "n_nodes": cluster.n_nodes,
-        "n_sockets": cluster.machine.n_sockets,
-        "cores_per_socket": cluster.machine.cores_per_socket,
-        "n_leaves": cfg.n_leaves,
-        "nodes_per_leaf": cfg.nodes_per_leaf,
-        "n_core_switches": cfg.n_core_switches,
-        "lines_per_core": cfg.lines_per_core,
-        "spines_per_core": cfg.spines_per_core,
-        "leaf_uplinks_per_core": cfg.leaf_uplinks_per_core,
-        "line_spine_multiplicity": cfg.line_spine_multiplicity,
-        "weights": {k.name: v for k, v in sorted(cluster.weights.items())},
-    }
-    blob = json.dumps(payload, sort_keys=True).encode()
-    return hashlib.sha256(blob).hexdigest()[:16]
+    """Stable identity of a cluster's structure (shape + wiring + weights).
+
+    Delegates to :meth:`ClusterTopology.fingerprint` — the same value
+    that keys the content-addressed mapping cache, so persisted distance
+    files and cached mappings agree on what "the same machine" means.
+    """
+    return cluster.fingerprint()
+
+
+#: ``format="auto"`` saves the dense matrix up to this many cores and
+#: switches to the O(cores) coordinate format above it.
+DENSE_FORMAT_THRESHOLD = 1024
+
+DISTANCE_FORMATS = ("auto", "dense", "coords")
 
 
 # ----------------------------------------------------------------------
-def save_distances(cluster: ClusterTopology, path: PathLike) -> Path:
-    """Save the cluster's distance matrix with its fingerprint.
+def save_distances(
+    cluster: ClusterTopology, path: PathLike, format: str = "auto"
+) -> Path:
+    """Save the cluster's distances with its fingerprint.
+
+    ``format="dense"`` stores the full matrix (the historical format);
+    ``format="coords"`` stores the per-core hierarchy coordinates plus
+    the 6-entry distance ladder — O(cores) instead of O(cores²) bytes,
+    which is what makes paper-scale (4096-core) extraction results
+    practical to keep around.  ``"auto"`` picks by cluster size.
+    Loading rebuilds the matrix bit-identically either way.
 
     Atomic: the npz is written to a temp sibling first, then renamed.
     """
+    if format not in DISTANCE_FORMATS:
+        raise ValueError(f"format must be one of {DISTANCE_FORMATS}, got {format!r}")
+    if format == "auto":
+        format = "dense" if cluster.n_cores <= DENSE_FORMAT_THRESHOLD else "coords"
     path = Path(path)
     # np.savez appends .npz if missing; pin the final name up front so the
     # temp file can be renamed onto it
     final = path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
     tmp = final.with_name(final.name + ".tmp.npz")
-    np.savez_compressed(
-        tmp,
-        D=cluster.distance_matrix(),
-        fingerprint=np.bytes_(topology_fingerprint(cluster).encode()),
-    )
+    fingerprint = np.bytes_(topology_fingerprint(cluster).encode())
+    if format == "dense":
+        np.savez_compressed(tmp, D=cluster.distance_matrix(), fingerprint=fingerprint)
+    else:
+        impl = cluster.implicit_distances()
+        coords = impl.coords(np.arange(cluster.n_cores, dtype=np.int64))
+        np.savez_compressed(
+            tmp,
+            gsock=coords.gsock,
+            node=coords.node,
+            leaf=coords.leaf,
+            line=coords.line,
+            ladder=impl.ladder(),
+            fingerprint=fingerprint,
+        )
     os.replace(tmp, final)
     return final
+
+
+def _rebuild_dense(data) -> np.ndarray:
+    """Dense matrix from a coords-format npz (same arithmetic as extraction).
+
+    A pair's distance depends only on the deepest hierarchy level it
+    shares; the level matrix is painted coarse-to-fine so deeper sharing
+    wins, then the float64 ladder is gathered and cast to float32 — the
+    exact sequence the dense extraction applies.
+    """
+    gsock = np.asarray(data["gsock"], dtype=np.int64)
+    node = np.asarray(data["node"], dtype=np.int64)
+    leaf = np.asarray(data["leaf"], dtype=np.int64)
+    line = np.asarray(data["line"], dtype=np.int64)
+    ladder = np.asarray(data["ladder"], dtype=np.float64)
+    n = gsock.size
+    if not (node.size == leaf.size == line.size == n) or ladder.size != 6:
+        raise KeyError("coords arrays disagree on the core count")
+    level = np.full((n, n), 5, dtype=np.int64)
+    level[line[:, None] == line[None, :]] = 4
+    level[leaf[:, None] == leaf[None, :]] = 3
+    level[node[:, None] == node[None, :]] = 2
+    level[gsock[:, None] == gsock[None, :]] = 1
+    np.fill_diagonal(level, 0)
+    return ladder[level].astype(np.float32)
 
 
 def load_distances(cluster: ClusterTopology, path: PathLike) -> np.ndarray:
@@ -127,7 +171,7 @@ def load_distances(cluster: ClusterTopology, path: PathLike) -> np.ndarray:
                     f"(fingerprint {fp} != {topology_fingerprint(cluster)}); "
                     f"re-extract for this cluster or load with the matching one"
                 )
-            D = np.array(data["D"])
+            D = np.array(data["D"]) if "D" in data else _rebuild_dense(data)
     except PersistError:
         raise
     except (

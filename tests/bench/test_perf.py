@@ -78,3 +78,33 @@ class TestRunPerf:
         text = rep.summary()
         assert "10.00x" in text
         assert "p=256" in text
+
+
+class TestRunMappingPerf:
+    def test_small_run_identical_and_persisted(self, tmp_path):
+        from repro.bench.perf import run_mapping_perf
+
+        out = tmp_path / "mappings.json"
+        report = run_mapping_perf(p_values=[16, 64], repeats=1, out_path=out)
+        assert [c.p for c in report.cases] == [16, 64]
+        for case in report.cases:
+            assert case.mismatches == 0
+            assert case.naive_seconds > 0 and case.vectorized_seconds > 0
+            assert set(case.naive_map_seconds) == set(report.heuristics)
+        data = json.loads(out.read_text())
+        assert [c["p"] for c in data["cases"]] == [16, 64]
+        assert data["heuristics"] == sorted(data["heuristics"])
+        assert "p" in report.summary() and "mismatches" in report.summary()
+
+    def test_quick_mode_shrinks_grid(self):
+        from repro.bench.perf import run_mapping_perf
+
+        report = run_mapping_perf(p_values=[16, 64, 4096], quick=True, out_path=None)
+        assert [c.p for c in report.cases] == [256]
+        assert report.quick and report.repeats <= 2
+
+    def test_unknown_pattern_rejected(self):
+        from repro.bench.perf import run_mapping_perf
+
+        with pytest.raises(KeyError, match="nope"):
+            run_mapping_perf(p_values=[16], patterns=["nope"], out_path=None)

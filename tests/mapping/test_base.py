@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.mapping.base import CorePool, Mapper
+from repro.mapping.base import CorePool, Mapper, PoolExhaustedError
 from repro.util.rng import make_rng
 
 
@@ -88,6 +88,16 @@ class TestCorePool:
         pool.take(0)
         with pytest.raises(RuntimeError, match="no free cores"):
             pool.closest_free(0)
+
+    def test_exhaustion_error_is_typed(self, tiny_D):
+        # PoolExhaustedError subclasses RuntimeError, so the older
+        # ``except RuntimeError`` call sites keep working.
+        pool = CorePool(tiny_D, [0, 1])
+        pool.take(0)
+        pool.take(1)
+        with pytest.raises(PoolExhaustedError, match="no free cores"):
+            pool.place_closest(0)
+        assert issubclass(PoolExhaustedError, RuntimeError)
 
     def test_bad_tie_break(self, tiny_D):
         with pytest.raises(ValueError):

@@ -1,0 +1,141 @@
+"""Placement-identity tests: naive CorePool vs. the vectorised driver.
+
+The vectorised engine (:class:`repro.mapping.base.HierarchicalFreePool`
+driven by ``execute_program``) must reproduce the naive per-query
+reference *bit for bit* — same cores, same rng stream, both tie-break
+modes — otherwise cached mappings and benchmark cross-checks would
+silently drift between engines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mapping.base import (
+    HierarchicalFreePool,
+    PoolExhaustedError,
+    PLACEMENT_ENGINES,
+)
+from repro.mapping.bbmh import BBMH
+from repro.mapping.bgmh import BGMH
+from repro.mapping.bruckmh import BruckMH
+from repro.mapping.initial import make_layout
+from repro.mapping.rdmh import RDMH
+from repro.mapping.rmh import RMH
+from repro.topology.cluster import (
+    DEFAULT_DISTANCE_WEIGHTS,
+    ClusterTopology,
+    LinkClass,
+)
+from repro.topology.gpc import gpc_cluster
+
+HEURISTICS = [RMH, RDMH, BBMH, BGMH, BruckMH]
+#: Heuristics without a power-of-two constraint on p.
+ANY_P_HEURISTICS = [RMH, BGMH, BruckMH]
+
+
+@pytest.fixture(scope="module")
+def big_cluster():
+    """32 nodes x 8 cores = 256 cores, spanning two leaf switches."""
+    return gpc_cluster(n_nodes=32)
+
+
+def _both_engines(cls, cluster, layout, tie_break, seed):
+    naive = cls(tie_break=tie_break, engine="naive").map(
+        layout, cluster.distance_matrix(), rng=seed
+    )
+    vect = cls(tie_break=tie_break, engine="vectorized").map(
+        layout, cluster.implicit_distances(), rng=seed
+    )
+    return naive, vect
+
+
+class TestPlacementIdentity:
+    @pytest.mark.parametrize("cls", HEURISTICS)
+    @pytest.mark.parametrize("p", [4, 16, 64])
+    @pytest.mark.parametrize("tie_break", ["random", "first"])
+    def test_engines_bit_identical_small(self, mid_cluster, cls, p, tie_break):
+        for lname in ("block-bunch", "cyclic-scatter"):
+            L = make_layout(lname, mid_cluster, p)
+            for seed in (0, 7):
+                naive, vect = _both_engines(cls, mid_cluster, L, tie_break, seed)
+                assert np.array_equal(naive, vect), (cls.__name__, lname, seed)
+
+    @pytest.mark.parametrize("cls", HEURISTICS)
+    @pytest.mark.parametrize("tie_break", ["random", "first"])
+    def test_engines_bit_identical_p256(self, big_cluster, cls, tie_break):
+        L = make_layout("block-bunch", big_cluster, 256)
+        naive, vect = _both_engines(cls, big_cluster, L, tie_break, 3)
+        assert np.array_equal(naive, vect)
+
+    @pytest.mark.parametrize("cls", ANY_P_HEURISTICS)
+    @pytest.mark.parametrize("tie_break", ["random", "first"])
+    def test_engines_bit_identical_after_shrink(self, mid_cluster, cls, tie_break):
+        # Post-failure pools are irregular: whole nodes missing, free
+        # groups of uneven size — exactly where the hierarchical
+        # bookkeeping could diverge from the reference.
+        survivors = mid_cluster.shrink([2, 5])
+        assert survivors.size == 48
+        naive, vect = _both_engines(cls, mid_cluster, survivors, tie_break, 11)
+        assert np.array_equal(naive, vect)
+
+    @pytest.mark.parametrize("cls", HEURISTICS)
+    def test_engines_bit_identical_partial_survivors(self, mid_cluster, cls):
+        # Power-of-two slice of the survivor pool, so RDMH/BBMH join in.
+        survivors = mid_cluster.shrink([1, 6])[:32]
+        naive, vect = _both_engines(cls, mid_cluster, survivors, "random", 5)
+        assert np.array_equal(naive, vect)
+
+
+class TestEngineSelection:
+    def test_engine_validated_at_construction(self):
+        with pytest.raises(ValueError, match="engine"):
+            RMH(engine="bogus")
+        assert "vectorized" in PLACEMENT_ENGINES
+
+    def test_vectorized_rejects_dense_matrix(self, mid_cluster):
+        L = make_layout("block-bunch", mid_cluster, 16)
+        with pytest.raises(ValueError, match="vectorized"):
+            RMH(engine="vectorized").map(L, mid_cluster.distance_matrix(), rng=0)
+
+    def test_auto_falls_back_on_collapsed_ladder(self):
+        # Zero LEAF_LINE weight collapses the same-leaf and same-line
+        # levels: the implicit backend advertises no vectorised support,
+        # and engine="auto" must quietly fall back to the naive pool.
+        weights = dict(DEFAULT_DISTANCE_WEIGHTS)
+        weights[LinkClass.LEAF_LINE] = 0.0
+        cluster = ClusterTopology(n_nodes=8, distance_weights=weights)
+        impl = cluster.implicit_distances()
+        assert not impl.supports_vectorized_placement
+        L = make_layout("block-bunch", cluster, 16)
+        via_auto = RMH(engine="auto").map(L, impl, rng=2)
+        via_naive = RMH(engine="naive").map(L, cluster.distance_matrix(), rng=2)
+        assert np.array_equal(via_auto, via_naive)
+        with pytest.raises(ValueError, match="vectorized"):
+            RMH(engine="vectorized").map(L, impl, rng=2)
+
+
+class TestHierarchicalFreePool:
+    def test_exhaustion_raises_typed_error(self, mid_cluster):
+        pool = HierarchicalFreePool(
+            mid_cluster.implicit_distances(), np.arange(4), rng=0
+        )
+        for core in range(4):
+            pool.take(core)
+        with pytest.raises(PoolExhaustedError, match="no free cores"):
+            pool.closest_free(0)
+        with pytest.raises(PoolExhaustedError):
+            pool.place_closest(0)
+
+    def test_closest_free_matches_reference(self, mid_cluster, mid_D):
+        from repro.mapping.base import CorePool
+
+        cores = np.arange(24)
+        a = CorePool(mid_D, cores, rng=0)
+        b = HierarchicalFreePool(mid_cluster.implicit_distances(), cores, rng=0)
+        rng = np.random.default_rng(123)
+        for _ in range(20):
+            ref = int(rng.integers(24))
+            ca, cb = a.closest_free(ref), b.closest_free(ref)
+            assert ca == cb
+            a.take(ca)
+            b.take(cb)

@@ -1,0 +1,80 @@
+"""ImplicitDistances: bit-identical to the dense oracle, O(1) state."""
+
+import numpy as np
+import pytest
+
+from repro.topology.cluster import (
+    DEFAULT_DISTANCE_WEIGHTS,
+    ClusterTopology,
+    LinkClass,
+)
+from repro.topology.implicit import ImplicitDistances
+
+
+@pytest.fixture(scope="module")
+def impl(mid_cluster):
+    return mid_cluster.implicit_distances()
+
+
+class TestRowOracle:
+    def test_full_rows_match_dense(self, impl, mid_cluster, mid_D):
+        for core in (0, 3, 17, mid_cluster.n_cores - 1):
+            row = impl.row(core)
+            assert row.dtype == np.float32
+            assert np.array_equal(row, mid_D[core])
+
+    def test_column_subset(self, impl, mid_D):
+        cols = np.array([0, 5, 9, 63])
+        assert np.array_equal(impl.row(7, cols), mid_D[7, cols])
+        assert np.array_equal(impl[7, cols], mid_D[7, cols])
+
+    def test_scalar_and_row_getitem(self, impl, mid_D):
+        assert impl[3, 42] == mid_D[3, 42]
+        assert np.array_equal(impl[12], mid_D[12])
+
+    def test_dense_is_the_oracle(self, impl, mid_D):
+        assert np.array_equal(impl.dense(), mid_D)
+
+    def test_shape_and_dtype(self, impl, mid_cluster):
+        n = mid_cluster.n_cores
+        assert impl.shape == (n, n)
+        assert impl.ndim == 2
+        assert impl.dtype == np.float32
+
+
+class TestCoords:
+    def test_coords_match_cluster_queries(self, impl, mid_cluster):
+        cores = np.arange(mid_cluster.n_cores)
+        c = impl.coords(cores)
+        assert np.array_equal(c.node, mid_cluster.node_of(cores))
+        assert np.array_equal(c.gsock, mid_cluster.global_socket_of(cores))
+        assert np.array_equal(c.leaf, mid_cluster.leaf_of_node(c.node))
+
+    def test_ladder_orders_levels(self, impl):
+        ladder = impl.ladder()
+        assert ladder.shape == (6,)
+        assert ladder[0] == 0.0
+        assert np.all(np.diff(ladder) > 0)
+        assert impl.has_strict_ladder
+        assert impl.supports_vectorized_placement
+
+    def test_ladder_values_appear_in_dense(self, impl, mid_D):
+        # Every distinct distance the dense matrix holds is a ladder level.
+        assert set(np.unique(mid_D)) <= set(impl.ladder().astype(np.float32))
+
+
+class TestFingerprint:
+    def test_matches_cluster(self, impl, mid_cluster):
+        assert impl.fingerprint == mid_cluster.fingerprint()
+        assert isinstance(impl.fingerprint, str)
+
+    def test_collapsed_weights_disable_vectorised_path(self):
+        weights = dict(DEFAULT_DISTANCE_WEIGHTS)
+        weights[LinkClass.QPI] = 0.0  # same-socket == same-node distance
+        cluster = ClusterTopology(n_nodes=4, distance_weights=weights)
+        impl = ImplicitDistances(cluster)
+        assert not impl.has_strict_ladder
+        assert not impl.supports_vectorized_placement
+        # ...but the row oracle still matches the dense matrix exactly.
+        D = cluster.distance_matrix()
+        assert np.array_equal(impl.row(0), D[0])

@@ -7,6 +7,7 @@ from repro.mapping.initial import cyclic_bunch
 from repro.mapping.reorder import reorder_ranks
 from repro.topology.gpc import gpc_cluster, small_cluster
 from repro.topology.persist import (
+    DENSE_FORMAT_THRESHOLD,
     CorruptPersistFileError,
     FingerprintMismatchError,
     PersistError,
@@ -83,6 +84,78 @@ class TestDistances:
     def test_missing_file_is_filenotfound(self, tmp_path):
         with pytest.raises(FileNotFoundError, match="no such distance file"):
             load_distances(small_cluster(), tmp_path / "nope.npz")
+
+
+class TestCoordsFormat:
+    """The O(cores) coordinate format must rebuild the dense oracle exactly."""
+
+    @pytest.mark.parametrize("make", [small_cluster, lambda: gpc_cluster(8)])
+    def test_roundtrip_matches_dense_oracle(self, tmp_path, make):
+        cl = make()
+        path = save_distances(cl, tmp_path / "dist.npz", format="coords")
+        D = load_distances(cl, path)
+        assert D.dtype == np.float32
+        assert np.array_equal(D, cl.distance_matrix())
+
+    def test_auto_picks_by_size(self, tmp_path):
+        small = small_cluster()
+        assert small.n_cores <= DENSE_FORMAT_THRESHOLD
+        path = save_distances(small, tmp_path / "small.npz", format="auto")
+        with np.load(path) as data:
+            assert "D" in data
+        big = gpc_cluster(n_nodes=DENSE_FORMAT_THRESHOLD // 8 + 1)
+        path = save_distances(big, tmp_path / "big.npz", format="auto")
+        with np.load(path) as data:
+            assert "D" not in data and "gsock" in data
+        # the compact file still rebuilds the exact matrix
+        assert np.array_equal(load_distances(big, path), big.distance_matrix())
+
+    def test_coords_file_is_small(self, tmp_path):
+        cl = gpc_cluster(130)  # 1040 cores: dense would be ~MBs raw
+        dense = save_distances(cl, tmp_path / "dense.npz", format="dense")
+        coords = save_distances(cl, tmp_path / "coords.npz", format="coords")
+        assert coords.stat().st_size < dense.stat().st_size
+
+    def test_bad_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="format"):
+            save_distances(small_cluster(), tmp_path / "x.npz", format="csv")
+
+    def test_wrong_cluster_rejected(self, tmp_path):
+        path = save_distances(small_cluster(), tmp_path / "d.npz", format="coords")
+        with pytest.raises(FingerprintMismatchError):
+            load_distances(gpc_cluster(8), path)
+
+    def test_missing_coords_array_rejected(self, tmp_path):
+        cl = small_cluster()
+        impl = cl.implicit_distances()
+        coords = impl.coords(np.arange(cl.n_cores))
+        path = tmp_path / "torn.npz"
+        np.savez(
+            path,
+            gsock=coords.gsock,
+            node=coords.node,
+            leaf=coords.leaf,  # "line" and "ladder" missing
+            fingerprint=np.bytes_(topology_fingerprint(cl).encode()),
+        )
+        with pytest.raises(CorruptPersistFileError):
+            load_distances(cl, path)
+
+    def test_inconsistent_coords_rejected(self, tmp_path):
+        cl = small_cluster()
+        impl = cl.implicit_distances()
+        coords = impl.coords(np.arange(cl.n_cores))
+        path = tmp_path / "short.npz"
+        np.savez(
+            path,
+            gsock=coords.gsock,
+            node=coords.node[:-1],  # one core short
+            leaf=coords.leaf,
+            line=coords.line,
+            ladder=impl.ladder(),
+            fingerprint=np.bytes_(topology_fingerprint(cl).encode()),
+        )
+        with pytest.raises(CorruptPersistFileError):
+            load_distances(cl, path)
 
 
 class TestReordering:
