@@ -19,6 +19,7 @@ from repro.mapping.patterns import build_pattern
 from repro.mapping.rdmh import RDMH
 from repro.mapping.rmh import RMH
 from repro.topology.gpc import single_node_cluster
+from repro.util.rng import make_rng
 
 HEURISTICS = {
     "ring": RMH,
@@ -33,7 +34,7 @@ N_LAYOUTS = 12
 def gap_data():
     cluster = single_node_cluster()
     D = cluster.distance_matrix()
-    rng = np.random.default_rng(42)
+    rng = make_rng(42)
     layouts = [rng.permutation(8) for _ in range(N_LAYOUTS)]
     out = {}
     for pattern, cls in HEURISTICS.items():
@@ -75,5 +76,5 @@ def test_search_timing(benchmark):
     cluster = single_node_cluster()
     D = cluster.distance_matrix()
     g = build_pattern("recursive-doubling", 8)
-    layout = np.random.default_rng(1).permutation(8)
+    layout = make_rng(1).permutation(8)
     benchmark.pedantic(OptimalMapper(g).map, args=(layout, D), rounds=3, iterations=1)

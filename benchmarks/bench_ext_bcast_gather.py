@@ -25,6 +25,7 @@ from repro.collectives.gather_binomial import BinomialGather
 from repro.mapping.initial import make_layout
 from repro.mapping.reorder import reorder_ranks
 from repro.simmpi.profiler import profile_schedule
+from repro.util.rng import make_rng
 
 SIZES = [1024, 16384, 262144]
 
@@ -32,7 +33,7 @@ SIZES = [1024, 16384, 262144]
 @pytest.fixture(scope="module")
 def tree_data(micro_evaluator, micro_p):
     ev = micro_evaluator
-    rng = np.random.default_rng(11)
+    rng = make_rng(11)
     layouts = {
         "cyclic-scatter": make_layout("cyclic-scatter", ev.cluster, micro_p),
         "random": rng.permutation(micro_p).astype(np.int64),
@@ -58,7 +59,7 @@ def intra_node_gather(micro_evaluator):
     """BGMH on one node's gather (the paper's actual use of BGMH)."""
     ev = micro_evaluator
     ppn = ev.cluster.cores_per_node
-    rng = np.random.default_rng(3)
+    rng = make_rng(3)
     L = rng.permutation(ppn).astype(np.int64)  # arbitrary intra-node order
     res = reorder_ranks("binomial-gather", L, ev.D, rng=0)
     sched = BinomialGather().schedule(ppn)
@@ -114,7 +115,7 @@ def test_bgmh_hca_hotspot(benchmark, micro_evaluator, micro_p):
     hottest link of the machine-scale gather is the root node's HCA,
     carrying several times more bytes than under the initial layout."""
     ev = micro_evaluator
-    rng = np.random.default_rng(11)
+    rng = make_rng(11)
     L = rng.permutation(micro_p).astype(np.int64)
     res = reorder_ranks("binomial-gather", L, ev.D, rng=0)
     sched = BinomialGather().schedule(micro_p)

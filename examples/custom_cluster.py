@@ -22,6 +22,7 @@ from repro import (
 )
 from repro.collectives import BinomialGather
 from repro.mapping import BGMH, build_pattern, hop_bytes
+from repro.util.rng import make_rng
 
 
 def main() -> None:
@@ -54,7 +55,7 @@ def main() -> None:
     # Start from an arbitrary placement (what a batch scheduler might
     # hand you) — the case run-time reordering exists for.
     p = 32  # one node's worth of processes
-    rng = np.random.default_rng(7)
+    rng = make_rng(7)
     layout = rng.permutation(p).astype(np.int64)
     ev = AllgatherEvaluator(cluster, rng=0)
     M = BGMH(tie_break="first").map(layout, ev.D, rng=0)

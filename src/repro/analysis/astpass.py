@@ -1,0 +1,126 @@
+"""Shared plumbing for the source-level (AST) analysis passes.
+
+:mod:`repro.analysis.lint` (REP), :mod:`repro.analysis.det` (DET) and
+:mod:`repro.analysis.par` (PAR) all walk Python sources the same way:
+parse, visit, anchor findings to ``path:line:col``, honour per-line
+``# noqa`` suppression, and fold per-file findings into one
+:class:`~repro.analysis.diagnostics.DiagnosticReport`.  This module
+holds the common pieces so the three passes cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
+from repro.analysis.suppress import NoqaFilter
+
+__all__ = [
+    "dotted_name",
+    "iter_py_files",
+    "parse_or_flag",
+    "run_source_pass",
+    "SourceVisitor",
+]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Flatten ``a.b.c`` attribute chains to ``"a.b.c"`` (None otherwise)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def iter_py_files(paths: Sequence[str]) -> Iterable[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+class SourceVisitor(ast.NodeVisitor):
+    """Node visitor with finding collection, noqa and a function stack."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.noqa = NoqaFilter(source)
+        self.findings: List[Diagnostic] = []
+        self._func_stack: List[ast.AST] = []
+
+    # ------------------------------------------------------------------
+    def flag(
+        self, code: str, node: ast.AST, message: str, severity: str = "error"
+    ) -> None:
+        line = getattr(node, "lineno", 0)
+        if self.noqa.suppressed(line, code):
+            return
+        self.findings.append(
+            Diagnostic(
+                code=code,
+                message=message,
+                severity=severity,
+                path=self.path,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def enclosing_function(self) -> Optional[ast.AST]:
+        return self._func_stack[-1] if self._func_stack else None
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._func_stack.append(node)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._func_stack.append(node)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+
+def run_source_pass(
+    paths: Sequence[str],
+    check_source: Callable[[str, str], List[Diagnostic]],
+    subject: str,
+    error_code: str = "REP000",
+) -> DiagnosticReport:
+    """Run ``check_source(source, path)`` over every file under ``paths``."""
+    report = DiagnosticReport(subject=subject)
+    for path in iter_py_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:  # pragma: no cover - unreadable file
+            report.add(error_code, f"cannot read {path}: {exc}", path=str(path))
+            continue
+        report.diagnostics.extend(check_source(source, str(path)))
+    return report
+
+
+def parse_or_flag(
+    source: str, path: str, error_code: str = "REP000"
+) -> "tuple[Optional[ast.AST], List[Diagnostic]]":
+    """Parse ``source``; on a syntax error return a one-finding list."""
+    try:
+        return ast.parse(source, filename=path), []
+    except SyntaxError as exc:
+        return None, [
+            Diagnostic(
+                code=error_code,
+                message=f"syntax error: {exc.msg}",
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+            )
+        ]

@@ -1,0 +1,295 @@
+"""Determinism lint (``DET0xx``): AST pass over Python sources.
+
+The whole pipeline's trust rests on bit-identity — vectorised placement
+vs. the naive pool, batched pricing vs. the per-size loop, a resumed
+sweep vs. an uninterrupted one.  Those invariants are enforced by tests
+*after* a leak exists; this pass catches the classic sources of
+nondeterminism before they reach a journal, fingerprint or placement:
+
+``DET001``
+    Unseeded or process-global RNG state: ``make_rng(None)`` (OS
+    entropy), ``random.seed`` / ``np.random.seed`` / ``setstate`` /
+    ``set_state``.  Complements ``REP001`` (which flags *direct*
+    ``random`` / ``numpy.random`` use): REP001 makes callers go through
+    :func:`repro.util.rng.make_rng`; DET001 makes sure what they pass
+    into it is still an explicit seed.
+
+``DET002``
+    Iteration over a set (literal, ``set()`` / ``frozenset()`` call, or
+    set comprehension) in an order-sensitive position: a ``for`` loop or
+    comprehension source, or materialisation via ``list`` / ``tuple`` /
+    ``enumerate`` / ``iter``.  Python set order varies with hash
+    randomisation and insertion history; anything derived from it must
+    go through ``sorted(...)`` first.  Membership tests, intersections
+    and ``len`` are fine — only iteration order is the hazard.
+
+``DET003``
+    Wall-clock reads (``time.time``, ``time.time_ns``,
+    ``datetime.now`` / ``utcnow``, ``date.today``) inside functions
+    whose name marks them as content-addressed (``*fingerprint*``,
+    ``*cache_key*``, ``*journal*``, ``*checkpoint*``, ``*manifest*``,
+    ``key_for`` / ``*_key``), or passed directly into a hash
+    (``hashlib.*``) or cache-key constructor anywhere.  Timestamps are
+    fine in benchmark metadata; they must never flow into content
+    addresses or resumable journal state.
+
+``DET004``
+    Unsorted directory scans: ``os.listdir`` / ``os.scandir``,
+    ``glob.glob`` / ``iglob``, and ``Path.glob`` / ``rglob`` /
+    ``iterdir``.  The OS returns names in on-disk order; a resume or
+    merge path iterating that order produces run-dependent output.
+    Scans consumed by an order-insensitive reducer — ``sorted``,
+    ``len``, ``any``, ``set``, ... — at any depth are exempt.
+
+``DET005``
+    Executor completion-order primitives:
+    ``concurrent.futures.as_completed`` and ``Pool.imap_unordered``.
+    Results must be collected keyed by input cell and emitted in
+    canonical order (the pattern ``bench/runner.py`` uses); iterating
+    completion order bakes scheduling noise into whatever is written.
+
+Any finding can be suppressed per line with ``# noqa`` or
+``# noqa: DET00x`` plus a justification comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional, Sequence
+
+from repro.analysis.astpass import (
+    SourceVisitor,
+    dotted_name,
+    parse_or_flag,
+    run_source_pass,
+)
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
+
+__all__ = ["check_determinism_source", "check_determinism_paths", "main"]
+
+#: Files (suffix-matched) whose purpose is to wrap the RNG.
+_RNG_MODULES = ("util/rng.py",)
+
+#: Calls that mutate process-global RNG state.
+_GLOBAL_RNG_CALLS = {
+    "random.seed",
+    "random.setstate",
+    "np.random.seed",
+    "numpy.random.seed",
+    "np.random.set_state",
+    "numpy.random.set_state",
+}
+
+#: Wall-clock reads (dotted-name tails are matched too, for aliased imports).
+_WALLCLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "date.today",
+    "datetime.date.today",
+}
+
+#: Function names whose output is content-addressed or resumable state.
+_CONTENT_FUNC_RE = re.compile(
+    r"fingerprint|cache_key|journal|checkpoint|manifest|^key_for$|_key$"
+)
+
+#: Calls whose arguments become content addresses.
+_HASH_SINK_RE = re.compile(r"(^|\.)(sha1|sha256|sha512|md5|blake2b|cache_key)$")
+
+#: Directory-scan functions returning entries in on-disk order.
+_SCAN_FUNCS = {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+_SCAN_METHODS = {"glob", "rglob", "iterdir"}
+
+#: Callables whose result does not depend on argument order — a scan
+#: consumed (at any depth) by one of these cannot leak on-disk order.
+_ORDER_INSENSITIVE_CONSUMERS = {
+    "sorted", "len", "any", "all", "set", "frozenset", "sum", "max", "min",
+}
+
+#: Completion-order primitives.
+_COMPLETION_TAILS = {"as_completed", "imap_unordered"}
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """True iff ``node`` statically evaluates to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func) or ""
+        return name.split(".")[-1] in ("set", "frozenset")
+    return False
+
+
+class _DetVisitor(SourceVisitor):
+    def __init__(self, path: str, source: str) -> None:
+        super().__init__(path, source)
+        self.is_rng_module = path.replace("\\", "/").endswith(_RNG_MODULES)
+        #: Call nodes consumed by an order-insensitive reducer (DET004-safe).
+        self._order_insensitive: set = set()
+
+    # ------------------------------------------------------------------
+    def _flag_set_iteration(self, node: ast.AST, context: str) -> None:
+        if _is_set_expr(node):
+            self.flag(
+                "DET002",
+                node,
+                f"set iterated in {context}: set order is run-dependent; "
+                "wrap in sorted(...) before iterating",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._flag_set_iteration(node.iter, "a for loop")
+        self.generic_visit(node)
+
+    def _visit_comprehension_generators(self, node) -> None:
+        for gen in node.generators:
+            self._flag_set_iteration(gen.iter, "a comprehension")
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension_generators(node)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension_generators(node)
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension_generators(node)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func) or ""
+        tail = name.split(".")[-1]
+
+        if tail in _ORDER_INSENSITIVE_CONSUMERS and node.args:
+            # sorted(p.glob(...)), len(list(d.iterdir())), any(d.glob(...)):
+            # register every call fed into the reducer, at any depth.
+            for sub in ast.walk(node.args[0]):
+                if isinstance(sub, ast.Call):
+                    self._order_insensitive.add(id(sub))
+
+        # DET001 — unseeded / global RNG state
+        if not self.is_rng_module:
+            if name in _GLOBAL_RNG_CALLS:
+                self.flag(
+                    "DET001",
+                    node,
+                    f"{name}() mutates process-global RNG state; draw from an "
+                    "explicitly seeded repro.util.rng.make_rng generator",
+                )
+            if tail == "make_rng" and self._first_arg_is_none(node):
+                self.flag(
+                    "DET001",
+                    node,
+                    "make_rng(None) draws OS entropy; pass an explicit integer "
+                    "seed so the run is reproducible",
+                )
+
+        # DET002 — materialising a set
+        if tail in ("list", "tuple", "enumerate", "iter") and node.args:
+            self._flag_set_iteration(node.args[0], f"{tail}(...)")
+
+        # DET003 — wall clock in content-addressed code
+        if name in _WALLCLOCK_CALLS or tail in ("utcnow",):
+            func = self.enclosing_function()
+            fname = getattr(func, "name", "")
+            if func is not None and _CONTENT_FUNC_RE.search(fname):
+                self.flag(
+                    "DET003",
+                    node,
+                    f"wall-clock {name or tail}() inside {fname}(): timestamps "
+                    "must not flow into fingerprints, cache keys or journals",
+                )
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if isinstance(arg, ast.Call):
+                arg_name = dotted_name(arg.func) or ""
+                if (
+                    arg_name in _WALLCLOCK_CALLS
+                    and _HASH_SINK_RE.search(name)
+                ):
+                    self.flag(
+                        "DET003",
+                        arg,
+                        f"wall-clock {arg_name}() feeds {name}(): the digest "
+                        "changes every run",
+                    )
+
+        # DET004 — unsorted directory scans
+        scan = None
+        if name in _SCAN_FUNCS:
+            scan = name
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SCAN_METHODS
+            and name not in _SCAN_FUNCS
+        ):
+            scan = node.func.attr + "()"
+        if scan is not None and id(node) not in self._order_insensitive:
+            self.flag(
+                "DET004",
+                node,
+                f"{scan} returns entries in on-disk order; wrap in sorted(...) "
+                "so scans and resume paths are run-independent",
+            )
+
+        # DET005 — completion-order primitives
+        if tail in _COMPLETION_TAILS:
+            self.flag(
+                "DET005",
+                node,
+                f"{tail}() yields results in completion order; collect keyed "
+                "by input and emit in canonical order instead",
+            )
+
+        self.generic_visit(node)
+
+    @staticmethod
+    def _first_arg_is_none(node: ast.Call) -> bool:
+        if node.args:
+            first = node.args[0]
+            return isinstance(first, ast.Constant) and first.value is None
+        for kw in node.keywords:
+            if kw.arg == "seed":
+                return isinstance(kw.value, ast.Constant) and kw.value.value is None
+        return False
+
+
+# ----------------------------------------------------------------------
+def check_determinism_source(source: str, path: str = "<string>") -> List[Diagnostic]:
+    """DET findings for one module's source text."""
+    tree, errors = parse_or_flag(source, path)
+    if tree is None:
+        return errors
+    visitor = _DetVisitor(path, source)
+    visitor.visit(tree)
+    return sorted(visitor.findings, key=lambda d: (d.path, d.line or 0, d.col or 0))
+
+
+def check_determinism_paths(paths: Sequence[str]) -> DiagnosticReport:
+    """Run the DET pass over every ``.py`` file under ``paths``."""
+    return run_source_pass(paths, check_determinism_source, subject="determinism lint")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro.analysis.det [paths...]``."""
+    import sys
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    paths = args or ["src"]
+    report = check_determinism_paths(paths)
+    for diag in report.diagnostics:
+        print(diag)
+    print(f"det: {len(report)} finding(s) in {', '.join(paths)}")
+    return 1 if len(report) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -3,34 +3,11 @@
 Every check in :mod:`repro.analysis` reports findings as
 :class:`Diagnostic` records — an error code, a severity, a human-readable
 message and an optional location (stage index, message index, rank, file
-position).  Codes are stable identifiers documented in
-``docs/static_analysis.md``:
-
-========  ==============================================================
-code      meaning
-========  ==============================================================
-SCH001    schedule has zero stages (or an unusable communicator size)
-SCH002    message references a rank outside ``[0, p)``
-SCH003    ``units`` / ``blocks`` length mismatch on a message
-SCH004    causality violation — a rank sends a block it does not own yet
-SCH005    intra-stage port contention (duplicate sender or receiver)
-SCH006    duplicate transfer (same src -> dst twice in one stage)
-SCH007    redundant transfer (every carried block already owned by dst)
-SCH008    incomplete collective (a rank ends without its required blocks)
-MAP001    mapping is not a bijection (broken permutation / core reuse)
-MAP002    distance matrix is not square 2-D
-MAP003    distance matrix is not symmetric
-MAP004    distance matrix has a non-zero diagonal
-MAP005    distance matrix has negative entries
-MAP006    triangle-inequality violation (opt-in audit, warning)
-TOP001    cluster arithmetic inconsistency (cores / nodes / sockets)
-TOP002    cluster distance structure broken (ladder or matrix)
-TOP003    network capacity / fat-tree configuration inconsistency
-REP001    direct ``random`` / ``numpy.random`` use outside ``util/rng.py``
-REP002    unregistered or default-named ``CollectiveAlgorithm`` subclass
-REP003    in-place mutation of a distance-matrix parameter in ``mapping/``
-REP004    mapper ``map()`` returns without permutation validation
-========  ==============================================================
+position).  Codes are stable identifiers; the complete catalogue — one
+:class:`~repro.analysis.registry.DiagnosticRule` per code, across the
+SCH / MAP / TOP / REP / DET / PAR / CCH / FLT / PRC families — lives in
+:mod:`repro.analysis.registry` and is documented for humans in
+``docs/static_analysis.md``.
 """
 
 from __future__ import annotations
@@ -144,8 +121,9 @@ class DiagnosticReport:
                 seen.append(d.code)
         return seen
 
-    def has(self, code: str) -> bool:
-        return any(d.code == code for d in self.diagnostics)
+    def has(self, *codes: str) -> bool:
+        """True iff any finding carries one of the given codes."""
+        return any(d.code in codes for d in self.diagnostics)
 
     def format(self) -> str:
         """Readable multi-line report."""

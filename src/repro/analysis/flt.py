@@ -1,0 +1,190 @@
+"""Fault-plan verification (``FLT0xx``).
+
+:class:`~repro.faults.plan.FaultEvent` validates its own *shape* at
+construction (kinds, targets present, factor >= 1).  What it cannot see
+is the context a plan will run in: the schedule whose round clock the
+onsets reference, and the cluster whose hardware the events target.
+A plan that validates in isolation can still be silently meaningless —
+an onset beyond the last round never fires, a fault plan that kills
+every node cannot be recovered from, a degradation with ``factor=1.0``
+prices as if nothing happened.  This verifier checks a plan *against*
+its context before a sweep spends hours simulating it:
+
+``FLT001``
+    Onset beyond the schedule's round clock.  ``onset_stage`` indexes
+    expanded rounds (``Schedule.n_stages()`` — per-stage ``repeat``
+    counts summed); an onset at or past that count never activates, so
+    the scenario silently degenerates to the fault-free baseline.
+
+``FLT002``
+    Missing hardware or unsurvivable plan: a target node / link id
+    outside the cluster, or node failures leaving fewer than 2 live
+    nodes (shrink-and-remap needs a communicator to shrink *to*).
+
+``FLT003`` *(warning)*
+    Post-shrink process count breaks a power-of-two constraint the
+    original run satisfied: recursive-doubling heuristics (RDMH) only
+    accept pow2 ``p``, so recovery will be forced onto a different
+    mapper than the one under study.
+
+``FLT004``
+    Degradation factor out of range: non-finite, a ``1.0`` no-op
+    (usually a forgotten parameter), or absurd (> 1e6 — beyond any
+    physical retrain/degrade ratio, usually a units mistake).
+
+``FLT005``
+    The two clocks disagree: for events carrying both ``onset_stage``
+    and ``onset_seconds``, activation order under the round clock must
+    match activation order under the seconds clock, otherwise the
+    pricing engine (stage clock) and the event engine (seconds clock)
+    simulate *different scenarios* from the same plan.
+
+Findings anchor to event indices (``Diagnostic.message_index``), not
+source lines, so suppression uses ``ignore=("FLT003",)`` code globs
+(see :mod:`repro.analysis.suppress`), not ``# noqa``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.suppress import apply_suppressions
+
+__all__ = ["ABSURD_FACTOR", "verify_fault_plan"]
+
+#: Degradation factors above this are assumed to be unit mistakes.
+ABSURD_FACTOR = 1e6
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def verify_fault_plan(
+    plan,
+    schedule=None,
+    cluster=None,
+    ignore: Iterable[str] = (),
+) -> DiagnosticReport:
+    """Verify a :class:`~repro.faults.plan.FaultPlan` against its context.
+
+    ``schedule`` enables the round-clock checks (FLT001), ``cluster``
+    the hardware/survivability checks (FLT002/FLT003); either may be
+    ``None`` to skip its context.  Returns a
+    :class:`~repro.analysis.diagnostics.DiagnosticReport`; the caller
+    decides whether warnings gate.
+    """
+    report = DiagnosticReport(subject="fault plan")
+
+    n_rounds: Optional[int] = None
+    if schedule is not None:
+        n_rounds = int(schedule.n_stages())
+
+    for idx, ev in enumerate(plan.events):
+        # FLT001 — onset within the round clock
+        if n_rounds is not None and ev.onset_stage >= n_rounds:
+            report.add(
+                "FLT001",
+                f"event {idx} ({ev.kind}) has onset_stage={ev.onset_stage} but "
+                f"the schedule has only {n_rounds} round(s); it never "
+                "activates and the scenario degenerates to the baseline",
+                message_index=idx,
+            )
+
+        # FLT002 — hardware targets exist
+        if cluster is not None:
+            if ev.node is not None and not 0 <= int(ev.node) < cluster.n_nodes:
+                report.add(
+                    "FLT002",
+                    f"event {idx} ({ev.kind}) targets node {ev.node}; the "
+                    f"cluster has nodes 0..{cluster.n_nodes - 1}",
+                    message_index=idx,
+                )
+            for lid in ev.links:
+                if not 0 <= int(lid) < cluster.n_links:
+                    report.add(
+                        "FLT002",
+                        f"event {idx} ({ev.kind}) targets link {lid}; the "
+                        f"cluster has links 0..{cluster.n_links - 1}",
+                        message_index=idx,
+                    )
+
+        # FLT004 — degradation factor sanity
+        if ev.kind != "node-fail":
+            if not math.isfinite(ev.factor):
+                report.add(
+                    "FLT004",
+                    f"event {idx} ({ev.kind}) has non-finite factor "
+                    f"{ev.factor}; bandwidth division must be a finite ratio",
+                    message_index=idx,
+                )
+            elif ev.factor == 1.0:
+                report.add(
+                    "FLT004",
+                    f"event {idx} ({ev.kind}) has factor=1.0 — a no-op "
+                    "degradation (forgotten parameter?); drop the event or "
+                    "set a real ratio",
+                    message_index=idx,
+                )
+            elif ev.factor > ABSURD_FACTOR:
+                report.add(
+                    "FLT004",
+                    f"event {idx} ({ev.kind}) has factor={ev.factor:g} "
+                    f"(> {ABSURD_FACTOR:g}); beyond any physical degradation "
+                    "ratio — check the units",
+                    message_index=idx,
+                )
+
+    # FLT002/FLT003 — survivability of the node-failure subset
+    if cluster is not None:
+        failed = plan.failed_nodes
+        valid_failed = {n for n in failed if 0 <= n < cluster.n_nodes}
+        survivors = cluster.n_nodes - len(valid_failed)
+        if failed and survivors < 2:
+            report.add(
+                "FLT002",
+                f"plan kills {len(valid_failed)} of {cluster.n_nodes} node(s), "
+                f"leaving {survivors} survivor(s); shrink-and-remap needs at "
+                "least 2 live nodes to rebuild a communicator",
+            )
+        elif failed:
+            cores_per_node = cluster.n_cores // cluster.n_nodes
+            p_before = cluster.n_cores
+            p_after = survivors * cores_per_node
+            if _is_pow2(p_before) and not _is_pow2(p_after):
+                report.add(
+                    "FLT003",
+                    f"shrinking from p={p_before} to p={p_after} leaves a "
+                    "non-power-of-two process count; recursive-doubling "
+                    "heuristics (RDMH) will be unavailable after recovery",
+                    severity="warning",
+                )
+
+    # FLT005 — clock agreement on activation order
+    timed = [
+        (idx, ev) for idx, ev in enumerate(plan.events) if ev.onset_seconds is not None
+    ]
+    for a in range(len(timed)):
+        for b in range(a + 1, len(timed)):
+            ia, ea = timed[a]
+            ib, eb = timed[b]
+            stage_cmp = (ea.onset_stage > eb.onset_stage) - (
+                ea.onset_stage < eb.onset_stage
+            )
+            secs_cmp = (ea.onset_seconds > eb.onset_seconds) - (
+                ea.onset_seconds < eb.onset_seconds
+            )
+            if stage_cmp and secs_cmp and stage_cmp != secs_cmp:
+                report.add(
+                    "FLT005",
+                    f"events {ia} and {ib} activate in opposite orders on the "
+                    f"round clock (stages {ea.onset_stage} vs {eb.onset_stage}) "
+                    f"and the seconds clock ({ea.onset_seconds:g}s vs "
+                    f"{eb.onset_seconds:g}s); the pricing and event engines "
+                    "would simulate different scenarios",
+                    message_index=ia,
+                )
+
+    return apply_suppressions(report, ignore)

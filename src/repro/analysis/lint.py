@@ -37,11 +37,20 @@ from __future__ import annotations
 import ast
 import sys
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
+from repro.analysis.astpass import (
+    SourceVisitor,
+    dotted_name as _dotted_name,
+    parse_or_flag,
+    run_source_pass,
+)
 from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
 
-__all__ = ["lint_paths", "lint_source", "main"]
+__all__ = ["DEFAULT_LINT_PATHS", "lint_paths", "lint_source", "main"]
+
+#: Trees linted when no paths are given (missing ones are skipped).
+DEFAULT_LINT_PATHS = ["src", "tests", "benchmarks", "examples"]
 
 #: Marker comment that exempts a class from the REP002 registration check.
 UNREGISTERED_OK = "lint: unregistered-ok"
@@ -56,18 +65,6 @@ _INPLACE_FUNCS = {"fill_diagonal", "copyto", "put", "place", "putmask"}
 _INPLACE_METHODS = {"fill", "sort", "partition", "put", "itemset", "resize", "setflags"}
 
 
-def _dotted_name(node: ast.AST) -> Optional[str]:
-    """Flatten ``a.b.c`` attribute chains to ``"a.b.c"`` (None otherwise)."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
 def _is_numpy_random(dotted: Optional[str]) -> bool:
     if not dotted:
         return False
@@ -75,27 +72,6 @@ def _is_numpy_random(dotted: Optional[str]) -> bool:
         "np.random",
         "numpy.random",
     )
-
-
-class _NoqaFilter:
-    """Per-line ``# noqa`` suppression, read straight from the source."""
-
-    def __init__(self, source: str) -> None:
-        self.lines = source.splitlines()
-
-    def suppressed(self, line: int, code: str) -> bool:
-        if not 1 <= line <= len(self.lines):
-            return False
-        text = self.lines[line - 1]
-        if "# noqa" not in text:
-            return False
-        marker = text.split("# noqa", 1)[1].strip()
-        if not marker.startswith(":"):
-            return True  # bare "# noqa" silences everything
-        return code in marker[1:].replace(",", " ").split()
-
-    def has_marker(self, line: int, marker: str) -> bool:
-        return 1 <= line <= len(self.lines) and marker in self.lines[line - 1]
 
 
 def _registered_patterns() -> Optional[set]:
@@ -107,30 +83,14 @@ def _registered_patterns() -> Optional[set]:
     return set(_PATTERNS)
 
 
-class _Linter(ast.NodeVisitor):
+class _Linter(SourceVisitor):
     def __init__(self, path: str, source: str, patterns: Optional[set]) -> None:
-        self.path = path
-        self.noqa = _NoqaFilter(source)
+        super().__init__(path, source)
         self.patterns = patterns
-        self.findings: List[Diagnostic] = []
         self.in_mapping_pkg = "mapping/" in path.replace("\\", "/")
         self.is_rng_module = path.replace("\\", "/").endswith(_RNG_MODULES)
-        self._func_stack: List[ast.AST] = []
 
-    # ------------------------------------------------------------------
-    def _flag(self, code: str, node: ast.AST, message: str) -> None:
-        line = getattr(node, "lineno", 0)
-        if self.noqa.suppressed(line, code):
-            return
-        self.findings.append(
-            Diagnostic(
-                code=code,
-                message=message,
-                path=self.path,
-                line=line,
-                col=getattr(node, "col_offset", 0),
-            )
-        )
+    _flag = SourceVisitor.flag  # historical internal name
 
     # ------------------------------------------------------------------
     # REP001 — direct randomness
@@ -244,18 +204,8 @@ class _Linter(ast.NodeVisitor):
         self.generic_visit(node)
 
     # ------------------------------------------------------------------
-    # function / class traversal
+    # class traversal (function stack comes from SourceVisitor)
     # ------------------------------------------------------------------
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._func_stack.append(node)
-        self.generic_visit(node)
-        self._func_stack.pop()
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._func_stack.append(node)
-        self.generic_visit(node)
-        self._func_stack.pop()
-
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         bases = {b for b in (_dotted_name(base) for base in node.bases) if b}
         base_tails = {b.split(".")[-1] for b in bases}
@@ -348,49 +298,23 @@ class _Linter(ast.NodeVisitor):
 # ----------------------------------------------------------------------
 def lint_source(source: str, path: str = "<string>") -> List[Diagnostic]:
     """Lint one module's source text."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Diagnostic(
-                code="REP000",
-                message=f"syntax error: {exc.msg}",
-                path=path,
-                line=exc.lineno or 0,
-                col=exc.offset or 0,
-            )
-        ]
+    tree, errors = parse_or_flag(source, path)
+    if tree is None:
+        return errors
     linter = _Linter(path, source, _registered_patterns())
     linter.visit(tree)
     return sorted(linter.findings, key=lambda d: (d.path, d.line or 0, d.col or 0))
 
 
-def _iter_py_files(paths: Sequence[str]) -> Iterable[Path]:
-    for raw in paths:
-        path = Path(raw)
-        if path.is_dir():
-            yield from sorted(path.rglob("*.py"))
-        elif path.suffix == ".py":
-            yield path
-
-
 def lint_paths(paths: Sequence[str]) -> DiagnosticReport:
     """Lint every ``.py`` file under the given files/directories."""
-    report = DiagnosticReport(subject="lint")
-    for path in _iter_py_files(paths):
-        try:
-            source = path.read_text(encoding="utf-8")
-        except OSError as exc:  # pragma: no cover - unreadable file
-            report.add("REP000", f"cannot read {path}: {exc}", path=str(path))
-            continue
-        report.diagnostics.extend(lint_source(source, str(path)))
-    return report
+    return run_source_pass(paths, lint_source, subject="lint")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro.analysis.lint [paths...]``."""
     args = list(sys.argv[1:] if argv is None else argv)
-    paths = args or ["src"]
+    paths = args or [p for p in DEFAULT_LINT_PATHS if Path(p).exists()]
     report = lint_paths(paths)
     for diag in report.diagnostics:
         print(diag)

@@ -1,0 +1,228 @@
+"""Pricing-table invariants (``PRC0xx``).
+
+:class:`~repro.simmpi.engine.SchedulePricing` compresses a schedule's
+cost under one mapping into per-stage Pareto envelopes, and the whole
+batched sweep path trusts those tables blindly — a single corrupted
+envelope silently misprices every size in a sweep.  This verifier
+checks the tables the way :mod:`~repro.analysis.schedule_verifier`
+checks schedules — structurally, before they are used:
+
+``PRC001``
+    Pricing is not monotone in block size.  The cost model is
+    ``alpha + bytes * drain`` with non-negative drains, so total
+    latency must be non-decreasing in size; a decrease means a negative
+    drain slipped through or an envelope was assembled from mismatched
+    stages.
+
+``PRC002``
+    A negative or non-finite ``env_alpha`` / ``env_drain`` entry, or a
+    negative ``unit_load_max``.  Alphas are route latency sums, drains
+    are bandwidth terms — both are physically non-negative and finite.
+
+``PRC003``
+    Malformed Pareto envelope: ``env_drain`` must be strictly
+    increasing and ``env_alpha`` non-increasing (otherwise an entry is
+    dominated — or worse, the max-evaluation picks wrong lines),
+    ``env_alpha``/``env_drain`` must have equal non-zero length for a
+    stage that carries messages.
+
+``PRC004``
+    Structural breakage: non-positive ``repeat``, negative
+    ``n_messages``, ``p`` < 1, negative ``local_copy_units``, or an
+    empty stage list on a schedule that claims stages.
+
+``PRC005``
+    Behavioural identity: the batched envelope path must agree with the
+    per-size oracle (:meth:`TimingEngine.evaluate`) to floating-point
+    tolerance.  :func:`probe_pricing_identity` prices a small canonical
+    schedule both ways and compares.
+
+PRC findings anchor to stage indices (``Diagnostic.stage``), not source
+lines, so suppression uses ``ignore=("PRC...",)`` code globs (see
+:mod:`repro.analysis.suppress`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.suppress import apply_suppressions
+
+__all__ = [
+    "DEFAULT_PROBE_SIZES",
+    "check_pricing",
+    "probe_pricing_identity",
+]
+
+#: Geometric size ladder used by the monotonicity and identity probes.
+DEFAULT_PROBE_SIZES = tuple(float(2 ** k) for k in range(0, 21, 4))
+
+#: Relative tolerance for batched-vs-oracle agreement (PRC005) and
+#: monotonicity (PRC001): the two paths reorder float reductions.
+_RTOL = 1e-9
+
+
+def check_pricing(
+    pricing,
+    probe_sizes: Optional[Sequence[float]] = None,
+    ignore: Iterable[str] = (),
+) -> DiagnosticReport:
+    """Verify one :class:`~repro.simmpi.engine.SchedulePricing` object."""
+    report = DiagnosticReport(subject=f"pricing[{pricing.schedule_name}]")
+
+    # PRC004 — top-level structure
+    if pricing.p < 1:
+        report.add("PRC004", f"pricing has p={pricing.p}; need p >= 1")
+    if pricing.local_copy_units < 0:
+        report.add(
+            "PRC004",
+            f"negative local_copy_units ({pricing.local_copy_units}); local "
+            "data movement cannot be negative",
+        )
+
+    for idx, stage in enumerate(pricing.stages):
+        label = stage.label or f"stage {idx}"
+
+        # PRC004 — per-stage structure
+        if stage.repeat < 1:
+            report.add(
+                "PRC004",
+                f"{label}: repeat={stage.repeat}; every priced stage must run "
+                "at least once",
+                stage=idx,
+            )
+        if stage.n_messages < 0:
+            report.add(
+                "PRC004",
+                f"{label}: negative message count ({stage.n_messages})",
+                stage=idx,
+            )
+        alpha = np.asarray(stage.env_alpha, dtype=np.float64)
+        drain = np.asarray(stage.env_drain, dtype=np.float64)
+        if alpha.shape != drain.shape or alpha.ndim != 1:
+            report.add(
+                "PRC003",
+                f"{label}: envelope arrays disagree in shape "
+                f"({alpha.shape} vs {drain.shape}); must be equal-length 1-D",
+                stage=idx,
+            )
+            continue
+        if stage.n_messages > 0 and alpha.size == 0:
+            report.add(
+                "PRC003",
+                f"{label}: empty envelope for a stage carrying "
+                f"{stage.n_messages} message(s)",
+                stage=idx,
+            )
+            continue
+
+        # PRC002 — term sanity
+        bad_alpha = ~np.isfinite(alpha) | (alpha < 0)
+        bad_drain = ~np.isfinite(drain) | (drain < 0)
+        if bad_alpha.any():
+            report.add(
+                "PRC002",
+                f"{label}: {int(bad_alpha.sum())} negative/non-finite "
+                "env_alpha entr(ies); route alpha-sums are physically >= 0",
+                stage=idx,
+            )
+        if bad_drain.any():
+            report.add(
+                "PRC002",
+                f"{label}: {int(bad_drain.sum())} negative/non-finite "
+                "env_drain entr(ies); bandwidth drains are physically >= 0",
+                stage=idx,
+            )
+        if not np.isfinite(stage.unit_load_max) or stage.unit_load_max < 0:
+            report.add(
+                "PRC002",
+                f"{label}: unit_load_max={stage.unit_load_max}; per-link byte "
+                "load must be finite and >= 0",
+                stage=idx,
+            )
+
+        # PRC003 — envelope ordering (only meaningful on sane terms)
+        if not (bad_alpha.any() or bad_drain.any()) and alpha.size > 1:
+            if not np.all(np.diff(drain) > 0):
+                report.add(
+                    "PRC003",
+                    f"{label}: env_drain is not strictly increasing; the "
+                    "envelope holds duplicate or disordered lines",
+                    stage=idx,
+                )
+            elif not np.all(np.diff(alpha) <= 0):
+                report.add(
+                    "PRC003",
+                    f"{label}: env_alpha increases along increasing drain; a "
+                    "dominated line survived the Pareto sweep",
+                    stage=idx,
+                )
+
+    # PRC001 — behavioural monotonicity over a probe ladder
+    if not report.has("PRC002", "PRC003", "PRC004"):
+        sizes = np.asarray(
+            DEFAULT_PROBE_SIZES if probe_sizes is None else list(probe_sizes),
+            dtype=np.float64,
+        )
+        total = pricing.evaluate_sizes(sizes).total_seconds
+        tol = _RTOL * np.maximum(np.abs(total[:-1]), np.abs(total[1:]))
+        drops = np.flatnonzero(np.diff(total) < -tol)
+        for k in drops:
+            report.add(
+                "PRC001",
+                f"total latency decreases from {total[k]:.3e}s to "
+                f"{total[k + 1]:.3e}s as the block grows from "
+                f"{sizes[k]:g} to {sizes[k + 1]:g} bytes; pricing must be "
+                "monotone in size",
+            )
+
+    return apply_suppressions(report, ignore)
+
+
+def probe_pricing_identity(
+    engine=None,
+    schedule=None,
+    mapping=None,
+    probe_sizes: Optional[Sequence[float]] = None,
+    ignore: Iterable[str] = (),
+) -> DiagnosticReport:
+    """PRC005: batched envelope pricing vs. the per-size oracle.
+
+    With no arguments, builds a small canonical setup (2-node GPC
+    cluster, recursive-doubling allgather, identity mapping); any piece
+    can be injected for targeted probing or tests.
+    """
+    from repro.simmpi.engine import TimingEngine
+
+    report = DiagnosticReport(subject="pricing identity probe")
+    if engine is None or schedule is None:
+        from repro.collectives.allgather_rd import RecursiveDoublingAllgather
+        from repro.topology.gpc import gpc_cluster
+
+        cluster = gpc_cluster(n_nodes=2)
+        if engine is None:
+            engine = TimingEngine(cluster)
+        if schedule is None:
+            schedule = RecursiveDoublingAllgather().schedule(cluster.n_cores)
+    if mapping is None:
+        mapping = np.arange(schedule.p, dtype=np.int64)
+
+    sizes = np.asarray(
+        DEFAULT_PROBE_SIZES if probe_sizes is None else list(probe_sizes),
+        dtype=np.float64,
+    )
+    pricing = engine.pricing(schedule, mapping)
+    batched = pricing.evaluate_sizes(sizes).total_seconds
+    for k, size in enumerate(sizes):
+        oracle = engine.evaluate(schedule, mapping, float(size)).total_seconds
+        if not np.isclose(batched[k], oracle, rtol=1e-6, atol=1e-18):
+            report.add(
+                "PRC005",
+                f"size {size:g}: batched pricing gives {batched[k]:.6e}s, the "
+                f"per-size oracle {oracle:.6e}s; the envelope path drifted "
+                "from the reference implementation",
+            )
+    return apply_suppressions(report, ignore)

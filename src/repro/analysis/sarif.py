@@ -1,0 +1,106 @@
+"""SARIF 2.1.0 emission for audit results.
+
+CI annotation UIs (GitHub code scanning among them) ingest SARIF and
+render each result inline at its source location.  This module converts
+:class:`~repro.analysis.diagnostics.Diagnostic` records into a single
+SARIF run: every registered code becomes a ``reportingDescriptor``
+(rule) with its catalogue summary, source-anchored findings carry a
+``physicalLocation``, and object-anchored findings (FLT / PRC / parts
+of CCH) carry their schedule-space location in the message text plus a
+``logicalLocations`` entry, which SARIF allows in place of a file
+position.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.registry import RULES
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "to_sarif", "to_sarif_json"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_descriptor(code: str) -> Dict:
+    rule = RULES.get(code)
+    if rule is None:
+        return {"id": code, "shortDescription": {"text": f"unregistered code {code}"}}
+    return {
+        "id": rule.code,
+        "shortDescription": {"text": rule.summary},
+        "defaultConfiguration": {"level": _LEVELS.get(rule.severity, "error")},
+        "properties": {"family": rule.family},
+    }
+
+
+def _result(diag: Diagnostic, rule_index: Dict[str, int]) -> Dict:
+    result: Dict = {
+        "ruleId": diag.code,
+        "level": _LEVELS.get(diag.severity, "error"),
+        "message": {"text": diag.message},
+    }
+    if diag.code in rule_index:
+        result["ruleIndex"] = rule_index[diag.code]
+    if diag.path is not None:
+        region: Dict = {}
+        if diag.line:
+            region["startLine"] = int(diag.line)
+            # Diagnostic columns are 0-based AST offsets; SARIF is 1-based.
+            region["startColumn"] = int(diag.col or 0) + 1
+        location: Dict = {
+            "physicalLocation": {
+                "artifactLocation": {"uri": diag.path.replace("\\", "/")},
+            }
+        }
+        if region:
+            location["physicalLocation"]["region"] = region
+        result["locations"] = [location]
+    else:
+        logical = diag.location()
+        if logical:
+            result["locations"] = [
+                {"logicalLocations": [{"fullyQualifiedName": logical}]}
+            ]
+    return result
+
+
+def to_sarif(
+    diagnostics: Iterable[Diagnostic], tool_name: str = "repro-audit"
+) -> Dict:
+    """One-run SARIF 2.1.0 document for the given diagnostics."""
+    diagnostics = list(diagnostics)
+    used_codes = sorted({d.code for d in diagnostics} | set(RULES))
+    rules: List[Dict] = [_rule_descriptor(code) for code in used_codes]
+    rule_index = {code: i for i, code in enumerate(used_codes)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": "docs/static_analysis.md",
+                        "rules": rules,
+                    }
+                },
+                "results": [_result(d, rule_index) for d in diagnostics],
+            }
+        ],
+    }
+
+
+def to_sarif_json(
+    diagnostics: Iterable[Diagnostic], tool_name: str = "repro-audit"
+) -> str:
+    """:func:`to_sarif` serialised with a stable key order."""
+    return json.dumps(to_sarif(diagnostics, tool_name), indent=2, sort_keys=True)

@@ -1,0 +1,84 @@
+"""Uniform suppression for every diagnostic family.
+
+Two mechanisms, one implementation:
+
+* **Per-line ``# noqa``** — for source-anchored findings (the AST passes
+  REP/DET/PAR, and the reflection checks CCH, which anchor to the
+  ``def`` line of the function they inspected).  ``# noqa`` silences
+  every code on the line; ``# noqa: DET004`` (comma- or space-separated
+  lists allowed) silences the named codes only.  :class:`NoqaFilter`
+  reads the markers straight from the source text, so the mechanism
+  works identically for every family without per-family wiring.
+
+* **Code globs (``ignore=...``)** — for object-anchored findings (FLT
+  verifies :class:`~repro.faults.plan.FaultPlan` objects, PRC verifies
+  pricing tables; neither has a source line to comment).  Every checker
+  and the audit driver accept an ``ignore`` collection of exact codes
+  (``"FLT003"``) or family prefixes (``"PRC"``), applied by
+  :func:`apply_suppressions`.
+
+Suppressions are policy: each one in this repo must carry a
+justification comment (see ``docs/static_analysis.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
+
+__all__ = ["NoqaFilter", "apply_suppressions", "matches_ignore"]
+
+
+class NoqaFilter:
+    """Per-line ``# noqa`` suppression, read straight from the source."""
+
+    def __init__(self, source: str) -> None:
+        self.lines = source.splitlines()
+
+    def suppressed(self, line: int, code: str) -> bool:
+        """True iff ``code`` is silenced on 1-indexed ``line``."""
+        if not 1 <= line <= len(self.lines):
+            return False
+        text = self.lines[line - 1]
+        if "# noqa" not in text:
+            return False
+        marker = text.split("# noqa", 1)[1].strip()
+        if not marker.startswith(":"):
+            return True  # bare "# noqa" silences everything
+        return code in marker[1:].replace(",", " ").split()
+
+    def has_marker(self, line: int, marker: str) -> bool:
+        """True iff 1-indexed ``line`` carries the literal ``marker``."""
+        return 1 <= line <= len(self.lines) and marker in self.lines[line - 1]
+
+    def filter(self, diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+        """Drop every diagnostic suppressed at its own line."""
+        return [
+            d
+            for d in diagnostics
+            if not (d.line is not None and self.suppressed(d.line, d.code))
+        ]
+
+
+def matches_ignore(code: str, ignore: Iterable[str]) -> bool:
+    """True iff ``code`` matches an exact code or family prefix in ``ignore``."""
+    for pattern in ignore:
+        pattern = pattern.rstrip("*")
+        if code == pattern or (len(pattern) < len(code) and code.startswith(pattern)):
+            return True
+    return False
+
+
+def apply_suppressions(
+    report: DiagnosticReport, ignore: Iterable[str] = ()
+) -> DiagnosticReport:
+    """A copy of ``report`` with every ``ignore``-matched finding removed."""
+    ignore = tuple(ignore)
+    if not ignore:
+        return report
+    kept = DiagnosticReport(subject=report.subject)
+    kept.diagnostics = [
+        d for d in report.diagnostics if not matches_ignore(d.code, ignore)
+    ]
+    return kept

@@ -104,7 +104,9 @@ _WORKER_EVALUATOR: Optional[AllgatherEvaluator] = None
 
 
 def _init_worker(evaluator: AllgatherEvaluator) -> None:
-    global _WORKER_EVALUATOR
+    # intentional per-worker cache: each pool child sets its own copy once,
+    # at initialization, before any cell runs — no cross-process aliasing
+    global _WORKER_EVALUATOR  # noqa: PAR001
     _WORKER_EVALUATOR = evaluator
 
 

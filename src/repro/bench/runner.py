@@ -116,7 +116,10 @@ _RUNNER_EVALUATOR: Optional[Tuple[str, AllgatherEvaluator]] = None
 
 
 def _evaluator_for(spec: SweepSpec) -> AllgatherEvaluator:
-    global _RUNNER_EVALUATOR
+    # intentional per-worker cache: the tuple swap is atomic, the value is
+    # derived only from the spec fingerprint, and each process (pool child
+    # or in-process caller) owns its private copy
+    global _RUNNER_EVALUATOR  # noqa: PAR001
     fp = spec.fingerprint()
     if _RUNNER_EVALUATOR is None or _RUNNER_EVALUATOR[0] != fp:
         _RUNNER_EVALUATOR = (fp, AllgatherEvaluator(gpc_cluster(spec.n_nodes), rng=0))

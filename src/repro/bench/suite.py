@@ -24,6 +24,7 @@ from repro.mapping.initial import INITIAL_LAYOUTS, make_layout
 from repro.mapping.reorder import reorder_ranks
 from repro.topology.distances import DistanceExtractor
 from repro.topology.gpc import gpc_cluster
+from repro.util.atomicio import atomic_write_text
 
 __all__ = ["SuiteResult", "run_suite", "QUICK_SIZES"]
 
@@ -45,7 +46,7 @@ class SuiteResult:
         paths = []
         for name, text in self.reports.items():
             path = directory / f"{name}.txt"
-            path.write_text(text + "\n")
+            atomic_write_text(path, text + "\n")
             paths.append(path)
         return paths
 

@@ -16,7 +16,10 @@ The subcommands mirror the paper's workflow:
 * ``perf``      — time the batched sweep pipeline vs. the naive per-size
   loop and persist the measurement to ``BENCH_sweep.json``;
 * ``verify``    — static schedule / mapping verification (no simulation);
-* ``lint``      — repo-specific AST lint pass (REP00x rules).
+* ``lint``      — repo-specific AST lint pass (REP00x rules);
+* ``audit``     — whole-pipeline static audit: lint + determinism,
+  concurrency, cache-key, fault-plan and pricing analyzers, with JSON
+  and SARIF report output (see ``docs/static_analysis.md``).
 
 Simulation commands accept ``--nodes`` to size the GPC-class cluster
 (processes = 8 x nodes) and print plain-text tables.
@@ -208,7 +211,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_lint = sub.add_parser("lint", help="repo-specific AST lint pass (REP00x)")
-    p_lint.add_argument("paths", nargs="*", default=["src"], help="files or directories")
+    p_lint.add_argument(
+        "paths", nargs="*", default=[],
+        help="files or directories (default: src tests benchmarks examples)",
+    )
+
+    p_aud = sub.add_parser(
+        "audit",
+        help="whole-pipeline static audit (REP/SCH/MAP/TOP/DET/PAR/CCH/FLT/PRC)",
+    )
+    p_aud.add_argument(
+        "paths", nargs="*", default=None,
+        help="source trees for the AST passes (default: src tests benchmarks examples)",
+    )
+    p_aud.add_argument(
+        "--nodes", type=int, default=4,
+        help="probe-cluster nodes for the behavioural sections (8 cores each)",
+    )
+    p_aud.add_argument(
+        "--sizes", type=int, nargs="+", default=None,
+        help="communicator sizes for the schedule section",
+    )
+    p_aud.add_argument(
+        "--artifacts", default=None, help="directory of fault-plan JSON artifacts"
+    )
+    p_aud.add_argument(
+        "--cache-dir", default=None,
+        help="mapping-cache directory to audit (default: $REPRO_MAPPING_CACHE)",
+    )
+    p_aud.add_argument(
+        "--ignore", action="append", default=[],
+        help="diagnostic code or family prefix to suppress (repeatable)",
+    )
+    p_aud.add_argument(
+        "--skip-family", action="append", default=[],
+        help="section name or family prefix to skip entirely (repeatable)",
+    )
+    p_aud.add_argument("--json", default=None, help="write the JSON report here")
+    p_aud.add_argument("--sarif", default=None, help="write the SARIF 2.1.0 report here")
     return parser
 
 
@@ -556,6 +596,28 @@ def _cmd_lint(args) -> int:
     return lint_main(args.paths)
 
 
+def _cmd_audit(args) -> int:
+    from repro.analysis.audit import main as audit_main
+
+    argv: List[str] = list(args.paths or [])
+    argv += ["--nodes", str(args.nodes)]
+    if args.sizes:
+        argv += ["--sizes", *[str(s) for s in args.sizes]]
+    if args.artifacts:
+        argv += ["--artifacts", args.artifacts]
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
+    for code in args.ignore:
+        argv += ["--ignore", code]
+    for family in args.skip_family:
+        argv += ["--skip-family", family]
+    if args.json:
+        argv += ["--json", args.json]
+    if args.sarif:
+        argv += ["--sarif", args.sarif]
+    return audit_main(argv)
+
+
 _COMMANDS = {
     "topo": _cmd_topo,
     "sweep": _cmd_sweep,
@@ -569,6 +631,7 @@ _COMMANDS = {
     "perf": _cmd_perf,
     "verify": _cmd_verify,
     "lint": _cmd_lint,
+    "audit": _cmd_audit,
 }
 
 

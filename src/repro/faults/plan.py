@@ -111,6 +111,36 @@ class FaultEvent:
             return seconds >= self.onset_seconds
         return self.active_at_stage(stage_index)
 
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (round-trips via :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "onset_stage": int(self.onset_stage),
+            "onset_seconds": (
+                None if self.onset_seconds is None else float(self.onset_seconds)
+            ),
+            "node": None if self.node is None else int(self.node),
+            "links": [int(x) for x in self.links],
+            "factor": float(self.factor),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        """Rebuild an event from :meth:`to_dict` output (re-validates)."""
+        return cls(
+            kind=data["kind"],
+            onset_stage=int(data.get("onset_stage", 0)),
+            onset_seconds=(
+                None
+                if data.get("onset_seconds") is None
+                else float(data["onset_seconds"])
+            ),
+            node=None if data.get("node") is None else int(data["node"]),
+            links=tuple(int(x) for x in data.get("links", ())),
+            factor=float(data.get("factor", 1.0)),
+        )
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -133,6 +163,16 @@ class FaultPlan:
 
     def with_event(self, event: FaultEvent) -> "FaultPlan":
         return FaultPlan(self.events + (event,))
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable form: sweep configs and audit artifacts."""
+        return {"events": [ev.to_dict() for ev in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output (re-validates events)."""
+        return cls(tuple(FaultEvent.from_dict(e) for e in data.get("events", ())))
 
     # ------------------------------------------------------------------
     def validate(self, cluster) -> None:

@@ -20,6 +20,7 @@ from repro.collectives.schedule import Schedule
 from repro.simmpi.costmodel import CostModel
 from repro.simmpi.eventsim import EventDrivenEngine
 from repro.topology.cluster import ClusterTopology
+from repro.util.atomicio import atomic_write_text
 
 __all__ = ["MessageEvent", "record_timeline", "to_chrome_trace", "export_chrome_trace"]
 
@@ -138,6 +139,4 @@ def export_chrome_trace(
 ) -> Path:
     """Record and write a Chrome trace for one collective run."""
     events = record_timeline(cluster, schedule, mapping, block_bytes, cost_model)
-    path = Path(path)
-    path.write_text(json.dumps(to_chrome_trace(events)))
-    return path
+    return atomic_write_text(Path(path), json.dumps(to_chrome_trace(events)))

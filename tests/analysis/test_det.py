@@ -1,0 +1,154 @@
+"""Determinism-lint tests: one positive and one negative case per DET rule."""
+
+import textwrap
+
+from repro.analysis.det import check_determinism_paths, check_determinism_source, main
+
+
+def codes(source, path="src/repro/somewhere.py"):
+    return [d.code for d in check_determinism_source(textwrap.dedent(source), path)]
+
+
+class TestDet001UnseededRng:
+    def test_make_rng_none_flagged(self):
+        src = """
+        from repro.util.rng import make_rng
+
+        def f():
+            return make_rng(None)
+        """
+        assert codes(src) == ["DET001"]
+
+    def test_seed_kwarg_none_flagged(self):
+        assert codes("rng = make_rng(seed=None)\n") == ["DET001"]
+
+    def test_global_seed_flagged(self):
+        assert codes("import random\nrandom.seed(3)\n", path="x.py") == ["DET001"]
+        assert codes("np.random.seed(3)\n", path="x.py") == ["DET001"]
+
+    def test_explicit_seed_clean(self):
+        assert codes("rng = make_rng(0)\n") == []
+
+    def test_rng_module_exempt(self):
+        assert codes("rng = make_rng(None)\n", path="src/repro/util/rng.py") == []
+
+
+class TestDet002SetIteration:
+    def test_for_over_set_literal_flagged(self):
+        assert codes("for x in {1, 2, 3}:\n    pass\n") == ["DET002"]
+
+    def test_for_over_set_call_flagged(self):
+        assert codes("for x in set(items):\n    pass\n") == ["DET002"]
+
+    def test_comprehension_over_setcomp_flagged(self):
+        assert codes("out = [f(x) for x in {a for a in y}]\n") == ["DET002"]
+
+    def test_list_of_set_flagged(self):
+        assert codes("out = list({1, 2})\n") == ["DET002"]
+
+    def test_sorted_set_clean(self):
+        assert codes("for x in sorted({1, 2, 3}):\n    pass\n") == []
+
+    def test_membership_clean(self):
+        assert codes("ok = x in {1, 2, 3}\n") == []
+
+
+class TestDet003WallClock:
+    def test_wallclock_in_fingerprint_func_flagged(self):
+        src = """
+        import time
+
+        def topology_fingerprint():
+            return f"{time.time()}"
+        """
+        assert codes(src) == ["DET003"]
+
+    def test_wallclock_in_cache_key_func_flagged(self):
+        src = """
+        import time
+
+        def mapping_cache_key():
+            return time.time()
+        """
+        assert codes(src) == ["DET003"]
+
+    def test_wallclock_into_hash_flagged(self):
+        src = """
+        import hashlib, time
+
+        def f():
+            return hashlib.sha256(time.time())
+        """
+        assert codes(src) == ["DET003"]
+
+    def test_wallclock_in_benchmark_metadata_clean(self):
+        src = """
+        import time
+
+        def run_bench():
+            return {"timestamp": time.time()}
+        """
+        assert codes(src) == []
+
+
+class TestDet004UnsortedScan:
+    def test_bare_listdir_flagged(self):
+        assert codes("for f in os.listdir(d):\n    pass\n") == ["DET004"]
+
+    def test_bare_glob_method_flagged(self):
+        assert codes("names = [p.name for p in root.glob('*.json')]\n") == ["DET004"]
+
+    def test_sorted_scan_clean(self):
+        assert codes("for f in sorted(os.listdir(d)):\n    pass\n") == []
+
+    def test_sorted_generator_over_scan_clean(self):
+        assert codes("names = sorted(p.name for p in root.iterdir())\n") == []
+
+    def test_order_insensitive_reducers_clean(self):
+        assert codes("n = len(list(root.glob('*.json')))\n") == []
+        assert codes("present = any(root.rglob('*.tmp'))\n") == []
+
+
+class TestDet005CompletionOrder:
+    def test_as_completed_flagged(self):
+        src = """
+        from concurrent.futures import as_completed
+
+        def drain(futs):
+            return [f.result() for f in as_completed(futs)]
+        """
+        assert codes(src) == ["DET005"]
+
+    def test_imap_unordered_flagged(self):
+        assert codes("for r in pool.imap_unordered(f, xs):\n    pass\n") == ["DET005"]
+
+    def test_ordered_map_clean(self):
+        assert codes("results = list(pool.map(f, xs))\n") == []
+
+
+class TestSuppression:
+    def test_noqa_code_suppresses(self):
+        assert codes("for x in {1, 2}:  # noqa: DET002\n    pass\n") == []
+
+    def test_bare_noqa_suppresses(self):
+        assert codes("rng = make_rng(None)  # noqa\n") == []
+
+    def test_other_code_does_not_suppress(self):
+        assert codes("for x in {1, 2}:  # noqa: DET001\n    pass\n") == ["DET002"]
+
+
+class TestDriver:
+    def test_repo_src_is_clean(self):
+        report = check_determinism_paths(["src"])
+        assert [str(d) for d in report.diagnostics] == []
+
+    def test_syntax_error_reported(self):
+        assert codes("def broken(:\n") == ["REP000"]
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("for x in {1, 2}:\n    pass\n")
+        assert main([str(bad)]) == 1
+        good = tmp_path / "good.py"
+        good.write_text("for x in sorted({1, 2}):\n    pass\n")
+        assert main([str(good)]) == 0

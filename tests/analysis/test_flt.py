@@ -1,0 +1,165 @@
+"""Fault-plan verifier tests: one positive and one negative case per FLT rule."""
+
+import pytest
+
+from repro.analysis.flt import verify_fault_plan
+from repro.collectives.allgather_rd import RecursiveDoublingAllgather
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    cable_degradation,
+    hca_retrain,
+    single_node_failure,
+)
+from repro.topology.gpc import gpc_cluster
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return gpc_cluster(n_nodes=4)
+
+
+@pytest.fixture(scope="module")
+def schedule(cluster):
+    return RecursiveDoublingAllgather().schedule(cluster.n_cores)
+
+
+class TestFlt001RoundClock:
+    def test_onset_beyond_schedule_flagged(self, schedule):
+        plan = single_node_failure(0, onset_stage=schedule.n_stages())
+        report = verify_fault_plan(plan, schedule=schedule)
+        assert report.codes() == ["FLT001"]
+
+    def test_last_round_onset_clean(self, schedule):
+        plan = hca_retrain(0, factor=2.0, onset_stage=schedule.n_stages() - 1)
+        report = verify_fault_plan(plan, schedule=schedule)
+        assert not report.has("FLT001")
+
+    def test_repeat_expansion_is_the_clock(self, cluster):
+        from repro.collectives.registry import make_algorithm
+
+        ring = make_algorithm("ring").schedule(cluster.n_cores)
+        assert ring.n_stages() > len(ring.stages)  # repeats expanded
+        plan = hca_retrain(0, factor=2.0, onset_stage=len(ring.stages) + 1)
+        assert not verify_fault_plan(plan, schedule=ring).has("FLT001")
+
+
+class TestFlt002Targets:
+    def test_missing_node_flagged(self, cluster, schedule):
+        plan = single_node_failure(cluster.n_nodes, onset_stage=1)
+        report = verify_fault_plan(plan, schedule=schedule, cluster=cluster)
+        assert report.has("FLT002")
+
+    def test_missing_link_flagged(self, cluster):
+        plan = cable_degradation([cluster.n_links], factor=2.0)
+        assert verify_fault_plan(plan, cluster=cluster).has("FLT002")
+
+    def test_unsurvivable_plan_flagged(self, cluster):
+        plan = FaultPlan(
+            tuple(
+                FaultEvent(kind="node-fail", node=n, onset_stage=1)
+                for n in range(cluster.n_nodes - 1)
+            )
+        )
+        report = verify_fault_plan(plan, cluster=cluster)
+        assert report.has("FLT002")
+
+    def test_valid_targets_clean(self, cluster, schedule):
+        plan = single_node_failure(cluster.n_nodes - 1, onset_stage=1)
+        report = verify_fault_plan(plan, schedule=schedule, cluster=cluster)
+        assert not report.has("FLT002")
+
+
+class TestFlt003Pow2:
+    def test_pow2_loss_warned(self, cluster, schedule):
+        plan = single_node_failure(1, onset_stage=1)
+        report = verify_fault_plan(plan, schedule=schedule, cluster=cluster)
+        assert report.has("FLT003")
+        assert all(d.severity == "warning" for d in report.diagnostics
+                   if d.code == "FLT003")
+        assert report.ok()  # warnings do not gate
+
+    def test_degradation_only_plan_no_warning(self, cluster):
+        plan = hca_retrain(0, factor=2.0, onset_stage=1)
+        assert not verify_fault_plan(plan, cluster=cluster).has("FLT003")
+
+
+class TestFlt004FactorRange:
+    def test_noop_factor_flagged(self):
+        plan = hca_retrain(0, factor=1.0, onset_stage=1)
+        assert verify_fault_plan(plan).codes() == ["FLT004"]
+
+    def test_infinite_factor_flagged(self):
+        plan = cable_degradation([0], factor=float("inf"), onset_stage=1)
+        assert verify_fault_plan(plan).codes() == ["FLT004"]
+
+    def test_absurd_factor_flagged(self):
+        plan = hca_retrain(0, factor=1e9, onset_stage=1)
+        assert verify_fault_plan(plan).codes() == ["FLT004"]
+
+    def test_physical_factor_clean(self):
+        plan = hca_retrain(0, factor=4.0, onset_stage=1)
+        assert not verify_fault_plan(plan).has("FLT004")
+
+
+class TestFlt005ClockAgreement:
+    def test_disagreeing_clocks_flagged(self):
+        plan = FaultPlan(
+            (
+                FaultEvent(kind="hca-retrain", node=0, factor=2.0,
+                           onset_stage=1, onset_seconds=5.0),
+                FaultEvent(kind="cable-degrade", links=(0,), factor=2.0,
+                           onset_stage=3, onset_seconds=1.0),
+            )
+        )
+        assert verify_fault_plan(plan).has("FLT005")
+
+    def test_agreeing_clocks_clean(self):
+        plan = FaultPlan(
+            (
+                FaultEvent(kind="hca-retrain", node=0, factor=2.0,
+                           onset_stage=1, onset_seconds=1.0),
+                FaultEvent(kind="cable-degrade", links=(0,), factor=2.0,
+                           onset_stage=3, onset_seconds=5.0),
+            )
+        )
+        assert not verify_fault_plan(plan).has("FLT005")
+
+    def test_stage_only_events_not_compared(self):
+        plan = FaultPlan(
+            (
+                FaultEvent(kind="hca-retrain", node=0, factor=2.0, onset_stage=1),
+                FaultEvent(kind="cable-degrade", links=(0,), factor=2.0,
+                           onset_stage=3, onset_seconds=1.0),
+            )
+        )
+        assert not verify_fault_plan(plan).has("FLT005")
+
+
+class TestSuppression:
+    def test_ignore_exact_code(self, cluster, schedule):
+        plan = single_node_failure(1, onset_stage=1)
+        report = verify_fault_plan(
+            plan, schedule=schedule, cluster=cluster, ignore=("FLT003",)
+        )
+        assert not report.has("FLT003")
+
+    def test_ignore_family_prefix(self):
+        plan = hca_retrain(0, factor=1.0, onset_stage=1)
+        assert verify_fault_plan(plan, ignore=("FLT",)).diagnostics == []
+
+
+class TestRoundTrip:
+    def test_plan_json_round_trip(self):
+        plan = FaultPlan(
+            (
+                FaultEvent(kind="node-fail", node=2, onset_stage=3),
+                FaultEvent(kind="cable-degrade", links=(1, 4), factor=2.5,
+                           onset_seconds=0.25),
+            )
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_from_dict_revalidates(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_dict({"events": [{"kind": "node-fail"}]})

@@ -1,0 +1,184 @@
+"""Pricing-invariant tests: one positive and one negative case per PRC rule."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.prc import check_pricing, probe_pricing_identity
+from repro.collectives.allgather_rd import RecursiveDoublingAllgather
+from repro.simmpi.engine import StagePricing, TimingEngine
+from repro.topology.gpc import gpc_cluster
+
+
+@pytest.fixture(scope="module")
+def pricing():
+    cluster = gpc_cluster(n_nodes=2)
+    engine = TimingEngine(cluster)
+    schedule = RecursiveDoublingAllgather().schedule(cluster.n_cores)
+    return engine.pricing(schedule, np.arange(cluster.n_cores, dtype=np.int64))
+
+
+def _doctor(pricing, stage_index=0, **overrides):
+    """A shallow clone of ``pricing`` with one stage's fields replaced."""
+    import copy
+
+    clone = copy.copy(pricing)
+    clone.stages = list(pricing.stages)
+    stage = clone.stages[stage_index]
+    fields = {
+        "label": stage.label,
+        "repeat": stage.repeat,
+        "n_messages": stage.n_messages,
+        "env_alpha": stage.env_alpha,
+        "env_drain": stage.env_drain,
+        "unit_load_max": stage.unit_load_max,
+    }
+    fields.update(overrides)
+    clone.stages[stage_index] = StagePricing(**fields)
+    return clone
+
+
+class TestPrc001Monotonicity:
+    def test_real_pricing_is_monotone(self, pricing):
+        assert not check_pricing(pricing).has("PRC001")
+
+    def test_negative_drain_caught_structurally_first(self, pricing):
+        bad = _doctor(
+            pricing,
+            env_alpha=np.asarray([1e-6]),
+            env_drain=np.asarray([-1e-9]),
+        )
+        # a corrupt drain is caught structurally (PRC002) before the
+        # behavioural probe runs, so the probe never sees garbage tables
+        assert check_pricing(bad).has("PRC002")
+
+    def test_non_monotone_behaviour_flagged(self, pricing):
+        outer = pricing
+
+        class NonMonotone:
+            schedule_name = outer.schedule_name
+            p = outer.p
+            local_copy_units = outer.local_copy_units
+            stages = outer.stages
+
+            def evaluate_sizes(self, sizes, extra_copy_bytes=0.0):
+                result = outer.evaluate_sizes(sizes, extra_copy_bytes)
+                result.total_seconds = result.total_seconds[::-1].copy()
+                return result
+
+        assert check_pricing(NonMonotone()).codes() == ["PRC001"]
+
+
+class TestPrc002TermSanity:
+    def test_real_terms_are_sane(self, pricing):
+        assert not check_pricing(pricing).has("PRC002")
+
+    def test_negative_alpha_flagged(self, pricing):
+        bad = _doctor(pricing, env_alpha=-np.abs(pricing.stages[0].env_alpha))
+        assert check_pricing(bad).has("PRC002")
+
+    def test_nan_drain_flagged(self, pricing):
+        drain = pricing.stages[0].env_drain.copy()
+        drain[0] = np.nan
+        assert check_pricing(_doctor(pricing, env_drain=drain)).has("PRC002")
+
+    def test_negative_unit_load_flagged(self, pricing):
+        assert check_pricing(_doctor(pricing, unit_load_max=-1.0)).has("PRC002")
+
+
+class TestPrc003Envelope:
+    def test_real_envelope_is_valid(self, pricing):
+        assert not check_pricing(pricing).has("PRC003")
+
+    def test_duplicate_drain_flagged(self, pricing):
+        stage = pricing.stages[0]
+        drain = np.repeat(stage.env_drain[:1], 2)
+        alpha = np.repeat(stage.env_alpha[:1], 2)
+        assert check_pricing(
+            _doctor(pricing, env_drain=drain, env_alpha=alpha)
+        ).has("PRC003")
+
+    def test_dominated_line_flagged(self, pricing):
+        stage = pricing.stages[0]
+        base_a = float(stage.env_alpha[0])
+        base_d = float(stage.env_drain[0])
+        # second line has larger drain AND larger alpha: dominates the
+        # first, so the first should have been dropped by the sweep
+        alpha = np.asarray([base_a, base_a * 2 + 1e-9])
+        drain = np.asarray([base_d, base_d * 2 + 1e-12])
+        assert check_pricing(
+            _doctor(pricing, env_alpha=alpha, env_drain=drain)
+        ).has("PRC003")
+
+    def test_shape_mismatch_flagged(self, pricing):
+        stage = pricing.stages[0]
+        assert check_pricing(
+            _doctor(pricing, env_alpha=np.append(stage.env_alpha, 1.0))
+        ).has("PRC003")
+
+    def test_empty_envelope_with_messages_flagged(self, pricing):
+        assert check_pricing(
+            _doctor(
+                pricing,
+                env_alpha=np.asarray([]),
+                env_drain=np.asarray([]),
+            )
+        ).has("PRC003")
+
+
+class TestPrc004Structure:
+    def test_real_structure_is_valid(self, pricing):
+        assert not check_pricing(pricing).has("PRC004")
+
+    def test_zero_repeat_flagged(self, pricing):
+        assert check_pricing(_doctor(pricing, repeat=0)).has("PRC004")
+
+    def test_negative_message_count_flagged(self, pricing):
+        assert check_pricing(_doctor(pricing, n_messages=-1)).has("PRC004")
+
+    def test_negative_copy_units_flagged(self, pricing):
+        import copy
+
+        bad = copy.copy(pricing)
+        bad.local_copy_units = -1.0
+        assert check_pricing(bad).has("PRC004")
+
+
+class TestPrc005BatchedIdentity:
+    def test_default_probe_is_clean(self):
+        report = probe_pricing_identity()
+        assert [str(d) for d in report.diagnostics] == []
+
+    def test_injected_disagreement_is_caught(self, pricing):
+        class LyingPricing:
+            schedule_name = pricing.schedule_name
+            p = pricing.p
+
+            def evaluate_sizes(self, sizes, extra_copy_bytes=0.0):
+                real = pricing.evaluate_sizes(sizes, extra_copy_bytes)
+                real.total_seconds = real.total_seconds * 1.5
+                return real
+
+        class LyingEngine:
+            def pricing(self, schedule, mapping):
+                return LyingPricing()
+
+            def evaluate(self, schedule, mapping, block_bytes):
+                cluster = gpc_cluster(n_nodes=2)
+                return TimingEngine(cluster).evaluate(schedule, mapping, block_bytes)
+
+        report = probe_pricing_identity(
+            engine=LyingEngine(),
+            schedule=RecursiveDoublingAllgather().schedule(pricing.p),
+        )
+        assert report.codes() == ["PRC005"]
+
+
+class TestSuppression:
+    def test_ignore_family_prefix(self, pricing):
+        report = check_pricing(_doctor(pricing, repeat=0), ignore=("PRC",))
+        assert report.diagnostics == []
+
+    def test_ignore_exact_code_keeps_others(self, pricing):
+        bad = _doctor(pricing, repeat=0, n_messages=-1)
+        report = check_pricing(bad, ignore=("PRC001",))
+        assert report.has("PRC004")

@@ -8,12 +8,13 @@ from repro.collectives.allreduce import (
     RecursiveDoublingAllreduce,
     simulate_allreduce,
 )
+from repro.util.rng import make_rng
 
 
 class TestSimulate:
     @pytest.mark.parametrize("p", [2, 4, 8, 16])
     def test_sum_reduction(self, p):
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         inputs = rng.integers(0, 100, size=(p, 5))
         out = simulate_allreduce(inputs)
         expect = inputs.sum(axis=0)

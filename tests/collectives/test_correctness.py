@@ -16,6 +16,7 @@ from repro.collectives.correctness import (
 )
 from repro.collectives.hierarchical import HierarchicalAllgather, contiguous_groups
 from repro.simmpi.costmodel import CostModel
+from repro.util.rng import make_rng
 
 
 def reordering_from_perm(perm):
@@ -99,19 +100,19 @@ class TestExecuteReordered:
     @pytest.mark.parametrize("strategy", ["initcomm", "endshfl"])
     @pytest.mark.parametrize("alg", [RecursiveDoublingAllgather(), BruckAllgather()])
     def test_rd_bruck_strategies(self, alg, strategy):
-        rng = np.random.default_rng(3)
+        rng = make_rng(3)
         ro = reordering_from_perm(rng.permutation(16))
         out = execute_reordered_allgather(alg, ro, strategy)
         self.assert_ordered(out, 16)
 
     def test_ring_inline(self):
-        rng = np.random.default_rng(4)
+        rng = make_rng(4)
         ro = reordering_from_perm(rng.permutation(12))
         out = execute_reordered_allgather(RingAllgather(), ro, "inline")
         self.assert_ordered(out, 12)
 
     def test_hierarchical_reordered(self):
-        rng = np.random.default_rng(5)
+        rng = make_rng(5)
         ro = reordering_from_perm(rng.permutation(16))
         alg = HierarchicalAllgather(contiguous_groups(16, 4), "rd", "binomial")
         for strategy in ("initcomm", "endshfl"):

@@ -9,6 +9,7 @@ from repro.collectives.allgather_rd import RecursiveDoublingAllgather
 from repro.collectives.allgather_rd_nonpow2 import FoldedRecursiveDoublingAllgather
 from repro.collectives.correctness import RankReordering, execute_reordered_allgather
 from repro.simmpi.data import DataExecutor
+from repro.util.rng import make_rng
 
 
 def run(p):
@@ -63,7 +64,7 @@ class TestStructure:
 class TestReordering:
     @pytest.mark.parametrize("strategy", ["initcomm", "endshfl"])
     def test_order_restoration(self, strategy):
-        rng = np.random.default_rng(2)
+        rng = make_rng(2)
         ro = RankReordering(layout=np.arange(12), mapping=rng.permutation(12))
         out = execute_reordered_allgather(FoldedRecursiveDoublingAllgather(), ro, strategy)
         expected = np.arange(12) * 1000003 + 7

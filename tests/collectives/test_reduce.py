@@ -5,12 +5,13 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.collectives.reduce import BinomialReduce, simulate_reduce
+from repro.util.rng import make_rng
 
 
 class TestSimulate:
     @pytest.mark.parametrize("p", [2, 3, 5, 8, 13, 16])
     def test_sum(self, p):
-        rng = np.random.default_rng(p)
+        rng = make_rng(p)
         inputs = rng.integers(0, 1000, size=(p, 4))
         out = simulate_reduce(inputs)
         assert np.array_equal(out, inputs.sum(axis=0))
@@ -29,7 +30,7 @@ class TestSimulate:
     @given(p=st.integers(2, 40), root=st.integers(0, 39))
     def test_any_size_and_root(self, p, root):
         root = root % p
-        rng = np.random.default_rng(p * 41 + root)
+        rng = make_rng(p * 41 + root)
         inputs = rng.integers(0, 100, size=(p, 3))
         out = simulate_reduce(inputs, root=root)
         assert np.array_equal(out, inputs.sum(axis=0))
@@ -69,7 +70,7 @@ class TestSchedule:
         """The fixed message size makes BBMH the matching heuristic."""
         from repro.mapping.bbmh import BBMH
 
-        rng = np.random.default_rng(5)
+        rng = make_rng(5)
         L = rng.permutation(64)
         M = BBMH(tie_break="first").map(L, mid_D, rng=0)
         sched = BinomialReduce().schedule(64)

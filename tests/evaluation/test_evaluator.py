@@ -5,6 +5,7 @@ import pytest
 
 from repro.evaluation.evaluator import AllgatherEvaluator
 from repro.mapping.initial import block_bunch, cyclic_scatter, make_layout
+from repro.util.rng import make_rng
 
 
 @pytest.fixture(scope="module")
@@ -146,7 +147,7 @@ class TestIntraHeuristicChoice:
     def test_choices_can_differ(self, mid_cluster):
         import numpy as np
 
-        rng = np.random.default_rng(3)
+        rng = make_rng(3)
         L = make_layout("block-bunch", mid_cluster, 64).reshape(8, 8)
         for row in L:
             rng.shuffle(row)

@@ -6,6 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.evaluation.evaluator import AllgatherEvaluator
 from repro.mapping.initial import block_bunch, block_scatter
+from repro.util.rng import make_rng
 
 
 @pytest.fixture(scope="module")
@@ -20,7 +21,7 @@ class TestComposition:
         """For any block-style layout the composed hierarchical mapping is
         (a) a permutation of the layout's cores, (b) node-aligned groups,
         (c) leaders are group heads."""
-        rng = np.random.default_rng(seed)
+        rng = make_rng(seed)
         # block layout with per-node random intra order (a realistic pinning)
         L = block_bunch(mid_cluster, 64).reshape(8, 8)
         for row in L:

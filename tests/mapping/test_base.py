@@ -109,7 +109,7 @@ class TestCorePool:
         """The cached masked-scan query yields *identical* placement
         sequences (and rng consumption) to the naive rebuild-per-query
         reference, in both tie-break modes."""
-        rng = np.random.default_rng(seed)
+        rng = make_rng(seed)
         cores = rng.permutation(mid_D.shape[0])[:48]
         fast = CorePool(mid_D, cores, rng=seed, tie_break=tie_break)
         slow = _NaiveCorePool(mid_D, cores, rng=seed, tie_break=tie_break)

@@ -27,6 +27,7 @@ from repro.topology.cluster import (
     LinkClass,
 )
 from repro.topology.gpc import gpc_cluster
+from repro.util.rng import make_rng
 
 HEURISTICS = [RMH, RDMH, BBMH, BGMH, BruckMH]
 #: Heuristics without a power-of-two constraint on p.
@@ -132,7 +133,7 @@ class TestHierarchicalFreePool:
         cores = np.arange(24)
         a = CorePool(mid_D, cores, rng=0)
         b = HierarchicalFreePool(mid_cluster.implicit_distances(), cores, rng=0)
-        rng = np.random.default_rng(123)
+        rng = make_rng(123)
         for _ in range(20):
             ref = int(rng.integers(24))
             ca, cb = a.closest_free(ref), b.closest_free(ref)

@@ -19,6 +19,7 @@ from repro.mapping.metrics import hop_bytes
 from repro.mapping.patterns import build_pattern
 from repro.mapping.rdmh import RDMH
 from repro.mapping.rmh import RMH
+from repro.util.rng import make_rng
 
 ALL_HEURISTICS = [RDMH(), RMH(), BBMH(), BGMH(), BruckMH()]
 
@@ -55,7 +56,7 @@ class TestCommonContract:
     @given(seed=st.integers(0, 10**6))
     def test_random_layouts(self, mid_cluster, mid_D, seed):
         """Contract holds from arbitrary initial placements."""
-        rng = np.random.default_rng(seed)
+        rng = make_rng(seed)
         layout = rng.permutation(32)
         for mapper in (RDMH(), RMH(), BGMH()):
             check_contract(mapper, layout, mid_D)

@@ -10,6 +10,7 @@ from repro.mapping.optimal import OptimalMapper
 from repro.mapping.patterns import build_pattern
 from repro.mapping.rdmh import RDMH
 from repro.mapping.rmh import RMH
+from repro.util.rng import make_rng
 
 
 @pytest.fixture(scope="module")
@@ -31,7 +32,7 @@ class TestExhaustiveSearch:
         assert M[0] == layout[0]
 
     def test_never_worse_than_any_heuristic(self, D8):
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         for pattern, heuristic in [
             ("ring", RMH(tie_break="first")),
             ("recursive-doubling", RDMH(tie_break="first")),
@@ -65,7 +66,7 @@ class TestHeuristicOptimalityGap:
     def test_gap_is_small_intra_node(self, D8, pattern, heuristic_cls):
         """On one node the paper's heuristics stay within 25% of optimal
         hop-bytes from arbitrary placements."""
-        rng = np.random.default_rng(7)
+        rng = make_rng(7)
         g = build_pattern(pattern, 8)
         opt = OptimalMapper(g)
         gaps = []

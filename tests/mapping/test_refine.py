@@ -8,6 +8,7 @@ from repro.mapping.patterns import PatternGraph, build_pattern
 from repro.mapping.refine import SwapRefiner
 from repro.mapping.rdmh import RDMH
 from repro.mapping.initial import block_bunch, cyclic_scatter
+from repro.util.rng import make_rng
 
 
 class TestSwapRefiner:
@@ -27,7 +28,7 @@ class TestSwapRefiner:
         assert sorted(res.mapping.tolist()) == sorted(L.tolist())
 
     def test_improves_random_mapping(self, mid_cluster, mid_D):
-        rng = np.random.default_rng(1)
+        rng = make_rng(1)
         L = rng.permutation(64)
         g = build_pattern("ring", 64)
         res = SwapRefiner(g, max_passes=6).refine(L, mid_D, rng=0)

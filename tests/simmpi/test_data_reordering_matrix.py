@@ -15,6 +15,7 @@ from repro.collectives.allgather_ring import RingAllgather
 from repro.collectives.correctness import RankReordering, execute_reordered_allgather
 from repro.collectives.hierarchical import HierarchicalAllgather, contiguous_groups
 from repro.collectives.multilevel import MultiLevelAllgather, socket_groups_for
+from repro.util.rng import make_rng
 
 EXPECTED = {
     "recursive-doubling": {"initcomm", "endshfl"},
@@ -34,7 +35,7 @@ def make_alg(name, p):
 
 
 def perm_reordering(p, seed):
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     return RankReordering(layout=np.arange(p), mapping=rng.permutation(p))
 
 

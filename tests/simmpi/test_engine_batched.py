@@ -12,6 +12,7 @@ from repro.collectives.registry import make_algorithm, registered_algorithm_name
 from repro.simmpi.costmodel import CostModel
 from repro.simmpi.engine import TimingEngine
 from repro.topology.gpc import gpc_cluster
+from repro.util.rng import make_rng
 
 CLUSTER = gpc_cluster(4)  # 32 cores
 ENGINE = TimingEngine(CLUSTER, CostModel())
@@ -32,7 +33,7 @@ def _supported(name: str, p: int):
 
 
 def _mappings(p: int, seed: int):
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     return [
         np.arange(p, dtype=np.int64),
         rng.permutation(CLUSTER.n_cores)[:p].astype(np.int64),
@@ -99,7 +100,7 @@ def test_degraded_links_still_agree(name):
     alg = _supported(name, p)
     if alg is None:
         pytest.skip(f"{name} rejects p={p}")
-    rng = np.random.default_rng(42)
+    rng = make_rng(42)
     scale = np.ones(CLUSTER.n_links)
     degraded = rng.choice(CLUSTER.n_links, size=CLUSTER.n_links // 8, replace=False)
     scale[degraded] = 4.0  # quarter bandwidth on a random eighth of links

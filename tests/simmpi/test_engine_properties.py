@@ -8,6 +8,7 @@ from repro.collectives.schedule import Schedule, Stage
 from repro.simmpi.costmodel import CostModel
 from repro.simmpi.engine import TimingEngine
 from repro.topology.gpc import gpc_cluster
+from repro.util.rng import make_rng
 
 CLUSTER = gpc_cluster(8)  # 64 cores
 ENGINE = TimingEngine(CLUSTER, CostModel())
@@ -26,7 +27,7 @@ def random_stage(rng: np.random.Generator, n_msgs: int) -> Stage:
 @given(seed=st.integers(0, 10**6), n=st.integers(2, 24))
 def test_more_bytes_never_faster(seed, n):
     """Message cost is monotone in the block size."""
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     stage = random_stage(rng, n)
     t_small = ENGINE.stage_time(stage, RANKS, 64.0).seconds
     t_big = ENGINE.stage_time(stage, RANKS, 4096.0).seconds
@@ -37,7 +38,7 @@ def test_more_bytes_never_faster(seed, n):
 @given(seed=st.integers(0, 10**6), n=st.integers(2, 20))
 def test_adding_messages_never_faster(seed, n):
     """A superset of messages can only increase (or keep) the stage time."""
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     stage = random_stage(rng, n + 2)
     sub = Stage(src=stage.src[:n], dst=stage.dst[:n], units=stage.units[:n])
     t_sub = ENGINE.stage_time(sub, RANKS, 1024.0).seconds
@@ -48,7 +49,7 @@ def test_adding_messages_never_faster(seed, n):
 @settings(max_examples=40, deadline=None)
 @given(seed=st.integers(0, 10**6), n=st.integers(2, 20))
 def test_cost_positive_and_finite(seed, n):
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     stage = random_stage(rng, n)
     t = ENGINE.stage_time(stage, RANKS, 1.0).seconds
     assert np.isfinite(t)
@@ -61,7 +62,7 @@ def test_splitting_a_stage_never_slower_per_round(seed):
     """Two stages of half the messages each cost at least the single
     merged stage (the merged stage shares no more, and pays one overhead
     instead of two)."""
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     stage = random_stage(rng, 16)
     merged = ENGINE.stage_time(stage, RANKS, 2048.0).seconds
     a = Stage(src=stage.src[:8], dst=stage.dst[:8], units=stage.units[:8])
@@ -77,7 +78,7 @@ def test_splitting_a_stage_never_slower_per_round(seed):
 @given(seed=st.integers(0, 10**6), k=st.integers(1, 6))
 def test_repeat_equals_explicit_stages(seed, k):
     """`repeat=k` prices exactly like k identical stages in sequence."""
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     stage = random_stage(rng, 8)
     repeated = Stage(src=stage.src, dst=stage.dst, units=stage.units, repeat=k)
     sched_rep = Schedule(p=CLUSTER.n_cores, stages=[repeated])
@@ -95,7 +96,7 @@ def test_repeat_equals_explicit_stages(seed, k):
 def test_node_translation_invariance(seed):
     """Shifting every message by a whole node (within one leaf) leaves the
     cost unchanged — nodes are identical and so are their attachments."""
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     cpn = CLUSTER.cores_per_node
     # build a stage confined to nodes 0..2, then shift to nodes 3..5
     src = rng.choice(3 * cpn, size=6, replace=False)

@@ -17,6 +17,7 @@ from repro.mapping.initial import block_bunch, cyclic_bunch, cyclic_scatter
 from repro.mapping.rdmh import RDMH
 from repro.mapping.reorder import reorder_ranks
 from repro.topology.gpc import gpc_cluster
+from repro.util.rng import make_rng
 
 
 @pytest.fixture(scope="module")
@@ -121,7 +122,7 @@ class TestSectionV:
     def test_output_order_preserved(self):
         """'The elements of this vector should appear in a correct order'
         — under every restoration mechanism (§V-B)."""
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         ro = RankReordering(layout=np.arange(16), mapping=rng.permutation(16))
         expected = np.arange(16) * 1000003 + 7
         for alg, strat in [

@@ -6,6 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.topology.cluster import ClusterTopology, LinkClass, MAX_ROUTE_LEN
 from repro.topology.gpc import gpc_cluster, small_cluster
+from repro.util.rng import make_rng
 
 
 class TestArithmetic:
@@ -109,7 +110,7 @@ class TestDistances:
     def test_distance_consistent_with_route_weights(self, mid_cluster):
         """D[a,b] equals the sum of class weights along the actual route."""
         cl = mid_cluster
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         for _ in range(30):
             a, b = rng.integers(cl.n_cores, size=2)
             if a == b:

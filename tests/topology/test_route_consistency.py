@@ -12,6 +12,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.topology.fattree import FatTreeConfig, FatTreeNetwork
 from repro.topology.gpc import gpc_cluster, small_cluster
+from repro.util.rng import make_rng
 
 
 class TestNetRouteCongruence:
@@ -20,7 +21,7 @@ class TestNetRouteCongruence:
         cl = cluster_fn()
         net = cl.network
         npl = net.config.nodes_per_leaf
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         pairs = rng.integers(0, cl.n_nodes, size=(200, 2))
         for na, nb in pairs:
             na, nb = int(na), int(nb)

@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.topology.gpc import gpc_cluster
+from repro.util.rng import make_rng
 
 
 @pytest.fixture(scope="module")
@@ -74,7 +75,7 @@ class TestHcaLoadUniformity:
         from repro.collectives.schedule import Stage
         from repro.simmpi.engine import TimingEngine
 
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         engine = TimingEngine(wide)
         nodes = rng.permutation(wide.n_nodes)
         src = nodes * wide.cores_per_node
