@@ -232,7 +232,14 @@ def check_reorder_key_coverage(
 # CCH003 — the engine exclusion is only legal while engines agree
 # ----------------------------------------------------------------------
 def probe_engine_identity(n_nodes: int = 2, seed: int = 0) -> DiagnosticReport:
-    """Run every heuristic through both placement engines and compare."""
+    """Run every heuristic through all placement engines and compare.
+
+    The 'engine' mapper kwarg is excluded from the mapping-cache key on
+    the strength of a bit-identity proof; this probe exercises every
+    engine pair that exclusion covers — naive vs. vectorized, and jit
+    vs. naive (the jit tier replays the same tie-break draws through its
+    compiled PCG64 replica, so even its rng stream must agree).
+    """
     from repro.mapping.initial import make_layout
     from repro.mapping.reorder import HEURISTICS, reorder_ranks
     from repro.topology.gpc import gpc_cluster
@@ -252,12 +259,24 @@ def probe_engine_identity(n_nodes: int = 2, seed: int = 0) -> DiagnosticReport:
             pattern, layout, implicit, kind="heuristic", rng=seed, cache="off",
             engine="vectorized",
         )
+        jit = reorder_ranks(
+            pattern, layout, implicit, kind="heuristic", rng=seed, cache="off",
+            engine="jit",
+        )
         if not np.array_equal(naive.mapping, vectorized.mapping):
             diff = int(np.count_nonzero(naive.mapping != vectorized.mapping))
             report.add(
                 "CCH003",
                 f"pattern {pattern!r}: naive and vectorised placements differ "
                 f"at {diff}/{p} ranks — the documented 'engine' cache-key "
+                "exclusion is unsound until the engines are bit-identical again",
+            )
+        if not np.array_equal(naive.mapping, jit.mapping):
+            diff = int(np.count_nonzero(naive.mapping != jit.mapping))
+            report.add(
+                "CCH003",
+                f"pattern {pattern!r}: naive and jit placements differ at "
+                f"{diff}/{p} ranks — the documented 'engine' cache-key "
                 "exclusion is unsound until the engines are bit-identical again",
             )
     return report

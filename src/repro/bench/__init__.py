@@ -8,6 +8,8 @@ from repro.bench.microbench import (
 )
 from repro.bench.ascii_plot import bar_chart, line_chart
 from repro.bench.perf import (
+    DEFAULT_NAIVE_MAX_P,
+    MAPPING_P_VALUES,
     MappingPerfCase,
     MappingPerfReport,
     PerfReport,
@@ -36,4 +38,6 @@ __all__ = [
     "run_mapping_perf",
     "MappingPerfCase",
     "MappingPerfReport",
+    "DEFAULT_NAIVE_MAX_P",
+    "MAPPING_P_VALUES",
 ]

@@ -42,6 +42,8 @@ __all__ = [
     "MappingPerfReport",
     "run_mapping_perf",
     "DEFAULT_MAPPING_BENCH_PATH",
+    "DEFAULT_NAIVE_MAX_P",
+    "MAPPING_P_VALUES",
 ]
 
 #: Where ``run_perf`` persists its measurement by default.
@@ -50,9 +52,17 @@ DEFAULT_BENCH_PATH = "BENCH_sweep.json"
 #: Where ``run_mapping_perf`` persists its measurement by default.
 DEFAULT_MAPPING_BENCH_PATH = "BENCH_mappings.json"
 
-#: Communicator sizes for the mapping-construction benchmark (paper
-#: scale: GPC is 4096 cores).
-MAPPING_P_VALUES = (256, 1024, 4096)
+#: Communicator sizes for the mapping-construction benchmark.  GPC is
+#: 4096 cores; the 8192/16384 rows stress the compiled tier past the
+#: paper's machine size.
+MAPPING_P_VALUES = (256, 1024, 4096, 8192, 16384)
+
+#: Above this communicator size the per-query naive engine (and its
+#: dense O(n_cores^2) distance matrix) is skipped: naive at p=16384
+#: would take minutes and allocate a multi-GiB matrix.  Rows above the
+#: cutoff record ``naive_seconds: null`` and report the jit tier's
+#: speedup over the vectorized tier instead.
+DEFAULT_NAIVE_MAX_P = 4096
 
 #: Reduced grid for the CI smoke mode (still crosses the rd/ring
 #: algorithm-selection threshold at 2 KiB).
@@ -84,10 +94,13 @@ class PerfReport:
     repeats: int = 1
     timestamp: float = 0.0
     python: str = ""
+    #: Top cumulative-time hotspots of one batched sweep (``--profile``):
+    #: ``{"ncalls", "tottime", "cumtime", "function"}`` per entry.
+    profile_top: Optional[List[dict]] = None
 
     def summary(self) -> str:
         """Human-readable multi-line report (what ``repro perf`` prints)."""
-        return (
+        out = (
             f"perf: p={self.p}, {self.n_points} sweep points\n"
             f"  naive per-size loop : {self.naive_seconds:8.3f} s "
             f"({self.points_per_sec_naive:8.1f} points/s)\n"
@@ -97,6 +110,15 @@ class PerfReport:
             + f"\n  speedup             : {self.speedup:8.2f}x"
             f"\n  max rel. difference : {self.max_rel_diff:.3e}"
         )
+        if self.profile_top:
+            out += "\n\nbatched-pipeline hotspots (cumulative):"
+            out += f"\n  {'ncalls':>10} {'tottime':>9} {'cumtime':>9}  function"
+            for h in self.profile_top:
+                out += (
+                    f"\n  {h['ncalls']:>10} {h['tottime']:>9.4f} "
+                    f"{h['cumtime']:>9.4f}  {h['function']}"
+                )
+        return out
 
     def write(self, path: Union[str, Path]) -> Path:
         """Persist the report as indented JSON; returns the path written.
@@ -163,6 +185,48 @@ def _fresh_evaluator(
     return ev
 
 
+def _profile_batched(
+    n_nodes: int,
+    reorder_cache,
+    p: int,
+    layouts: Sequence[str],
+    sizes: Sequence[int],
+    mappers: Sequence[str],
+    strategies: Sequence[str],
+    top: int = 20,
+) -> List[dict]:
+    """cProfile one batched sweep; return the top-N cumulative hotspots.
+
+    Runs in-process (never under ``workers``, whose subprocesses the
+    profiler cannot see) on a fresh evaluator, so the numbers describe
+    exactly the pipeline the ``batched_seconds`` timing measured.
+    """
+    import cProfile
+    import pstats
+
+    ev = _fresh_evaluator(n_nodes, reorder_cache)
+    prof = cProfile.Profile()
+    prof.enable()
+    _sweep(ev, p, layouts, sizes, mappers, strategies, False, "binomial", None)
+    prof.disable()
+    stats = pstats.Stats(prof)
+    stats.sort_stats("cumulative")
+    hotspots: List[dict] = []
+    for func in stats.fcn_list[:top]:  # (file, line, name), sorted by cumtime
+        cc, nc, tt, ct, _ = stats.stats[func]
+        fname, line, name = func
+        where = name if fname == "~" else f"{Path(fname).name}:{line}({name})"
+        hotspots.append(
+            {
+                "ncalls": f"{nc}/{cc}" if nc != cc else str(nc),
+                "tottime": round(tt, 6),
+                "cumtime": round(ct, 6),
+                "function": where,
+            }
+        )
+    return hotspots
+
+
 def _max_rel_diff(a: List[SweepPoint], b: List[SweepPoint]) -> float:
     worst = 0.0
     for pa, pb in zip(a, b):
@@ -174,35 +238,47 @@ def _max_rel_diff(a: List[SweepPoint], b: List[SweepPoint]) -> float:
 
 @dataclass
 class MappingPerfCase:
-    """Naive vs. vectorised mapping construction at one communicator size.
+    """Placement-engine comparison at one communicator size.
 
-    ``naive_seconds`` / ``vectorized_seconds`` time the *whole*
-    construction path a runtime would pay at startup: distance
+    ``naive_seconds`` / ``vectorized_seconds`` / ``jit_seconds`` time the
+    *whole* construction path a runtime would pay at startup: distance
     preparation (dense matrix vs. implicit backend) plus one mapping per
-    registered heuristic.  ``naive_map_seconds`` /
-    ``vectorized_map_seconds`` isolate the per-heuristic mapping time
-    against a warm distance backend.  All numbers are minima over the
-    run's repeats (the machines this runs on are noisy).
+    registered heuristic.  ``*_map_seconds`` isolate the per-heuristic
+    mapping time against a warm distance backend.  All numbers are
+    minima over the run's repeats (the machines this runs on are noisy).
+
+    Above the naive cutoff (:data:`DEFAULT_NAIVE_MAX_P`) the naive
+    engine is skipped: ``naive_seconds`` / ``naive_map_seconds`` are
+    ``None`` and ``speedup`` (see ``speedup_baseline``) compares the jit
+    tier against the vectorized tier instead.  ``jit_speedup`` always
+    holds vectorized/jit; ``jit_kernel`` records whether the compiled
+    numba kernel ran or the engine fell back to the vectorized loop.
     """
 
     p: int
     n_nodes: int
-    naive_seconds: float
+    naive_seconds: Optional[float]
     vectorized_seconds: float
+    jit_seconds: float
     speedup: float
-    naive_map_seconds: dict
+    speedup_baseline: str            # "naive" or "vectorized"
+    jit_speedup: float               # vectorized_seconds / jit_seconds
+    jit_kernel: str                  # "numba" or "vectorized-fallback"
+    naive_map_seconds: Optional[dict]
     vectorized_map_seconds: dict
+    jit_map_seconds: dict
     mismatches: int
 
 
 @dataclass
 class MappingPerfReport:
-    """Outcome of one naive-vs-vectorised mapping benchmark run."""
+    """Outcome of one placement-engine benchmark run."""
 
     cases: List[MappingPerfCase]
     layout: str
     heuristics: List[str]
     repeats: int
+    naive_max_p: int = DEFAULT_NAIVE_MAX_P
     quick: bool = False
     timestamp: float = 0.0
     python: str = ""
@@ -211,15 +287,26 @@ class MappingPerfReport:
         """Human-readable table (what ``repro perf --mappings`` prints)."""
         lines = [
             f"mapping construction, layout={self.layout!r}, "
-            f"{len(self.heuristics)} heuristics, best of {self.repeats}:",
-            f"  {'p':>6} {'naive':>10} {'vectorized':>11} {'speedup':>8}  mismatches",
+            f"{len(self.heuristics)} heuristics, best of {self.repeats}, "
+            f"naive cutoff p<={self.naive_max_p}:",
+            f"  {'p':>6} {'naive':>10} {'vectorized':>11} {'jit':>10} "
+            f"{'speedup':>8} {'jit/vect':>8}  mismatches",
         ]
         for c in self.cases:
+            naive = (
+                f"{c.naive_seconds * 1e3:>8.1f}ms"
+                if c.naive_seconds is not None
+                else f"{'-':>10}"
+            )
             lines.append(
-                f"  {c.p:>6} {c.naive_seconds * 1e3:>8.1f}ms "
-                f"{c.vectorized_seconds * 1e3:>9.1f}ms {c.speedup:>7.2f}x  "
+                f"  {c.p:>6} {naive} "
+                f"{c.vectorized_seconds * 1e3:>9.1f}ms "
+                f"{c.jit_seconds * 1e3:>8.1f}ms "
+                f"{c.speedup:>7.2f}x {c.jit_speedup:>7.2f}x  "
                 f"{c.mismatches}"
             )
+        kernels = {c.jit_kernel for c in self.cases}
+        lines.append(f"  jit kernel: {', '.join(sorted(kernels))}")
         return "\n".join(lines)
 
     def write(self, path: Union[str, Path]) -> Path:
@@ -230,67 +317,108 @@ class MappingPerfReport:
 
 
 def _mapping_case(
-    p: int, patterns: Sequence[str], layout: str, repeats: int
+    p: int,
+    patterns: Sequence[str],
+    layout: str,
+    repeats: int,
+    naive_max_p: int = DEFAULT_NAIVE_MAX_P,
 ) -> MappingPerfCase:
-    """Benchmark one communicator size through both placement engines."""
+    """Benchmark one communicator size through the placement engines."""
+    from repro.util.jit import HAS_NUMBA
+
     n_nodes = max(1, -(-p // 8))  # gpc: 8 cores per node
     cluster = gpc_cluster(n_nodes=n_nodes)
     L = make_layout(layout, cluster, p)
+    with_naive = p <= naive_max_p
     mappers = {
-        name: (HEURISTICS[name](engine="naive"), HEURISTICS[name](engine="vectorized"))
+        name: (
+            HEURISTICS[name](engine="naive") if with_naive else None,
+            HEURISTICS[name](engine="vectorized"),
+            HEURISTICS[name](engine="jit"),
+        )
         for name in patterns
     }
 
-    # Placement identity first: both engines must agree bit-for-bit.
-    D = cluster.distance_matrix()
+    # Placement identity first: every engine pair must agree bit-for-bit.
+    # Below the cutoff: naive-vs-vectorized and jit-vs-naive; above it
+    # the dense matrix is unaffordable, so jit-vs-vectorized.
     impl = cluster.implicit_distances()
+    D = cluster.distance_matrix() if with_naive else None
     mismatches = 0
-    for i, (naive, vect) in enumerate(mappers.values()):
+    for i, (naive, vect, jit) in enumerate(mappers.values()):
         seed = 1000 + i
-        mismatches += int(
-            np.count_nonzero(naive.map(L, D, rng=seed) != vect.map(L, impl, rng=seed))
-        )
+        Mv = vect.map(L, impl, rng=seed)
+        Mj = jit.map(L, impl, rng=seed)
+        mismatches += int(np.count_nonzero(Mv != Mj))
+        if naive is not None:
+            mismatches += int(np.count_nonzero(naive.map(L, D, rng=seed) != Mv))
 
     # Construction timings include distance preparation on a *fresh*
     # cluster: the dense matrix is the naive path's startup cost, the
-    # implicit backend's coordinate tables the vectorised path's.
-    naive_total = vect_total = float("inf")
+    # implicit backend's coordinate tables the other engines'.
+    naive_total: Optional[float] = float("inf") if with_naive else None
+    vect_total = jit_total = float("inf")
     for r in range(repeats):
-        fresh = gpc_cluster(n_nodes=n_nodes)
-        t0 = time.perf_counter()
-        Dr = fresh.distance_matrix()
-        for i, (naive, _) in enumerate(mappers.values()):
-            naive.map(L, Dr, rng=r * 10 + i)
-        naive_total = min(naive_total, time.perf_counter() - t0)
+        if with_naive:
+            fresh = gpc_cluster(n_nodes=n_nodes)
+            t0 = time.perf_counter()
+            Dr = fresh.distance_matrix()
+            for i, (naive, _, _) in enumerate(mappers.values()):
+                naive.map(L, Dr, rng=r * 10 + i)
+            naive_total = min(naive_total, time.perf_counter() - t0)
 
         fresh = gpc_cluster(n_nodes=n_nodes)
         t0 = time.perf_counter()
         ir = fresh.implicit_distances()
-        for i, (_, vect) in enumerate(mappers.values()):
+        for i, (_, vect, _) in enumerate(mappers.values()):
             vect.map(L, ir, rng=r * 10 + i)
         vect_total = min(vect_total, time.perf_counter() - t0)
 
+        fresh = gpc_cluster(n_nodes=n_nodes)
+        t0 = time.perf_counter()
+        ir = fresh.implicit_distances()
+        for i, (_, _, jit) in enumerate(mappers.values()):
+            jit.map(L, ir, rng=r * 10 + i)
+        jit_total = min(jit_total, time.perf_counter() - t0)
+
     # Per-heuristic mapping time against warm backends.
-    naive_map = {name: float("inf") for name in mappers}
+    naive_map: Optional[dict] = {n: float("inf") for n in mappers} if with_naive else None
     vect_map = {name: float("inf") for name in mappers}
+    jit_map = {name: float("inf") for name in mappers}
     for r in range(repeats):
-        for i, (name, (naive, vect)) in enumerate(mappers.items()):
+        for i, (name, (naive, vect, jit)) in enumerate(mappers.items()):
             seed = r * 10 + i
-            t0 = time.perf_counter()
-            naive.map(L, D, rng=seed)
-            naive_map[name] = min(naive_map[name], time.perf_counter() - t0)
+            if naive is not None:
+                t0 = time.perf_counter()
+                naive.map(L, D, rng=seed)
+                naive_map[name] = min(naive_map[name], time.perf_counter() - t0)
             t0 = time.perf_counter()
             vect.map(L, impl, rng=seed)
             vect_map[name] = min(vect_map[name], time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            jit.map(L, impl, rng=seed)
+            jit_map[name] = min(jit_map[name], time.perf_counter() - t0)
 
+    jit_speedup = vect_total / jit_total if jit_total > 0 else float("inf")
+    if with_naive:
+        speedup = naive_total / vect_total if vect_total > 0 else float("inf")
+        baseline = "naive"
+    else:
+        speedup = jit_speedup
+        baseline = "vectorized"
     return MappingPerfCase(
         p=p,
         n_nodes=n_nodes,
         naive_seconds=naive_total,
         vectorized_seconds=vect_total,
-        speedup=naive_total / vect_total if vect_total > 0 else float("inf"),
+        jit_seconds=jit_total,
+        speedup=speedup,
+        speedup_baseline=baseline,
+        jit_speedup=jit_speedup,
+        jit_kernel="numba" if HAS_NUMBA else "vectorized-fallback",
         naive_map_seconds=naive_map,
         vectorized_map_seconds=vect_map,
+        jit_map_seconds=jit_map,
         mismatches=mismatches,
     )
 
@@ -301,19 +429,23 @@ def run_mapping_perf(
     layout: str = "block-bunch",
     patterns: Optional[Sequence[str]] = None,
     quick: bool = False,
+    naive_max_p: int = DEFAULT_NAIVE_MAX_P,
     out_path: Optional[Union[str, Path]] = DEFAULT_MAPPING_BENCH_PATH,
 ) -> MappingPerfReport:
-    """Time naive vs. vectorised greedy placement and persist the result.
+    """Time the placement engines against each other and persist the result.
 
-    For each ``p`` the same five heuristics run through both placement
-    engines — the per-query :class:`~repro.mapping.base.CorePool`
-    reference and :meth:`HierarchicalFreePool.execute_program
-    <repro.mapping.base.HierarchicalFreePool.execute_program>` — against
+    For each ``p`` the same five heuristics run through the placement
+    tiers — the per-query :class:`~repro.mapping.base.CorePool`
+    reference, :meth:`HierarchicalFreePool.execute_program
+    <repro.mapping.base.HierarchicalFreePool.execute_program>` and the
+    compiled :class:`~repro.mapping.jitkernel.JitFreePool` — against
     their natural distance backends (dense matrix vs. implicit).  The
     construction timing includes distance preparation, since avoiding
     the dense :math:`O(n_{cores}^2)` matrix is the implicit backend's
-    point.  Placements must be bit-identical (``mismatches`` is asserted
-    zero by the tier-1 tests); ``quick=True`` shrinks to p=256 for CI.
+    point.  Placements must be bit-identical across engines
+    (``mismatches`` is asserted zero by the tier-1 tests); the naive
+    engine only runs for ``p <= naive_max_p``; ``quick=True`` shrinks to
+    p=256 for CI.
     """
     if quick:
         p_values = [256]
@@ -322,16 +454,20 @@ def run_mapping_perf(
     if not p_values:
         raise ValueError("p_values must be non-empty")
     repeats = max(1, int(repeats))
+    naive_max_p = int(naive_max_p)
     patterns = list(patterns) if patterns is not None else sorted(HEURISTICS)
     unknown = [pat for pat in patterns if pat not in HEURISTICS]
     if unknown:
         raise KeyError(f"unknown heuristic pattern(s) {unknown}")
 
     report = MappingPerfReport(
-        cases=[_mapping_case(p, patterns, layout, repeats) for p in p_values],
+        cases=[
+            _mapping_case(p, patterns, layout, repeats, naive_max_p) for p in p_values
+        ],
         layout=layout,
         heuristics=patterns,
         repeats=repeats,
+        naive_max_p=naive_max_p,
         quick=quick,
         timestamp=time.time(),
         python=platform.python_version(),
@@ -350,6 +486,7 @@ def run_perf(
     workers: Optional[int] = None,
     quick: bool = False,
     repeats: int = 1,
+    profile: bool = False,
     out_path: Optional[Union[str, Path]] = DEFAULT_BENCH_PATH,
 ) -> PerfReport:
     """Time the Fig. 3 sweep through both pipelines and persist the result.
@@ -359,6 +496,8 @@ def run_perf(
     ``p = 8 * n_nodes``; ``quick=True`` shrinks the grid for CI smoke
     runs.  Rank reorderings are computed once up front and shared by both
     timed pipelines, mirroring the paper's one-time reordering cost.
+    ``profile=True`` additionally cProfiles one (untimed) batched sweep
+    and records the top-20 cumulative hotspots in ``profile_top``.
     """
     if quick:
         sizes = list(sizes if sizes is not None else QUICK_SIZES)
@@ -399,6 +538,12 @@ def run_perf(
         )
         batched_best = min(batched_best, time.perf_counter() - t0)
 
+    hotspots: Optional[List[dict]] = None
+    if profile:
+        hotspots = _profile_batched(
+            n_nodes, warm._reorder_cache, p, layouts, sizes, mappers, strategies
+        )
+
     n_points = len(batched_points)
     report = PerfReport(
         p=p,
@@ -421,6 +566,7 @@ def run_perf(
         repeats=repeats,
         timestamp=time.time(),
         python=platform.python_version(),
+        profile_top=hotspots,
     )
     if out_path is not None:
         report.write(out_path)

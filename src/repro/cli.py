@@ -184,11 +184,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_perf.add_argument(
         "--mappings", action="store_true",
-        help="benchmark naive vs. vectorised mapping construction instead of the sweep",
+        help="benchmark the placement engines (naive/vectorized/jit) instead of the sweep",
     )
     p_perf.add_argument(
         "-p", "--p-values", dest="p_values", type=int, nargs="+", default=None,
-        help="communicator sizes for --mappings (default: 256 1024 4096)",
+        help="communicator sizes for --mappings (default: 256 1024 4096 8192 16384)",
+    )
+    p_perf.add_argument(
+        "--naive-max-p", dest="naive_max_p", type=int, default=4096,
+        help="largest p at which --mappings still times the naive engine "
+        "(above it naive_seconds is null and speedup compares jit vs vectorized)",
+    )
+    p_perf.add_argument(
+        "--profile", action="store_true",
+        help="cProfile one batched sweep and report the top-20 cumulative hotspots",
     )
 
     p_ver = sub.add_parser("verify", help="static schedule & mapping verification")
@@ -499,12 +508,23 @@ def _cmd_perf(args) -> int:
             p_values=args.p_values if args.p_values else None,
             repeats=max(args.repeats, 1 if args.quick else 5),
             quick=args.quick,
+            naive_max_p=args.naive_max_p,
             out_path=out,
         )
         print(report.summary())
         print(f"measurement written to {out}")
         bad = [c for c in report.cases if c.mismatches]
-        slow = [c for c in report.cases if c.speedup < args.min_speedup]
+        # min-speedup gates the naive-baseline rows; rows past the naive
+        # cutoff instead require the jit tier to stay within 10% of the
+        # vectorized tier (it beats it outright when numba is present).
+        slow = [
+            c for c in report.cases
+            if c.speedup_baseline == "naive" and c.speedup < args.min_speedup
+        ]
+        lagging = [
+            c for c in report.cases
+            if c.speedup_baseline == "vectorized" and c.speedup < 0.9
+        ]
         if bad:
             print(f"FAIL: placement mismatch at p={[c.p for c in bad]}")
             return 1
@@ -512,6 +532,12 @@ def _cmd_perf(args) -> int:
             print(
                 f"FAIL: speedup below required {args.min_speedup:.2f}x "
                 f"at p={[c.p for c in slow]}"
+            )
+            return 1
+        if lagging:
+            print(
+                "FAIL: jit tier more than 10% behind vectorized "
+                f"at p={[c.p for c in lagging]}"
             )
             return 1
         return 0
@@ -522,6 +548,7 @@ def _cmd_perf(args) -> int:
         workers=args.workers,
         quick=args.quick,
         repeats=args.repeats,
+        profile=args.profile,
         out_path=args.out,
     )
     print(report.summary())
@@ -542,7 +569,7 @@ def _cmd_verify(args) -> int:
     )
     from repro.analysis.schedule_verifier import verify_algorithm
     from repro.collectives.registry import make_algorithm, registered_algorithm_names
-    from repro.mapping.reorder import HEURISTICS, reorder_ranks
+    from repro.mapping.reorder import HEURISTICS, reorder_all, reorder_ranks
 
     names = args.alg or registered_algorithm_names()
     unknown = [n for n in names if n not in registered_algorithm_names()]
@@ -576,9 +603,10 @@ def _cmd_verify(args) -> int:
         D = cluster.distance_matrix()
         reports.append(check_distance_matrix(D, triangle=args.triangle))
         distances = cluster.implicit_distances()
-        for pattern in sorted(HEURISTICS):
-            L = make_layout("cyclic-bunch", cluster, p)
-            res = reorder_ranks(pattern, L, distances, rng=0)
+        L = make_layout("cyclic-bunch", cluster, p)
+        for pattern, res in reorder_all(
+            L, distances, patterns=sorted(HEURISTICS), rng=0
+        ).items():
             rep = check_core_mapping(res.mapping, L)
             rep.subject = f"{pattern} heuristic mapping"
             reports.append(rep)

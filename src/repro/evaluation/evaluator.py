@@ -49,7 +49,7 @@ from repro.mapping.base import Mapper
 from repro.mapping.bgmh import BGMH
 from repro.mapping.greedy import GreedyGraphMapper
 from repro.mapping.patterns import build_pattern
-from repro.mapping.reorder import ReorderResult, reorder_ranks
+from repro.mapping.reorder import ReorderResult, reorder_all, reorder_ranks
 from repro.mapping.scotch import ScotchLikeMapper
 from repro.simmpi.costmodel import CostModel
 from repro.simmpi.engine import TimingEngine
@@ -310,10 +310,29 @@ class AllgatherEvaluator:
         p = L.size
         out: List[Optional[LatencyReport]] = [None] * len(sizes)
         algs = [select_allgather(p, bb, self.rd_threshold) for bb in sizes]
-        for name, idxs in self._group_sizes([a.name for a in algs]):
+        lk = _layout_key(L)
+        groups = list(self._group_sizes([a.name for a in algs]))
+        if kind == "heuristic":
+            # All heuristic reorderings this size vector needs, computed
+            # in one batched pass (shared fingerprinting, cache keys and
+            # pool structure) instead of one reorder_ranks call each.
+            needed = []
+            for name, idxs in groups:
+                pattern = pattern_of(algs[idxs[0]])
+                if (
+                    ("flat", pattern, lk, kind) not in self._reorder_cache
+                    and pattern not in needed
+                ):
+                    needed.append(pattern)
+            if needed:
+                for pt, res in reorder_all(
+                    L, self.distances, patterns=needed, rng=rng
+                ).items():
+                    self._reorder_cache[("flat", pt, lk, kind)] = res
+        for name, idxs in groups:
             alg = algs[idxs[0]]
             pattern = pattern_of(alg)
-            key = ("flat", pattern, _layout_key(L), kind)
+            key = ("flat", pattern, lk, kind)
             res: ReorderResult = self._reorder_cache.get(key)  # type: ignore[assignment]
             if res is None:
                 res = reorder_ranks(pattern, L, self.distances, kind=kind, rng=rng)

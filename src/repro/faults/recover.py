@@ -42,7 +42,7 @@ from repro.collectives.gather_binomial import BinomialGather
 from repro.collectives.schedule import CollectiveAlgorithm
 from repro.faults.plan import FaultPlan
 from repro.faults.shrink import shrink_layout
-from repro.mapping.reorder import HEURISTICS, ReorderResult, reorder_ranks
+from repro.mapping.reorder import HEURISTICS, ReorderResult, reorder_all, reorder_ranks
 from repro.simmpi.costmodel import CostModel
 from repro.simmpi.engine import TimingEngine
 from repro.topology.cluster import ClusterTopology
@@ -208,12 +208,35 @@ def compare_recovery_policies(
     aborted = np.full(sz.size, np.inf)
     failed_tuple = tuple(sorted(failed))
 
+    pattern_list = list(patterns) if patterns is not None else sorted(HEURISTICS)
+    # Batch the remaps: every pattern that maps under its own name (no
+    # non-power-of-two recursive-doubling -> bruck substitution) runs
+    # through one reorder_all pass over the survivor pool — shared
+    # fingerprinting and pool structure, per-pattern content-derived
+    # seeds, identical results and cache entries to recover() itself.
+    remapped: Dict[str, ReorderResult] = {}
+    if kind == "heuristic":
+        batchable = [
+            pt
+            for pt in pattern_list
+            if pt in HEURISTICS
+            and not (pt == "recursive-doubling" and not is_power_of_two(survivors.size))
+        ]
+        if batchable:
+            seeds = {
+                pt: _seed_for("recover", pt, kind, survivors.tobytes().hex())
+                for pt in batchable
+            }
+            remapped = reorder_all(survivors, D, patterns=batchable, rng=seeds)
+
     out: List[RecoveryComparison] = []
-    for pattern in patterns if patterns is not None else sorted(HEURISTICS):
+    for pattern in pattern_list:
         alg = _pricing_algorithm(pattern, survivors.size)
         sched = alg.schedule(survivors.size)
         keep = engine.evaluate_sizes(sched, survivors, sz).total_seconds
-        res = recover(cluster, L, failed, pattern, D=D, kind=kind)
+        res = remapped.get(pattern)
+        if res is None:
+            res = recover(cluster, L, failed, pattern, D=D, kind=kind)
         fresh = engine.evaluate_sizes(sched, res.mapping, sz).total_seconds
         adopted = fresh <= keep
         hedged = np.where(adopted, fresh, keep)

@@ -15,7 +15,9 @@ from repro.mapping.base import (
     Mapper,
     PoolExhaustedError,
     as_distance_lookup,
+    map_batch,
 )
+from repro.mapping.jitkernel import JitFreePool
 from repro.mapping.cache import (
     MAPPING_CACHE_ENV,
     MappingCache,
@@ -47,7 +49,13 @@ from repro.mapping.metrics import (
 )
 from repro.mapping.optimal import MAX_OPTIMAL_P, OptimalMapper
 from repro.mapping.refine import RefinementResult, SwapRefiner
-from repro.mapping.reorder import HEURISTICS, MAPPER_KINDS, ReorderResult, reorder_ranks
+from repro.mapping.reorder import (
+    HEURISTICS,
+    MAPPER_KINDS,
+    ReorderResult,
+    reorder_all,
+    reorder_ranks,
+)
 
 __all__ = [
     "StageLocality",
@@ -55,6 +63,8 @@ __all__ = [
     "locality_table",
     "CorePool",
     "HierarchicalFreePool",
+    "JitFreePool",
+    "map_batch",
     "PoolExhaustedError",
     "Mapper",
     "GreedyPlacementMapper",
@@ -93,4 +103,5 @@ __all__ = [
     "MAPPER_KINDS",
     "ReorderResult",
     "reorder_ranks",
+    "reorder_all",
 ]

@@ -26,6 +26,7 @@ consumption, so their placements are bit-identical:
 
 from __future__ import annotations
 
+import time
 import weakref
 from abc import ABC, abstractmethod
 from collections import OrderedDict
@@ -43,11 +44,15 @@ __all__ = [
     "GreedyPlacementMapper",
     "PLACEMENT_ENGINES",
     "as_distance_lookup",
+    "map_batch",
 ]
 
 #: Executor choices for the program-based heuristics.  ``"auto"`` picks
-#: the vectorised driver whenever the distance backend supports it.
-PLACEMENT_ENGINES = ("auto", "naive", "vectorized")
+#: the best supported driver for the backend: the compiled jit tier
+#: (which itself degrades to the vectorised loop when numba is absent)
+#: whenever the backend supports vectorised placement, else the naive
+#: reference.  All engines are bit-identical, including the rng stream.
+PLACEMENT_ENGINES = ("auto", "naive", "vectorized", "jit")
 
 
 class PoolExhaustedError(RuntimeError):
@@ -224,6 +229,7 @@ class _PoolStructure:
         "line_sizes",
         "all_positions",
         "np_members",
+        "jit_arrays",
     )
 
     def __init__(self, backend, cores: np.ndarray) -> None:
@@ -276,6 +282,9 @@ class _PoolStructure:
         # numpy mirrors of large member lists, built lazily on first gather
         # (shared across pools: contents are as immutable as the lists)
         self.np_members: Dict[int, np.ndarray] = {}
+        # flat CSR mirror for the compiled kernels, built lazily by
+        # repro.mapping.jitkernel.pool_arrays (immutable, shared too)
+        self.jit_arrays = None
 
     @staticmethod
     def _group_members(keys: np.ndarray) -> Dict[int, list]:
@@ -752,9 +761,14 @@ class GreedyPlacementMapper(Mapper):
     * ``"naive"`` — :class:`CorePool` masked row scans (the reference);
     * ``"vectorized"`` — :class:`HierarchicalFreePool` coordinate driver
       (requires an implicit backend with a strict ladder);
-    * ``"auto"`` (default) — vectorised whenever the backend supports it.
+    * ``"jit"`` — :class:`~repro.mapping.jitkernel.JitFreePool`: the
+      whole program walk in one numba-compiled kernel (same backend
+      requirement; degrades to the vectorised loop when numba is absent
+      or the rng is not the default PCG64 stream);
+    * ``"auto"`` (default) — jit whenever the backend supports
+      vectorised placement, else naive.
 
-    Both executors consume the rng stream identically, so the produced
+    All executors consume the rng stream identically, so the produced
     permutations are bit-identical whatever the engine.
     """
 
@@ -783,14 +797,19 @@ class GreedyPlacementMapper(Mapper):
         vectorizable = getattr(D, "supports_vectorized_placement", False)
         engine = self.engine
         if engine == "auto":
-            engine = "vectorized" if vectorizable else "naive"
-        if engine == "vectorized":
+            engine = "jit" if vectorizable else "naive"
+        if engine in ("vectorized", "jit"):
             if not vectorizable:
                 raise ValueError(
-                    "engine='vectorized' needs an ImplicitDistances backend with a "
+                    f"engine={engine!r} needs an ImplicitDistances backend with a "
                     "strict distance ladder; got a dense matrix or a backend with "
                     "collapsed levels — use engine='naive' or 'auto'"
                 )
+            if engine == "jit":
+                # Local import: jitkernel subclasses the pools above.
+                from repro.mapping.jitkernel import JitFreePool
+
+                return JitFreePool(D, L, rng=rng, tie_break=self.tie_break)
             return HierarchicalFreePool(D, L, rng=rng, tie_break=self.tie_break)
         return CorePool(D, L, rng=rng, tie_break=self.tie_break)
 
@@ -814,3 +833,64 @@ class GreedyPlacementMapper(Mapper):
             for new_rank, ref_rank in self.placements(L.size):
                 M[new_rank] = place(M[ref_rank])
         return self._finish(np.asarray(M, dtype=np.int64), L)
+
+
+def map_batch(mappers, layout: Sequence[int], D, rngs, seconds_out=None) -> list:
+    """Run several mappers over one (layout, backend) pair in a single pass.
+
+    The per-topology setup every :meth:`GreedyPlacementMapper.map` call
+    repeats — layout validation, the shared :class:`_PoolStructure`
+    (group membership, free-count templates) and, on the jit tier, the
+    flat kernel arrays — is warmed exactly once here and shared by all
+    mappers; only the per-run free state is rebuilt per mapper.  Each
+    mapper still draws from its *own* rng (``rngs[i]``), so every result
+    is bit-identical to the corresponding standalone ``map`` call — this
+    is the executor under :func:`repro.mapping.reorder.reorder_all`.
+
+    Parameters
+    ----------
+    mappers:
+        The mapper instances to run (typically one per registered
+        heuristic, all configured with the same engine).
+    layout:
+        The shared initial layout (``layout[old_rank] = core``).
+    D:
+        The shared distance backend (dense or implicit).
+    rngs:
+        One :data:`~repro.util.rng.RngLike` per mapper.
+    seconds_out:
+        Optional list; when given, the wall-clock seconds of each
+        individual ``map`` call are appended to it (one entry per
+        mapper), so callers can report per-heuristic timings without
+        paying a second pass.
+
+    Returns
+    -------
+    list of np.ndarray
+        ``results[i] = mappers[i].map(layout, D, rng=rngs[i])``.
+    """
+    mappers = list(mappers)
+    rngs = list(rngs)
+    if len(rngs) != len(mappers):
+        raise ValueError(f"got {len(mappers)} mappers but {len(rngs)} rngs")
+    if not mappers:
+        return []
+    L = np.ascontiguousarray(np.asarray(layout, dtype=np.int64))
+    if getattr(D, "supports_vectorized_placement", False) and any(
+        m.engine != "naive" for m in mappers
+    ):
+        # Warm the shared immutable structure once; every pool the loop
+        # below opens over (D, L) then hits the LRU instead of rebuilding
+        # group membership (and the jit tier reuses its kernel arrays).
+        st = HierarchicalFreePool._structure_for(D, L)
+        if any(m.engine in ("auto", "jit") for m in mappers):
+            from repro.mapping.jitkernel import pool_arrays
+
+            pool_arrays(st, D)
+    results = []
+    for m, rng in zip(mappers, rngs):
+        t0 = time.perf_counter()
+        results.append(m.map(L, D, rng=rng))
+        if seconds_out is not None:
+            seconds_out.append(time.perf_counter() - t0)
+    return results

@@ -1,0 +1,653 @@
+"""Compiled placement tier: the whole program walk in one jitted kernel.
+
+:class:`~repro.mapping.base.HierarchicalFreePool` already resolves each
+closest-free query in O(group), but ``execute_program`` still runs a
+Python-level loop — one interpreter round trip per placement, which is
+the dominant cost at p ≥ 8192.  This module moves the *entire* program
+walk (level pick, candidate scan, tie-break draw, free-count updates)
+into a single numba-jitted kernel over flat CSR arrays.
+
+The hard part is the paper's random tie-breaking: the reference executor
+draws ``rng.integers(k)`` from a numpy ``Generator`` per query, and the
+engines are only interchangeable (and the mapping cache's ``engine``
+key-exclusion only sound) if the compiled tier consumes the *same rng
+stream* — placements and final ``Generator`` state bit-identical.  A
+numba kernel cannot call back into numpy's ``Generator``, so the kernel
+embeds a bit-exact replica of the PCG64 bounded-integer path numpy uses
+for ``integers(k)``:
+
+* the PCG64 XSL-RR step (128-bit LCG via 64-bit limb arithmetic, output
+  rotated from the *new* state);
+* numpy's buffered 32-bit view — ``next32`` returns the low half of a
+  64-bit draw and buffers the high half in the ``has_uint32`` /
+  ``uinteger`` fields of the bit-generator state;
+* Lemire rejection with threshold ``(2**32 - 1 - rng) % (rng + 1)``,
+  exactly `random_bounded_uint32` in numpy's distributions.c (ranges
+  below 2**32, which covers every candidate count a pool can produce);
+* ``integers(1)`` consumes no state, matching the reference executor's
+  single-candidate skip.
+
+The replica exists twice: a python-int twin (:func:`run_program_py`,
+exercised by the no-numba test environments and pinned bit-identical to
+the naive engine) and the numba kernel compiled from the same logic in
+64-bit-limb form.  The Generator state is read before the kernel and
+written back after, so a caller interleaving jitted and interpreted
+draws sees one uninterrupted stream.
+
+Without numba (:data:`repro.util.jit.HAS_NUMBA` false), the product
+path falls back to the vectorised driver unchanged — ``engine='jit'``
+then *is* the vectorized tier; the python kernel is kept for tests
+(``force_python_kernel=True``), not speed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.mapping.base import HierarchicalFreePool, PoolExhaustedError
+from repro.util.jit import HAS_NUMBA, maybe_njit
+
+__all__ = [
+    "JitFreePool",
+    "PoolArrays",
+    "pool_arrays",
+    "pcg64_state_words",
+    "write_pcg64_state_words",
+    "is_pcg64_generator",
+    "run_program_py",
+]
+
+_M64 = (1 << 64) - 1
+_M32 = 0xFFFFFFFF
+#: The default PCG64 multiplier (pcg64_const in numpy's pcg64.h).
+_PCG_MUL_HI = 0x2360ED051FC65DA4
+_PCG_MUL_LO = 0x4385DF649FCCF645
+
+# uint64-typed constants for the numba kernel: inside an njit'ed body a
+# mixed uint64/int64 operation promotes to float64 (numpy rules), so
+# every literal the kernel touches must already be a uint64 scalar.
+_U0 = np.uint64(0)
+_U1 = np.uint64(1)
+_U32 = np.uint64(32)
+_U58 = np.uint64(58)
+_U64 = np.uint64(64)
+_UM32 = np.uint64(_M32)
+_UMUL_HI = np.uint64(_PCG_MUL_HI)
+_UMUL_LO = np.uint64(_PCG_MUL_LO)
+
+
+# ----------------------------------------------------------------------
+# Generator state I/O (python side)
+# ----------------------------------------------------------------------
+def is_pcg64_generator(rng) -> bool:
+    """True iff ``rng`` is a Generator over the default PCG64 stream.
+
+    The replica reproduces exactly numpy's PCG64 (XSL-RR) bounded path;
+    other bit generators (PCG64DXSM, MT19937, ...) must keep using the
+    interpreted executors.
+    """
+    bg = getattr(rng, "bit_generator", None)
+    return type(bg).__name__ == "PCG64"
+
+
+def pcg64_state_words(rng) -> np.ndarray:
+    """Pack a PCG64 Generator's state into 6 uint64 kernel words.
+
+    Layout: ``[state_hi, state_lo, inc_hi, inc_lo, has_uint32,
+    uinteger]`` — the 128-bit LCG state and increment split into 64-bit
+    limbs plus numpy's buffered-half-draw fields.
+    """
+    st = rng.bit_generator.state
+    s = st["state"]["state"]
+    inc = st["state"]["inc"]
+    return np.array(
+        [
+            s >> 64,
+            s & _M64,
+            inc >> 64,
+            inc & _M64,
+            int(st["has_uint32"]),
+            int(st["uinteger"]),
+        ],
+        dtype=np.uint64,
+    )
+
+
+def write_pcg64_state_words(rng, words: np.ndarray) -> None:
+    """Write kernel words back into the Generator (inverse of the pack)."""
+    rng.bit_generator.state = {
+        "bit_generator": "PCG64",
+        "state": {
+            "state": (int(words[0]) << 64) | int(words[1]),
+            "inc": (int(words[2]) << 64) | int(words[3]),
+        },
+        "has_uint32": int(words[4]),
+        "uinteger": int(words[5]),
+    }
+
+
+# ----------------------------------------------------------------------
+# the rng replica — numba form (uint64 limbs, wrapping arithmetic)
+# ----------------------------------------------------------------------
+@maybe_njit(cache=True)
+def _nb_next32(w):  # pragma: no cover - compiled; python twin is tested
+    """numpy's buffered ``next_uint32`` over the packed state words."""
+    if w[4] != _U0:
+        w[4] = _U0
+        return w[5]
+    # state * PCG_MUL mod 2**128 via 64-bit limbs: full 64x64->128 of the
+    # low limbs, wrapping cross terms for the high limb.
+    sl = w[1]
+    al = sl & _UM32
+    ah = sl >> _U32
+    bl = _UMUL_LO & _UM32
+    bh = _UMUL_LO >> _U32
+    ll = al * bl
+    u = ah * bl + (ll >> _U32)
+    v = al * bh + (u & _UM32)
+    lo = (v << _U32) | (ll & _UM32)
+    hi = ah * bh + (u >> _U32) + (v >> _U32)
+    new_hi = hi + w[0] * _UMUL_LO + sl * _UMUL_HI
+    # ... + inc mod 2**128
+    new_lo = lo + w[3]
+    if new_lo < w[3]:
+        new_hi = new_hi + _U1
+    new_hi = new_hi + w[2]
+    w[0] = new_hi
+    w[1] = new_lo
+    # XSL-RR output on the *new* state
+    xored = new_hi ^ new_lo
+    rot = new_hi >> _U58
+    if rot == _U0:
+        out = xored
+    else:
+        out = (xored >> rot) | (xored << (_U64 - rot))
+    w[4] = _U1
+    w[5] = out >> _U32
+    return out & _UM32
+
+
+@maybe_njit(cache=True)
+def _nb_bounded32(w, rng):  # pragma: no cover - compiled; twin is tested
+    """numpy's Lemire-rejection ``integers(rng + 1)`` draw (rng >= 1)."""
+    if rng == _UM32:
+        return _nb_next32(w)
+    rng_excl = rng + _U1
+    m = _nb_next32(w) * rng_excl
+    leftover = m & _UM32
+    if leftover < rng_excl:
+        threshold = (_UM32 - rng) % rng_excl
+        while leftover < threshold:
+            m = _nb_next32(w) * rng_excl
+            leftover = m & _UM32
+    return m >> _U32
+
+
+@maybe_njit(cache=True)
+def _nb_run_program(  # pragma: no cover - compiled; python twin is tested
+    new_ranks,
+    ref_ranks,
+    M,
+    cores,
+    pos_of_core,
+    gs_a,
+    nd_a,
+    lf_a,
+    ln_a,
+    sock_members,
+    sock_indptr,
+    node_members,
+    node_indptr,
+    leaf_members,
+    leaf_indptr,
+    line_members,
+    line_indptr,
+    all_members,
+    free,
+    free_sock,
+    free_node,
+    free_leaf,
+    free_line,
+    total_free,
+    first,
+    w,
+    cpn,
+    cps,
+    nspn,
+    npl,
+    nlines,
+):
+    """Whole placement-program walk; mirror of :func:`run_program_py`.
+
+    Returns ``(code, total_free, fail_step)`` with code 0 on success,
+    1 on pool exhaustion, 2 on an internal candidate-count mismatch.
+    """
+    n_pos = pos_of_core.shape[0]
+    for t in range(new_ranks.shape[0]):
+        if total_free == 0:
+            return 1, total_free, t
+        ref_core = M[ref_ranks[t]]
+        pos = pos_of_core[ref_core] if ref_core < n_pos else -1
+        if pos >= 0 and free[pos]:
+            # The reference itself is free: distance 0 beats every level,
+            # and the reference executor's integers(1) draw consumes no
+            # rng state, so no draw happens here either.
+            pick = pos
+        else:
+            if pos >= 0:
+                gs = gs_a[pos]
+                nd = nd_a[pos]
+                lf = lf_a[pos]
+                ln = ln_a[pos]
+            else:
+                node = ref_core // cpn
+                gs = node * nspn + (ref_core % cpn) // cps
+                nd = node
+                lf = node // npl
+                ln = lf % nlines
+            k = free_sock[gs]
+            if k > 0:
+                mem = sock_members
+                lo_i = sock_indptr[gs]
+                hi_i = sock_indptr[gs + 1]
+            else:
+                k = free_node[nd]
+                if k > 0:
+                    mem = node_members
+                    lo_i = node_indptr[nd]
+                    hi_i = node_indptr[nd + 1]
+                else:
+                    k = free_leaf[lf]
+                    if k > 0:
+                        mem = leaf_members
+                        lo_i = leaf_indptr[lf]
+                        hi_i = leaf_indptr[lf + 1]
+                    else:
+                        k = free_line[ln]
+                        if k > 0:
+                            mem = line_members
+                            lo_i = line_indptr[ln]
+                            hi_i = line_indptr[ln + 1]
+                        else:
+                            k = total_free
+                            mem = all_members
+                            lo_i = 0
+                            hi_i = all_members.shape[0]
+            # k is the candidate count the reference enumerates, so the
+            # draw can happen before any candidate is materialised.
+            # k == 1 skips the draw (integers(1) consumes no state).
+            if first or k == 1:
+                j = 0
+            else:
+                j = np.int64(_nb_bounded32(w, np.uint64(k - 1)))
+            pick = -1
+            cnt = 0
+            for ii in range(lo_i, hi_i):
+                mpos = mem[ii]
+                if free[mpos]:
+                    if cnt == j:
+                        pick = mpos
+                        break
+                    cnt += 1
+            if pick < 0:
+                return 2, total_free, t
+        free[pick] = False
+        free_sock[gs_a[pick]] -= 1
+        free_node[nd_a[pick]] -= 1
+        free_leaf[lf_a[pick]] -= 1
+        free_line[ln_a[pick]] -= 1
+        total_free -= 1
+        M[new_ranks[t]] = cores[pick]
+    return 0, total_free, -1
+
+
+# ----------------------------------------------------------------------
+# the rng replica — python-int twin (fallback + test oracle)
+# ----------------------------------------------------------------------
+def _py_next32(w: list) -> int:
+    """Python-int twin of :func:`_nb_next32` (same word layout)."""
+    if w[4]:
+        w[4] = 0
+        return w[5]
+    sl = w[1]
+    lo = (sl * _PCG_MUL_LO) & _M64
+    hi = (sl * _PCG_MUL_LO) >> 64
+    new_hi = (hi + w[0] * _PCG_MUL_LO + sl * _PCG_MUL_HI) & _M64
+    new_lo = (lo + w[3]) & _M64
+    if new_lo < w[3]:
+        new_hi += 1
+    new_hi = (new_hi + w[2]) & _M64
+    w[0] = new_hi
+    w[1] = new_lo
+    xored = new_hi ^ new_lo
+    rot = new_hi >> 58
+    out = ((xored >> rot) | (xored << (64 - rot))) & _M64
+    w[4] = 1
+    w[5] = out >> 32
+    return out & _M32
+
+
+def _py_bounded32(w: list, rng: int) -> int:
+    """Python-int twin of :func:`_nb_bounded32` (``rng >= 1``)."""
+    if rng == _M32:
+        return _py_next32(w)
+    rng_excl = rng + 1
+    m = _py_next32(w) * rng_excl
+    leftover = m & _M32
+    if leftover < rng_excl:
+        threshold = (_M32 - rng) % rng_excl
+        while leftover < threshold:
+            m = _py_next32(w) * rng_excl
+            leftover = m & _M32
+    return m >> 32
+
+
+def run_program_py(
+    new_ranks,
+    ref_ranks,
+    M,
+    cores,
+    pos_of_core,
+    gs_a,
+    nd_a,
+    lf_a,
+    ln_a,
+    sock_members,
+    sock_indptr,
+    node_members,
+    node_indptr,
+    leaf_members,
+    leaf_indptr,
+    line_members,
+    line_indptr,
+    all_members,
+    free,
+    free_sock,
+    free_node,
+    free_leaf,
+    free_line,
+    total_free,
+    first,
+    w,
+    cpn,
+    cps,
+    nspn,
+    npl,
+    nlines,
+) -> Tuple[int, int, int]:
+    """Pure-python twin of :func:`_nb_run_program` (same arrays, in place).
+
+    This is the reference the compiled kernel is held to: the no-numba
+    test environments pin it bit-identical to the naive engine, and the
+    jit CI job pins the compiled kernel to the same tests.  Runs on
+    python ints internally (numpy scalar arithmetic would silently
+    promote the uint64 words to float64).
+    """
+    new_l = new_ranks.tolist()
+    ref_l = ref_ranks.tolist()
+    M_l = M.tolist()
+    cores_l = cores.tolist()
+    pos_l = pos_of_core.tolist()
+    gs_l, nd_l = gs_a.tolist(), nd_a.tolist()
+    lf_l, ln_l = lf_a.tolist(), ln_a.tolist()
+    mem_by_level = (
+        (sock_members.tolist(), sock_indptr.tolist()),
+        (node_members.tolist(), node_indptr.tolist()),
+        (leaf_members.tolist(), leaf_indptr.tolist()),
+        (line_members.tolist(), line_indptr.tolist()),
+    )
+    all_l = all_members.tolist()
+    free_l = free.tolist()
+    fs, fn = free_sock.tolist(), free_node.tolist()
+    fl, fli = free_leaf.tolist(), free_line.tolist()
+    w_l = [int(x) for x in w]
+    total = int(total_free)
+    n_pos = len(pos_l)
+    code, fail_t = 0, -1
+    for t in range(len(new_l)):
+        if total == 0:
+            code, fail_t = 1, t
+            break
+        ref_core = M_l[ref_l[t]]
+        pos = pos_l[ref_core] if ref_core < n_pos else -1
+        if pos >= 0 and free_l[pos]:
+            pick = pos
+        else:
+            if pos >= 0:
+                gs, nd, lf, ln = gs_l[pos], nd_l[pos], lf_l[pos], ln_l[pos]
+            else:
+                node = ref_core // cpn
+                gs = node * nspn + (ref_core % cpn) // cps
+                nd, lf = node, node // npl
+                ln = lf % nlines
+            for level, g in enumerate((gs, nd, lf, ln)):
+                k = (fs, fn, fl, fli)[level][g]
+                if k > 0:
+                    mem, indptr = mem_by_level[level]
+                    lo_i, hi_i = indptr[g], indptr[g + 1]
+                    break
+            else:
+                k = total
+                mem, lo_i, hi_i = all_l, 0, len(all_l)
+            j = 0 if (first or k == 1) else _py_bounded32(w_l, k - 1)
+            pick = -1
+            cnt = 0
+            for ii in range(lo_i, hi_i):
+                mpos = mem[ii]
+                if free_l[mpos]:
+                    if cnt == j:
+                        pick = mpos
+                        break
+                    cnt += 1
+            if pick < 0:
+                code, fail_t = 2, t
+                break
+        free_l[pick] = False
+        fs[gs_l[pick]] -= 1
+        fn[nd_l[pick]] -= 1
+        fl[lf_l[pick]] -= 1
+        fli[ln_l[pick]] -= 1
+        total -= 1
+        M_l[new_l[t]] = cores_l[pick]
+    M[:] = M_l
+    free[:] = free_l
+    free_sock[:] = fs
+    free_node[:] = fn
+    free_leaf[:] = fl
+    free_line[:] = fli
+    w[:] = np.array(w_l, dtype=np.uint64)
+    return code, total, fail_t
+
+
+# ----------------------------------------------------------------------
+# flat pool arrays (derived from the shared _PoolStructure, cached on it)
+# ----------------------------------------------------------------------
+class PoolArrays:
+    """Flat CSR mirror of a :class:`_PoolStructure` for the kernels.
+
+    Immutable like the structure it mirrors (free state is passed into
+    the kernel separately), so one instance is shared by every pool over
+    the same (backend, core set) via the structure LRU.
+    """
+
+    __slots__ = (
+        "pos_of_core",
+        "gs",
+        "nd",
+        "lf",
+        "ln",
+        "sock_members",
+        "sock_indptr",
+        "node_members",
+        "node_indptr",
+        "leaf_members",
+        "leaf_indptr",
+        "line_members",
+        "line_indptr",
+        "all_members",
+    )
+
+    def __init__(self, st, backend) -> None:
+        cores = st.cores
+        n = cores.size
+        n_total = int(backend.shape[0])
+        self.pos_of_core = np.full(n_total, -1, dtype=np.int64)
+        self.pos_of_core[cores] = np.arange(n, dtype=np.int64)
+        coords = backend.coords(cores)
+        self.gs = np.ascontiguousarray(coords.gsock)
+        self.nd = np.ascontiguousarray(coords.node)
+        self.lf = np.ascontiguousarray(coords.leaf)
+        self.ln = np.ascontiguousarray(coords.line)
+        self.sock_members, self.sock_indptr = self._csr(st.by_sock, len(st.sock_sizes), n)
+        self.node_members, self.node_indptr = self._csr(st.by_node, len(st.node_sizes), n)
+        self.leaf_members, self.leaf_indptr = self._csr(st.by_leaf, len(st.leaf_sizes), n)
+        self.line_members, self.line_indptr = self._csr(st.by_line, len(st.line_sizes), n)
+        self.all_members = np.arange(n, dtype=np.int64)
+
+    @staticmethod
+    def _csr(groups: Dict[int, list], bound: int, n: int):
+        """Members-per-group as (values, indptr) indexed by global group id."""
+        counts = np.zeros(bound, dtype=np.int64)
+        for g, m in groups.items():
+            counts[g] = len(m)
+        indptr = np.zeros(bound + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        members = np.empty(n, dtype=np.int64)
+        for g, m in groups.items():
+            i0 = indptr[g]
+            members[i0 : i0 + len(m)] = m
+        return members, indptr
+
+
+def pool_arrays(st, backend) -> PoolArrays:
+    """The structure's :class:`PoolArrays`, built lazily and cached on it."""
+    pa = st.jit_arrays
+    if pa is None:
+        pa = PoolArrays(st, backend)
+        st.jit_arrays = pa
+    return pa
+
+
+# ----------------------------------------------------------------------
+# the pool
+# ----------------------------------------------------------------------
+class JitFreePool(HierarchicalFreePool):
+    """:class:`HierarchicalFreePool` whose program walk runs compiled.
+
+    ``execute_program`` dispatches to the numba kernel when available
+    and the tie-break rng (if any) is the default PCG64 stream; the
+    Generator state is packed into kernel words before the walk and
+    written back after, so placements *and* the rng stream are
+    bit-identical to both interpreted executors.  Everything else
+    (per-query ``closest_free``/``place_closest``, bookkeeping) is
+    inherited.
+
+    Without numba the walk falls through to the vectorised parent loop —
+    ``engine='jit'`` degrades to the vectorized tier, never below it.
+    ``force_python_kernel=True`` routes the walk through the python twin
+    of the kernel instead (slow; exists so no-numba environments still
+    exercise the kernel algorithm and the rng replica end to end).
+    """
+
+    def __init__(
+        self,
+        backend,
+        cores,
+        rng=0,
+        tie_break: str = "random",
+        force_python_kernel: bool = False,
+    ) -> None:
+        super().__init__(backend, cores, rng=rng, tie_break=tie_break)
+        self._force_python_kernel = bool(force_python_kernel)
+
+    @property
+    def kernel_mode(self) -> Optional[str]:
+        """``'numba'``, ``'python'`` or None (= interpreted fallback)."""
+        if self.tie_break == "random" and not is_pcg64_generator(self.rng):
+            return None
+        if HAS_NUMBA:
+            return "numba"
+        if self._force_python_kernel:
+            return "python"
+        return None
+
+    def execute_program(self, program: Iterator[Tuple[int, int]], M: list) -> None:
+        mode = self.kernel_mode
+        if mode is None:
+            return super().execute_program(program, M)
+        prog = np.asarray(list(program), dtype=np.int64)
+        if prog.size == 0:
+            return
+        new_ranks = np.ascontiguousarray(prog[:, 0])
+        ref_ranks = np.ascontiguousarray(prog[:, 1])
+        pa = pool_arrays(self._st, self.D)
+        # Mutable kernel state, seeded from the pool's current state (the
+        # executor contract allows takes before/between program runs).
+        free = np.array(self._free_l, dtype=np.bool_)
+        free_sock = np.array(self._free_sock, dtype=np.int64)
+        free_node = np.array(self._free_node, dtype=np.int64)
+        free_leaf = np.array(self._free_leaf, dtype=np.int64)
+        free_line = np.array(self._free_line, dtype=np.int64)
+        M_arr = np.asarray(M, dtype=np.int64)
+        use_rng = self.tie_break == "random"
+        words = pcg64_state_words(self.rng) if use_rng else np.zeros(6, dtype=np.uint64)
+        run = _nb_run_program if mode == "numba" else run_program_py
+        code, total_free, fail_t = run(
+            new_ranks,
+            ref_ranks,
+            M_arr,
+            self._st.cores,
+            pa.pos_of_core,
+            pa.gs,
+            pa.nd,
+            pa.lf,
+            pa.ln,
+            pa.sock_members,
+            pa.sock_indptr,
+            pa.node_members,
+            pa.node_indptr,
+            pa.leaf_members,
+            pa.leaf_indptr,
+            pa.line_members,
+            pa.line_indptr,
+            pa.all_members,
+            free,
+            free_sock,
+            free_node,
+            free_leaf,
+            free_line,
+            self._total_free,
+            self._first,
+            words,
+            self._cpn,
+            self._cps,
+            self._nspn,
+            self._npl,
+            self._nlines,
+        )
+        # Sync pool + caller state (also on failure: partial placements,
+        # takes and rng draws all happened, exactly as in the reference).
+        M[:] = M_arr.tolist()
+        self._free_l = free.tolist()
+        self._free_np = free
+        self._dirty.clear()
+        self._free_sock = free_sock.tolist()
+        self._free_node = free_node.tolist()
+        self._free_leaf = free_leaf.tolist()
+        self._free_line = free_line.tolist()
+        self._total_free = int(total_free)
+        if use_rng:
+            write_pcg64_state_words(self.rng, words)
+        if code == 1:
+            ref = M[int(ref_ranks[fail_t])]
+            raise PoolExhaustedError(
+                f"no free cores left in the pool ({self.cores.size} cores, all "
+                f"taken); cannot place another process near core {ref}"
+            )
+        if code == 2:  # pragma: no cover - internal invariant
+            raise RuntimeError(
+                "placement kernel found fewer free candidates than the group "
+                f"free-count at step {int(fail_t)} — pool bookkeeping is corrupt"
+            )

@@ -17,12 +17,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Sequence, Type
+from typing import Dict, Mapping, Sequence, Type
 
 import numpy as np
 
 from repro.collectives.correctness import RankReordering
-from repro.mapping.base import Mapper
+from repro.mapping.base import Mapper, map_batch
 from repro.mapping.bbmh import BBMH
 from repro.mapping.bgmh import BGMH
 from repro.mapping.bruckmh import BruckMH
@@ -34,7 +34,13 @@ from repro.mapping.rmh import RMH
 from repro.mapping.scotch import ScotchLikeMapper
 from repro.util.rng import RngLike
 
-__all__ = ["HEURISTICS", "MAPPER_KINDS", "ReorderResult", "reorder_ranks"]
+__all__ = [
+    "HEURISTICS",
+    "MAPPER_KINDS",
+    "ReorderResult",
+    "reorder_ranks",
+    "reorder_all",
+]
 
 #: The paper's fine-tuned heuristic for each communication pattern.
 HEURISTICS: Dict[str, Type[Mapper]] = {
@@ -187,3 +193,124 @@ def reorder_ranks(
         map_seconds=map_seconds,
         graph_seconds=graph_seconds,
     )
+
+
+def reorder_all(
+    layout: Sequence[int],
+    D,
+    patterns: "Sequence[str] | None" = None,
+    rng: RngLike = 0,
+    cache="auto",
+    **mapper_kwargs,
+) -> Dict[str, ReorderResult]:
+    """Reorder one topology under every fine-tuned heuristic in one pass.
+
+    Batched equivalent of one :func:`reorder_ranks` call per pattern
+    with ``kind="heuristic"`` — same results, same cache entries, same
+    rng-stream consumption (patterns are processed in the given order,
+    so a shared live ``Generator`` draws exactly as the sequential calls
+    would) — but the per-topology setup is paid once instead of once per
+    heuristic: the backend fingerprint and layout serialisation for the
+    cache keys, and (via :func:`repro.mapping.base.map_batch`) the
+    pool's group structure and the jit tier's kernel arrays.
+
+    This is the entry point the evaluator, the sweep cells and the
+    fault-recovery comparison use whenever they need several patterns'
+    reorderings of the same layout.
+
+    Parameters
+    ----------
+    layout / D / cache / mapper_kwargs:
+        As in :func:`reorder_ranks`.
+    rng:
+        One :data:`~repro.util.rng.RngLike` shared by every pattern — an
+        integer seed (each heuristic then draws from its own fresh
+        stream, exactly like sequential calls with the same seed) or a
+        live Generator (shared, consumed in pattern order; bypasses the
+        cache) — or a ``{pattern: RngLike}`` mapping for callers whose
+        seeds are pattern-derived (e.g. fault recovery).
+    patterns:
+        The patterns to map, default: every key of :data:`HEURISTICS`.
+
+    Returns
+    -------
+    dict
+        ``{pattern: ReorderResult}`` in ``patterns`` order.
+    """
+    if patterns is None:
+        patterns = tuple(HEURISTICS)
+    unknown = [pt for pt in patterns if pt not in HEURISTICS]
+    if unknown:
+        raise KeyError(f"no fine-tuned heuristic for pattern(s) {unknown!r}")
+    L = np.asarray(layout, dtype=np.int64)
+    if isinstance(rng, Mapping):
+        missing_rng = [pt for pt in patterns if pt not in rng]
+        if missing_rng:
+            raise KeyError(f"rng mapping lacks entries for pattern(s) {missing_rng!r}")
+        rng_of = dict(rng)
+    else:
+        rng_of = {pt: rng for pt in patterns}
+
+    # --- cache lookups (fingerprint + layout serialised once) ---------
+    cache_obj = _cache_for(cache)
+    keys: Dict[str, object] = {}
+    results: Dict[str, ReorderResult] = {}
+    if cache_obj is not None:
+        fp = getattr(D, "fingerprint", None)
+        if callable(fp):
+            fp = fp()
+        if isinstance(fp, str):
+            L_list = L.tolist()
+            for pt in patterns:
+                if not isinstance(rng_of[pt], (int, np.integer)):
+                    continue  # live Generators bypass the cache
+                key = mapping_cache_key(
+                    fp, pt, "heuristic", L, int(rng_of[pt]), mapper_kwargs
+                )
+                keys[pt] = key
+                entry = cache_obj.get(key)
+                if entry is not None and entry["layout"] == L_list:
+                    results[pt] = ReorderResult(
+                        reordering=RankReordering(
+                            layout=L,
+                            mapping=np.asarray(entry["mapping"], dtype=np.int64),
+                        ),
+                        pattern=pt,
+                        mapper_name=entry.get("mapper_name", "mapper"),
+                        map_seconds=float(entry.get("map_seconds", 0.0)),
+                        graph_seconds=float(entry.get("graph_seconds", 0.0)),
+                        cached=True,
+                    )
+
+    # --- batched mapping of the misses --------------------------------
+    misses = [pt for pt in patterns if pt not in results]
+    if misses:
+        mappers = [HEURISTICS[pt](**mapper_kwargs) for pt in misses]
+        seconds: list = []
+        mappings = map_batch(
+            mappers, L, D, [rng_of[pt] for pt in misses], seconds_out=seconds
+        )
+        for pt, mapper, M, secs in zip(misses, mappers, mappings, seconds):
+            key = keys.get(pt)
+            if key is not None:
+                cache_obj.put(
+                    key,
+                    {
+                        "mapping": M.tolist(),
+                        "layout": L.tolist(),
+                        "pattern": pt,
+                        "kind": "heuristic",
+                        "mapper_name": mapper.name,
+                        "map_seconds": secs,
+                        "graph_seconds": 0.0,
+                    },
+                )
+            results[pt] = ReorderResult(
+                reordering=RankReordering(layout=L, mapping=M),
+                pattern=pt,
+                mapper_name=mapper.name,
+                map_seconds=secs,
+                graph_seconds=0.0,
+            )
+
+    return {pt: results[pt] for pt in patterns}

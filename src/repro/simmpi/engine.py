@@ -182,20 +182,71 @@ class SchedulePricing:
         self.local_copy_units = float(schedule.local_copy_units)
         self.cost = engine.cost
         self.stages: List[StagePricing] = engine._price_schedule(schedule, mapping)
+        # Fused evaluation tables: every stage's Pareto envelope
+        # concatenated into one flat alpha/drain pair plus the reduceat
+        # segment starts, so pricing a size vector is one broadcast and
+        # one segmented max instead of a numpy pass per stage.  Envelopes
+        # are never empty for non-empty stages (the Pareto keep-mask
+        # always retains at least one line), but reduceat cannot express
+        # empty segments, so empty schedules — or a degenerate stage with
+        # no messages — keep the reference path.
+        if self.stages and all(s.env_alpha.size > 0 for s in self.stages):
+            self._fused_alpha = np.concatenate([s.env_alpha for s in self.stages])
+            self._fused_drain = np.concatenate([s.env_drain for s in self.stages])
+            counts = np.array([s.env_alpha.size for s in self.stages], dtype=np.int64)
+            self._fused_starts = np.concatenate(([0], np.cumsum(counts[:-1])))
+            self._fused_repeats = [float(s.repeat) for s in self.stages]
+        else:
+            self._fused_alpha = None
 
     def evaluate_sizes(
         self, sizes: Sequence[float], extra_copy_bytes: float = 0.0
     ) -> BatchTimingResult:
-        """Price the whole size vector against the cached tables."""
+        """Price the whole size vector in one fused stage-concatenated pass.
+
+        Bit-identical to :meth:`evaluate_sizes_reference` (the per-stage
+        walk): the per-line ``alpha + size * drain`` terms are the same
+        elementwise operations on the same values, the segmented
+        ``np.maximum.reduceat`` computes each stage's envelope max over
+        exactly the elements the per-stage ``max`` sees (max is
+        rounding-free), and the accumulation below walks the stages in
+        the reference's left-to-right order, so every intermediate
+        rounding matches.
+        """
+        if self._fused_alpha is None:
+            return self.evaluate_sizes_reference(sizes, extra_copy_bytes)
+        sz = self._check_sizes(sizes)
+        vals = self._fused_alpha[None, :] + sz[:, None] * self._fused_drain[None, :]
+        stage_max = np.maximum.reduceat(vals, self._fused_starts, axis=1)
+        overhead = self.cost.stage_overhead
+        total = np.zeros(sz.size, dtype=np.float64)
+        for j, repeat in enumerate(self._fused_repeats):
+            total += (stage_max[:, j] + overhead) * repeat
+        return self._finish_sizes(sz, total, extra_copy_bytes)
+
+    def evaluate_sizes_reference(
+        self, sizes: Sequence[float], extra_copy_bytes: float = 0.0
+    ) -> BatchTimingResult:
+        """Per-stage envelope walk — the oracle for the fused pass."""
+        sz = self._check_sizes(sizes)
+        overhead = self.cost.stage_overhead
+        total = np.zeros(sz.size, dtype=np.float64)
+        for stage in self.stages:
+            total += stage.seconds_for(sz, overhead) * stage.repeat
+        return self._finish_sizes(sz, total, extra_copy_bytes)
+
+    @staticmethod
+    def _check_sizes(sizes: Sequence[float]) -> np.ndarray:
         sz = np.asarray(list(sizes), dtype=np.float64)
         if sz.ndim != 1 or sz.size == 0:
             raise ValueError("sizes must be a non-empty 1-D sequence")
         if np.any(sz <= 0):
             raise ValueError("block sizes must be positive")
-        overhead = self.cost.stage_overhead
-        total = np.zeros(sz.size, dtype=np.float64)
-        for stage in self.stages:
-            total += stage.seconds_for(sz, overhead) * stage.repeat
+        return sz
+
+    def _finish_sizes(
+        self, sz: np.ndarray, total: np.ndarray, extra_copy_bytes: float
+    ) -> BatchTimingResult:
         copy_bytes = self.local_copy_units * sz + extra_copy_bytes
         copy_seconds = np.where(
             copy_bytes > 0, self.cost.copy_alpha + copy_bytes * self.cost.copy_beta, 0.0

@@ -35,8 +35,44 @@ from typing import Tuple, Union
 import numpy as np
 
 from repro.topology.cluster import ClusterTopology
+from repro.util.jit import HAS_NUMBA, maybe_njit
 
 __all__ = ["CoreCoords", "ImplicitDistances"]
+
+
+@maybe_njit(cache=True)
+def _ladder_row_kernel(  # pragma: no cover - compiled; numpy twin is tested
+    core, cols, out, ladder, cpn, cps, nspn, npl, nlines
+):
+    """Fill ``out[i] = ladder[shared_level(core, cols[i])]`` (compiled).
+
+    One integer-arithmetic pass per column, no intermediate arrays —
+    the jit twin of the vectorised level scan in
+    :meth:`ImplicitDistances.row`.  The float64 ladder value is cast to
+    float32 on store, the same single rounding the numpy path applies.
+    """
+    node_s = core // cpn
+    gs_s = node_s * nspn + (core % cpn) // cps
+    lf_s = node_s // npl
+    ln_s = lf_s % nlines
+    for i in range(cols.shape[0]):
+        c = cols[i]
+        if c == core:
+            lvl = 0
+        else:
+            node = c // cpn
+            if node == node_s:
+                lvl = 1 if node * nspn + (c % cpn) // cps == gs_s else 2
+            else:
+                lf = node // npl
+                if lf == lf_s:
+                    lvl = 3
+                elif lf % nlines == ln_s:
+                    lvl = 4
+                else:
+                    lvl = 5
+        out[i] = ladder[lvl]
+    return out
 
 
 @dataclass(frozen=True)
@@ -74,6 +110,16 @@ class ImplicitDistances:
         self.dtype = np.dtype(np.float32)
         self.fingerprint = cluster.fingerprint()
         self._ladder = self._build_ladder(cluster)
+        # integer constants for the ladder-scan paths of row():
+        # (cores_per_node, cores_per_socket, sockets_per_node,
+        #  nodes_per_leaf, lines_per_core)
+        self._coord_consts = (
+            int(cluster.cores_per_node),
+            int(cluster.machine.cores_per_socket),
+            int(cluster.machine.n_sockets),
+            int(cluster.network.config.nodes_per_leaf),
+            int(cluster.network.config.lines_per_core),
+        )
 
     # ------------------------------------------------------------------
     # the distance ladder
@@ -146,12 +192,40 @@ class ImplicitDistances:
     def row(self, core: int, cols=None) -> np.ndarray:
         """Distances from ``core`` to ``cols`` (default: every core), float32.
 
-        Bit-identical to ``cluster.distance_matrix()[core, cols]`` — same
-        float64 arithmetic, same final float32 cast.
+        Bit-identical to ``cluster.distance_matrix()[core, cols]``: every
+        pair's distance is the ladder value of the deepest level the pair
+        shares, and each ladder entry is accumulated in the same float64
+        addition order as the dense path (the skipped terms there are
+        exact ``+ 0.0``s) before the same final float32 cast.  Served by
+        the compiled ladder-scan kernel when numba is available, else by
+        one vectorised level scan.
         """
+        core = int(core)
         if cols is None:
             cols = np.arange(self.shape[1], dtype=np.int64)
-        return self.cluster.distance(int(core), cols).astype(np.float32)
+        else:
+            cols = np.ascontiguousarray(np.asarray(cols, dtype=np.int64))
+        if HAS_NUMBA:
+            out = np.empty(cols.size, dtype=np.float32)
+            return _ladder_row_kernel(
+                core, cols, out, self._ladder, *self._coord_consts
+            )
+        # Shared-level scan: the level masks are nested (same socket =>
+        # same node => same leaf => same line switch), so the deepest
+        # shared level is 5 minus the count of satisfied masks.
+        cc = self.coords(cols)
+        cpn, cps, nspn, npl, nlines = self._coord_consts
+        node_s = core // cpn
+        gs_s = node_s * nspn + (core % cpn) // cps
+        lf_s = node_s // npl
+        lvl = 5 - (
+            (cc.line == lf_s % nlines).astype(np.int64)
+            + (cc.leaf == lf_s)
+            + (cc.node == node_s)
+            + (cc.gsock == gs_s)
+            + (cols == core)
+        )
+        return self._ladder[lvl].astype(np.float32)
 
     def __getitem__(self, idx) -> Union[np.ndarray, float]:
         """Support the mappers' access patterns: ``D[i, cols]`` and ``D[i]``."""

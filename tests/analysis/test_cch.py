@@ -85,6 +85,24 @@ class TestCch003EngineIdentity:
         report = probe_engine_identity(n_nodes=2)
         assert [str(d) for d in report.diagnostics] == []
 
+    def test_probe_covers_jit_engine(self, monkeypatch):
+        """The probe must flag a jit tier that drifts from naive."""
+        import repro.mapping.reorder as reorder_mod
+
+        real = reorder_mod.reorder_ranks
+
+        def doctored(pattern, layout, D, **kwargs):
+            res = real(pattern, layout, D, **kwargs)
+            if kwargs.get("engine") == "jit":
+                m = res.mapping.copy()
+                m[0], m[1] = m[1], m[0]
+                res.reordering.mapping[:] = m
+            return res
+
+        monkeypatch.setattr(reorder_mod, "reorder_ranks", doctored)
+        report = probe_engine_identity(n_nodes=2)
+        assert any("jit" in str(d) for d in report.diagnostics)
+
 
 class TestCch004DiskTier:
     KEY = "0" * 64

@@ -78,6 +78,27 @@ class TestRunPerf:
         text = rep.summary()
         assert "10.00x" in text
         assert "p=256" in text
+        assert "hotspots" not in text  # no profile section without --profile
+
+    def test_profile_records_hotspots(self, tmp_path):
+        out = tmp_path / "bench.json"
+        report = run_perf(
+            n_nodes=4,
+            sizes=[1, 65536],
+            layouts=["block-bunch"],
+            mappers=["heuristic"],
+            strategies=["initcomm"],
+            quick=True,
+            profile=True,
+            out_path=out,
+        )
+        assert report.profile_top
+        assert len(report.profile_top) <= 20
+        for h in report.profile_top:
+            assert {"ncalls", "tottime", "cumtime", "function"} <= set(h)
+        assert "hotspots" in report.summary()
+        data = json.loads(out.read_text())
+        assert data["profile_top"] == report.profile_top
 
 
 class TestRunMappingPerf:
@@ -90,11 +111,34 @@ class TestRunMappingPerf:
         for case in report.cases:
             assert case.mismatches == 0
             assert case.naive_seconds > 0 and case.vectorized_seconds > 0
+            assert case.jit_seconds > 0 and case.jit_speedup > 0
+            assert case.speedup_baseline == "naive"
             assert set(case.naive_map_seconds) == set(report.heuristics)
+            assert set(case.jit_map_seconds) == set(report.heuristics)
         data = json.loads(out.read_text())
         assert [c["p"] for c in data["cases"]] == [16, 64]
         assert data["heuristics"] == sorted(data["heuristics"])
         assert "p" in report.summary() and "mismatches" in report.summary()
+
+    def test_naive_cutoff_skips_naive_tier(self):
+        from repro.bench.perf import run_mapping_perf
+
+        report = run_mapping_perf(
+            p_values=[16, 64], repeats=1, naive_max_p=16, out_path=None
+        )
+        below, above = report.cases
+        assert below.naive_seconds > 0 and below.speedup_baseline == "naive"
+        assert above.naive_seconds is None
+        assert above.naive_map_seconds is None
+        assert above.speedup_baseline == "vectorized"
+        assert above.speedup == pytest.approx(above.jit_speedup)
+        assert above.mismatches == 0  # jit-vs-vectorized still checked
+        # the JSON row records null, not a number
+        import dataclasses
+
+        row = dataclasses.asdict(above)
+        assert row["naive_seconds"] is None
+        assert "-" in report.summary()
 
     def test_quick_mode_shrinks_grid(self):
         from repro.bench.perf import run_mapping_perf

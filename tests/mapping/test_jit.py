@@ -1,0 +1,197 @@
+"""Jit-tier placement identity: compiled kernel vs. the naive reference.
+
+``engine='jit'`` must be bit-identical to ``engine='naive'`` — same
+cores, same rng stream (the kernel replays numpy's bounded-integer draws
+through a PCG64/Lemire replica), both tie-break modes, shrink survivor
+pools included.  Without numba the product path delegates to the
+vectorised parent (already covered by test_driver.py); these tests
+additionally force the pure-python twin of the kernel so the kernel
+algorithm and the rng replica are exercised end to end in every
+environment.
+"""
+
+import numpy as np
+import pytest
+
+import repro.mapping.jitkernel as jk
+from repro.mapping.base import PLACEMENT_ENGINES
+from repro.mapping.bbmh import BBMH
+from repro.mapping.bgmh import BGMH
+from repro.mapping.bruckmh import BruckMH
+from repro.mapping.initial import make_layout
+from repro.mapping.jitkernel import (
+    JitFreePool,
+    is_pcg64_generator,
+    pcg64_state_words,
+    write_pcg64_state_words,
+)
+from repro.mapping.rdmh import RDMH
+from repro.mapping.rmh import RMH
+from repro.util.jit import HAS_NUMBA
+from repro.util.rng import make_rng
+
+HEURISTICS = [RMH, RDMH, BBMH, BGMH, BruckMH]
+#: Heuristics without a power-of-two constraint on p.
+ANY_P_HEURISTICS = [RMH, BGMH, BruckMH]
+
+
+@pytest.fixture()
+def forced_python_kernel(monkeypatch):
+    """Route every ``engine='jit'`` pool through the python kernel twin.
+
+    The mapper's ``_open_pool`` imports :class:`JitFreePool` from the
+    jitkernel module at call time, so patching the module attribute is
+    enough to force the kernel path without numba installed.
+    """
+
+    class ForcedJitFreePool(JitFreePool):
+        def __init__(self, *args, **kwargs):
+            kwargs.setdefault("force_python_kernel", True)
+            super().__init__(*args, **kwargs)
+
+    monkeypatch.setattr(jk, "JitFreePool", ForcedJitFreePool)
+    return ForcedJitFreePool
+
+
+def _maps(cls, cluster, L, tie_break, rng_naive, rng_jit):
+    naive = cls(tie_break=tie_break, engine="naive").map(
+        L, cluster.distance_matrix(), rng=rng_naive
+    )
+    jit = cls(tie_break=tie_break, engine="jit").map(
+        L, cluster.implicit_distances(), rng=rng_jit
+    )
+    return naive, jit
+
+
+class TestPcg64Replica:
+    def test_state_words_round_trip(self):
+        rng = make_rng(1234)
+        rng.integers(1000)  # populate the 32-bit buffer
+        words = pcg64_state_words(rng)
+        other = make_rng(0)
+        write_pcg64_state_words(other, words)
+        assert np.array_equal(pcg64_state_words(other), words)
+        assert other.integers(1 << 20) == rng.integers(1 << 20)
+
+    @pytest.mark.parametrize("seed", [0, 1, 42, 2**31])
+    def test_python_kernel_matches_numpy_draws(self, seed):
+        """The Lemire replica reproduces Generator.integers draw by draw."""
+        rng = make_rng(seed)
+        words = pcg64_state_words(rng)
+        w = [int(x) for x in words]
+        for k in (1, 2, 3, 7, 100, 2**31):
+            expected = int(rng.integers(k))
+            got = 0 if k == 1 else jk._py_bounded32(w, k - 1)
+            assert got == expected, (seed, k)
+        # the replica's final state must match the generator's
+        assert [int(x) for x in pcg64_state_words(rng)] == w
+
+    def test_non_pcg64_detection(self):
+        mt = np.random.Generator(np.random.MT19937(3))  # noqa: REP001
+        assert not is_pcg64_generator(mt)
+        assert is_pcg64_generator(make_rng(3))
+
+
+class TestJitPlacementIdentity:
+    @pytest.mark.parametrize("cls", HEURISTICS)
+    @pytest.mark.parametrize("tie_break", ["random", "first"])
+    def test_forced_python_kernel_bit_identical(
+        self, mid_cluster, forced_python_kernel, cls, tie_break
+    ):
+        for p in (16, 64):
+            for lname in ("block-bunch", "cyclic-scatter"):
+                L = make_layout(lname, mid_cluster, p)
+                for seed in (0, 7):
+                    naive, jit = _maps(cls, mid_cluster, L, tie_break, seed, seed)
+                    assert np.array_equal(naive, jit), (cls.name, p, lname, seed)
+
+    @pytest.mark.parametrize("cls", HEURISTICS)
+    def test_rng_stream_identical_after_map(
+        self, mid_cluster, forced_python_kernel, cls
+    ):
+        """Shared-Generator callers see the exact same stream afterwards."""
+        L = make_layout("cyclic-bunch", mid_cluster, 64)
+        g1 = make_rng(99)
+        g2 = make_rng(99)
+        naive, jit = _maps(cls, mid_cluster, L, "random", g1, g2)
+        assert np.array_equal(naive, jit)
+        assert np.array_equal(pcg64_state_words(g1), pcg64_state_words(g2))
+        assert g1.integers(1 << 30) == g2.integers(1 << 30)
+
+    @pytest.mark.parametrize("cls", ANY_P_HEURISTICS)
+    def test_shrink_survivor_pools(self, mid_cluster, forced_python_kernel, cls):
+        """Non-contiguous survivor layouts (post-shrink) stay identical."""
+        survivors = mid_cluster.shrink([2, 5])
+        assert survivors.size == 48
+        partial = mid_cluster.shrink([1, 6])[:32]
+        for L in (survivors, partial):
+            for seed in (0, 3):
+                naive, jit = _maps(cls, mid_cluster, L, "random", seed, seed)
+                assert np.array_equal(naive, jit), (cls.name, L.size, seed)
+
+    def test_non_pcg64_generator_falls_back(self, mid_cluster, forced_python_kernel):
+        """A random tie-break with an MT19937 Generator cannot use the
+        kernel replica; the pool must degrade to the vectorised loop and
+        still match the naive engine draw for draw."""
+        L = make_layout("block-bunch", mid_cluster, 32)
+        g1 = np.random.Generator(np.random.MT19937(5))  # noqa: REP001
+        g2 = np.random.Generator(np.random.MT19937(5))  # noqa: REP001
+        naive, jit = _maps(RMH, mid_cluster, L, "random", g1, g2)
+        assert np.array_equal(naive, jit)
+        assert g1.integers(1 << 30) == g2.integers(1 << 30)
+
+    def test_kernel_mode_reporting(self, mid_cluster):
+        impl = mid_cluster.implicit_distances()
+        L = make_layout("block-bunch", mid_cluster, 16)
+        plain = JitFreePool(impl, L, rng=0, tie_break="first")
+        forced = JitFreePool(
+            impl, L, rng=0, tie_break="first", force_python_kernel=True
+        )
+        if HAS_NUMBA:
+            assert plain.kernel_mode == "numba"
+        else:
+            assert plain.kernel_mode is None
+            assert forced.kernel_mode == "python"
+        mt = np.random.Generator(np.random.MT19937(1))  # noqa: REP001
+        off = JitFreePool(impl, L, rng=mt, tie_break="random")
+        assert off.kernel_mode is None
+
+    def test_jit_engine_registered(self):
+        assert "jit" in PLACEMENT_ENGINES
+
+    def test_jit_requires_vectorizable_backend(self, mid_cluster):
+        L = make_layout("block-bunch", mid_cluster, 16)
+        with pytest.raises(ValueError, match="ImplicitDistances"):
+            RMH(engine="jit").map(L, mid_cluster.distance_matrix(), rng=0)
+
+    def test_auto_prefers_jit_on_implicit_backend(self, mid_cluster):
+        """engine='auto' must route implicit backends through the jit pool."""
+        mapper = RMH(engine="auto")
+        pool = mapper._open_pool(
+            mid_cluster.implicit_distances(),
+            make_layout("block-bunch", mid_cluster, 16),
+            0,
+        )
+        assert isinstance(pool, JitFreePool)
+
+
+class TestPoolExhaustion:
+    def test_exhaustion_error_matches_reference(
+        self, mid_cluster, forced_python_kernel
+    ):
+        """A program that places more ranks than there are cores must
+        raise the same PoolExhaustedError either way."""
+        from repro.mapping.base import PoolExhaustedError
+
+        impl = mid_cluster.implicit_distances()
+        n = mid_cluster.n_cores
+        L = np.arange(n, dtype=np.int64)
+        pool = jk.JitFreePool(
+            impl, L, rng=0, tie_break="first", force_python_kernel=True
+        )
+        M = [-1] * (n + 1)
+        M[0] = 0
+        pool.take(0)
+        program = ((i, 0) for i in range(1, n + 1))
+        with pytest.raises(PoolExhaustedError):
+            pool.execute_program(program, M)
