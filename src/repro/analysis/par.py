@@ -17,7 +17,9 @@ keep that safe:
 
 ``PAR002``
     Direct (non-atomic) file writes on persistence paths — packages
-    ``bench/``, ``mapping/``, ``faults/``, ``simmpi/``, ``topology/``:
+    ``bench/``, ``mapping/``, ``faults/``, ``simmpi/``, ``topology/``,
+    ``serve/`` (the daemon must never tear a file a client or a
+    restarted instance then reads):
     ``open(..., "w"/"a"/"x")``, ``Path.write_text`` / ``write_bytes``,
     ``json.dump`` / ``pickle.dump``, ``np.save*``.  A process killed
     mid-write leaves a torn file that a concurrent or resuming reader
@@ -57,6 +59,7 @@ _PERSIST_PKGS = (
     "repro/faults/",
     "repro/simmpi/",
     "repro/topology/",
+    "repro/serve/",
 )
 
 #: Module references that mark a module as executor-using (PAR001 scope).

@@ -18,6 +18,11 @@ from repro.bench.perf import (
     run_perf,
 )
 from repro.bench.report import format_sweep_table, size_label
+from repro.bench.serveperf import (
+    DEFAULT_SERVE_BENCH_PATH,
+    ServePerfReport,
+    run_serve_perf,
+)
 from repro.bench.suite import QUICK_SIZES, SuiteResult, run_suite
 
 __all__ = [
@@ -40,4 +45,7 @@ __all__ = [
     "MappingPerfReport",
     "DEFAULT_NAIVE_MAX_P",
     "MAPPING_P_VALUES",
+    "DEFAULT_SERVE_BENCH_PATH",
+    "ServePerfReport",
+    "run_serve_perf",
 ]

@@ -1,0 +1,303 @@
+"""Load generator for the reordering daemon: cold vs. warm serving latency.
+
+The daemon's value proposition is that everything expensive — the
+implicit-distance ladder, heuristic mapping runs, pricing tables — is
+computed once and then *served* from resident state.  This harness
+measures that directly against a real in-process daemon
+(:class:`~repro.serve.embedded.EmbeddedServer`, real sockets, real
+framing):
+
+* a **cold pass** issues every (pattern, layout) reorder query once,
+  concurrently from several client connections — this is first-contact
+  traffic, and the concurrency means the micro-batcher folds
+  same-layout queries into single ``reorder_all`` passes;
+* a **warm pass** replays the same queries for several rounds — every
+  answer is a mapping-cache hit served straight off the pipeline lane;
+* a **bit-identity audit** recomputes every mapping and price solo
+  (fresh cluster, fresh caches, plain :func:`~repro.mapping.reorder.
+  reorder_ranks` / :meth:`~repro.simmpi.engine.TimingEngine.
+  evaluate_sizes`) and counts mismatches — the serving layer must be a
+  pure accelerator, never a different answer.
+
+Latency percentiles are measured client-side (they include framing and
+the socket round-trip — what a caller actually waits), persisted to
+``BENCH_serve.json`` so the repo carries the serving-perf trajectory
+across PRs.  ``python -m repro perf --serve`` wraps it.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.collectives.registry import make_algorithm
+from repro.mapping.initial import make_layout
+from repro.mapping.reorder import HEURISTICS, reorder_ranks
+from repro.serve.embedded import EmbeddedServer
+from repro.simmpi.engine import TimingEngine
+from repro.topology.gpc import gpc_cluster
+from repro.util.atomicio import atomic_write_text
+
+__all__ = [
+    "ServePerfReport",
+    "run_serve_perf",
+    "DEFAULT_SERVE_BENCH_PATH",
+    "SERVE_PRICE_SIZES",
+]
+
+#: Where ``run_serve_perf`` persists its measurement by default.
+DEFAULT_SERVE_BENCH_PATH = "BENCH_serve.json"
+
+#: Message sizes priced during the identity audit (bytes).
+SERVE_PRICE_SIZES = (1024, 65536, 1048576)
+
+FULL_LAYOUTS = ("block-bunch", "block-scatter", "cyclic-bunch", "cyclic-scatter")
+QUICK_LAYOUTS = ("block-bunch", "cyclic-scatter")
+QUICK_PATTERNS = ("recursive-doubling", "ring")
+
+
+@dataclass
+class ServePerfReport:
+    """Outcome of one cold-vs-warm daemon load run."""
+
+    p: int
+    n_nodes: int
+    n_keys: int                  # distinct (pattern, layout) queries
+    clients: int                 # concurrent client connections
+    warm_rounds: int
+    cold_requests: int
+    warm_requests: int
+    cold_p50_ms: float
+    cold_p90_ms: float
+    cold_p99_ms: float
+    warm_p50_ms: float
+    warm_p90_ms: float
+    warm_p99_ms: float
+    warm_speedup_p50: float      # cold_p50 / warm_p50
+    requests_per_sec_warm: float
+    requests_per_sec_cold: float
+    coalesced: int               # requests answered from another's execution
+    batched: int                 # reorders folded into an existing micro-batch
+    reorder_batches: int         # reorder_all passes the daemon ran
+    patterns_computed: int
+    patterns_cached: int
+    mismatches: int              # serve vs. solo (reorder mappings + prices)
+    mapping_cache: Dict[str, object] = field(default_factory=dict)
+    patterns: List[str] = field(default_factory=list)
+    layouts: List[str] = field(default_factory=list)
+    seed: int = 0
+    quick: bool = False
+    timestamp: float = 0.0
+    python: str = ""
+
+    def summary(self) -> str:
+        """Human-readable report (what ``repro perf --serve`` prints)."""
+        return (
+            f"serve perf: p={self.p} ({self.n_nodes} nodes), "
+            f"{self.n_keys} keys x {self.clients} clients\n"
+            f"  cold latency (ms)   : p50={self.cold_p50_ms:9.3f}  "
+            f"p90={self.cold_p90_ms:9.3f}  p99={self.cold_p99_ms:9.3f}\n"
+            f"  warm latency (ms)   : p50={self.warm_p50_ms:9.3f}  "
+            f"p90={self.warm_p90_ms:9.3f}  p99={self.warm_p99_ms:9.3f}\n"
+            f"  warm speedup (p50)  : {self.warm_speedup_p50:8.1f}x\n"
+            f"  warm throughput     : {self.requests_per_sec_warm:8.1f} req/s "
+            f"({self.warm_requests} requests)\n"
+            f"  coalesced / batched : {self.coalesced} / {self.batched} "
+            f"(batch passes: {self.reorder_batches})\n"
+            f"  identity mismatches : {self.mismatches}"
+        )
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Persist as pretty JSON (atomic replace)."""
+        path = Path(path)
+        atomic_write_text(path, json.dumps(asdict(self), indent=2) + "\n")
+        return path
+
+
+def _percentiles_ms(latencies: Sequence[float]) -> Tuple[float, float, float]:
+    arr = np.asarray(latencies, dtype=np.float64) * 1e3
+    return (
+        float(np.percentile(arr, 50)),
+        float(np.percentile(arr, 90)),
+        float(np.percentile(arr, 99)),
+    )
+
+
+def _client_worker(
+    embedded: EmbeddedServer,
+    fingerprint: str,
+    queries: Sequence[Tuple[str, str]],
+    clients: int,
+    seed: int,
+    worker_id: int,
+    latencies: List[float],
+    mappings: Dict[Tuple[str, str], List[int]],
+) -> None:
+    """One closed-loop client: its round-robin share of ``queries``."""
+    with embedded.client() as client:
+        for i in range(worker_id, len(queries), clients):
+            pattern, layout = queries[i]
+            t0 = time.perf_counter()
+            res = client.reorder(fingerprint, pattern, layout, seed=seed)
+            latencies[i] = time.perf_counter() - t0
+            mappings[(pattern, layout)] = res["mapping"]
+
+
+def _fire(
+    embedded: EmbeddedServer,
+    fingerprint: str,
+    queries: Sequence[Tuple[str, str]],
+    clients: int,
+    seed: int,
+) -> Tuple[List[float], float, Dict[Tuple[str, str], List[int]]]:
+    """Issue every query concurrently; return (latencies, wall, mappings)."""
+    latencies: List[float] = [0.0] * len(queries)
+    mappings: Dict[Tuple[str, str], List[int]] = {}
+    wall0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        futures = [
+            pool.submit(
+                _client_worker,
+                embedded,
+                fingerprint,
+                queries,
+                clients,
+                seed,
+                w,
+                latencies,
+                mappings,
+            )
+            for w in range(clients)
+        ]
+        for fut in futures:
+            fut.result()
+    return latencies, time.perf_counter() - wall0, mappings
+
+
+def _audit_identity(
+    n_nodes: int,
+    queries: Sequence[Tuple[str, str]],
+    served_mappings: Dict[Tuple[str, str], List[int]],
+    served_prices: Dict[Tuple[str, str], List[float]],
+    seed: int,
+) -> int:
+    """Recompute everything solo and count serve-vs-solo mismatches.
+
+    Fresh cluster, fresh distances, fresh engine, no shared caches: the
+    daemon's answers must be bit-identical to a from-scratch run.
+    """
+    cluster = gpc_cluster(n_nodes)
+    distances = cluster.implicit_distances()
+    engine = TimingEngine(cluster)
+    mismatches = 0
+    for pattern, layout_name in queries:
+        L = make_layout(layout_name, cluster, cluster.n_cores)
+        solo = reorder_ranks(pattern, L, distances, kind="heuristic", rng=seed)
+        solo_mapping = [int(c) for c in solo.mapping]
+        if served_mappings.get((pattern, layout_name)) != solo_mapping:
+            mismatches += 1
+            continue
+        schedule = make_algorithm(pattern).schedule(solo.mapping.size)
+        batch = engine.evaluate_sizes(
+            schedule, solo.mapping, [float(s) for s in SERVE_PRICE_SIZES]
+        )
+        solo_price = [float(t) for t in batch.total_seconds]
+        if served_prices.get((pattern, layout_name)) != solo_price:
+            mismatches += 1
+    return mismatches
+
+
+def run_serve_perf(
+    n_nodes: Optional[int] = None,
+    quick: bool = False,
+    clients: Optional[int] = None,
+    warm_rounds: Optional[int] = None,
+    seed: int = 0,
+    out: Optional[Union[str, Path]] = None,
+) -> ServePerfReport:
+    """Measure cold vs. warm daemon latency and audit answer identity.
+
+    Defaults target the acceptance shape: p=1024 (128 GPC nodes), every
+    heuristic pattern x every named layout, 8 concurrent clients.
+    ``quick`` shrinks to a CI-smoke grid (p=64).
+    """
+    if n_nodes is None:
+        n_nodes = 8 if quick else 128
+    if clients is None:
+        clients = 4 if quick else 8
+    if warm_rounds is None:
+        warm_rounds = 2 if quick else 5
+    patterns = list(QUICK_PATTERNS if quick else sorted(HEURISTICS))
+    layouts = list(QUICK_LAYOUTS if quick else FULL_LAYOUTS)
+    queries = [(pat, lay) for lay in layouts for pat in patterns]
+
+    with EmbeddedServer() as embedded:
+        with embedded.client() as client:
+            reg = client.register_topology({"kind": "gpc", "n_nodes": n_nodes})
+        fingerprint = reg["fingerprint"]
+        p = reg["n_cores"]
+
+        cold_lat, cold_wall, served_mappings = _fire(
+            embedded, fingerprint, queries, clients, seed
+        )
+        warm_queries = queries * warm_rounds
+        warm_lat, warm_wall, _ = _fire(
+            embedded, fingerprint, warm_queries, clients, seed
+        )
+
+        served_prices: Dict[Tuple[str, str], List[float]] = {}
+        with embedded.client() as client:
+            for (pattern, layout_name), mapping in served_mappings.items():
+                priced = client.price(
+                    fingerprint, pattern, list(SERVE_PRICE_SIZES), mapping=mapping
+                )
+                served_prices[(pattern, layout_name)] = priced["total_seconds"]
+            stats = client.stats()
+
+    mismatches = _audit_identity(
+        n_nodes, queries, served_mappings, served_prices, seed
+    )
+
+    cold_p50, cold_p90, cold_p99 = _percentiles_ms(cold_lat)
+    warm_p50, warm_p90, warm_p99 = _percentiles_ms(warm_lat)
+    report = ServePerfReport(
+        p=p,
+        n_nodes=n_nodes,
+        n_keys=len(queries),
+        clients=clients,
+        warm_rounds=warm_rounds,
+        cold_requests=len(cold_lat),
+        warm_requests=len(warm_lat),
+        cold_p50_ms=cold_p50,
+        cold_p90_ms=cold_p90,
+        cold_p99_ms=cold_p99,
+        warm_p50_ms=warm_p50,
+        warm_p90_ms=warm_p90,
+        warm_p99_ms=warm_p99,
+        warm_speedup_p50=cold_p50 / warm_p50 if warm_p50 > 0 else float("inf"),
+        requests_per_sec_warm=len(warm_lat) / warm_wall if warm_wall > 0 else 0.0,
+        requests_per_sec_cold=len(cold_lat) / cold_wall if cold_wall > 0 else 0.0,
+        coalesced=int(stats["coalesced"]),
+        batched=int(stats["batched"]),
+        reorder_batches=int(stats["reorder_batches"]),
+        patterns_computed=int(stats["patterns_computed"]),
+        patterns_cached=int(stats["patterns_cached"]),
+        mismatches=mismatches,
+        mapping_cache=dict(stats["mapping_cache"]),
+        patterns=patterns,
+        layouts=layouts,
+        seed=seed,
+        quick=quick,
+        timestamp=time.time(),
+        python=platform.python_version(),
+    )
+    if out is not None:
+        report.write(out)
+    return report

@@ -14,7 +14,11 @@ The subcommands mirror the paper's workflow:
   shrink-remap recovery after node failures;
 * ``reproduce`` — regenerate the core paper artefacts in one command;
 * ``perf``      — time the batched sweep pipeline vs. the naive per-size
-  loop and persist the measurement to ``BENCH_sweep.json``;
+  loop and persist the measurement to ``BENCH_sweep.json``
+  (``--serve`` instead load-tests the daemon: cold vs. warm latency to
+  ``BENCH_serve.json``);
+* ``serve``     — run the warm-state reordering daemon (JSON-lines over
+  a unix socket and/or TCP; see ``docs/serving.md``);
 * ``verify``    — static schedule / mapping verification (no simulation);
 * ``lint``      — repo-specific AST lint pass (REP00x rules);
 * ``audit``     — whole-pipeline static audit: lint + determinism,
@@ -198,6 +202,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument(
         "--profile", action="store_true",
         help="cProfile one batched sweep and report the top-20 cumulative hotspots",
+    )
+    p_perf.add_argument(
+        "--serve", action="store_true",
+        help="load-test the reordering daemon (cold vs. warm latency) "
+        "instead of the sweep; writes BENCH_serve.json",
+    )
+    p_perf.add_argument(
+        "--clients", type=int, default=None,
+        help="concurrent client connections for --serve (default 8, or 4 with --quick)",
+    )
+
+    p_srv = sub.add_parser(
+        "serve", help="run the warm-state reordering daemon (JSON-lines protocol)"
+    )
+    p_srv.add_argument(
+        "--socket", default=None, help="unix socket path to listen on"
+    )
+    p_srv.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port to listen on (0 picks a free port, printed at startup)",
+    )
+    p_srv.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind address (default 127.0.0.1)"
+    )
+    p_srv.add_argument(
+        "--topology-cap", type=int, default=None,
+        help="max resident topologies before LRU eviction (default 8)",
+    )
+    p_srv.add_argument(
+        "--batch-window", type=float, default=None,
+        help="seconds a cold reorder waits for batch companions (default 0.005)",
+    )
+    p_srv.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="seconds to wait for in-flight work on SIGTERM (default 30)",
     )
 
     p_ver = sub.add_parser("verify", help="static schedule & mapping verification")
@@ -502,6 +541,29 @@ def _cmd_reproduce(args) -> int:
 def _cmd_perf(args) -> int:
     from repro.bench.perf import run_mapping_perf, run_perf
 
+    if args.serve:
+        from repro.bench.serveperf import DEFAULT_SERVE_BENCH_PATH, run_serve_perf
+
+        out = args.out if args.out != "BENCH_sweep.json" else DEFAULT_SERVE_BENCH_PATH
+        report = run_serve_perf(
+            n_nodes=args.nodes,
+            quick=args.quick,
+            clients=args.clients,
+            out=out,
+        )
+        print(report.summary())
+        print(f"measurement written to {out}")
+        if report.mismatches:
+            print(f"FAIL: {report.mismatches} serve-vs-solo identity mismatches")
+            return 1
+        if report.warm_speedup_p50 < args.min_speedup:
+            print(
+                f"FAIL: warm speedup {report.warm_speedup_p50:.2f}x below "
+                f"required {args.min_speedup:.2f}x"
+            )
+            return 1
+        return 0
+
     if args.mappings:
         out = args.out if args.out != "BENCH_sweep.json" else "BENCH_mappings.json"
         report = run_mapping_perf(
@@ -618,6 +680,47 @@ def _cmd_verify(args) -> int:
     return 1 if total else 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.registry import DEFAULT_TOPOLOGY_CAP
+    from repro.serve.server import DEFAULT_BATCH_WINDOW, ReproServer, ServerConfig
+
+    try:
+        config = ServerConfig(
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port,
+            topology_cap=(
+                args.topology_cap if args.topology_cap is not None
+                else DEFAULT_TOPOLOGY_CAP
+            ),
+            batch_window=(
+                args.batch_window if args.batch_window is not None
+                else DEFAULT_BATCH_WINDOW
+            ),
+            drain_timeout=args.drain_timeout,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+
+    async def run() -> None:
+        server = ReproServer(config)
+        await server.start()
+        listening = []
+        if config.socket_path is not None:
+            listening.append(f"unix:{config.socket_path}")
+        if server.port is not None:
+            listening.append(f"tcp:{config.host}:{server.port}")
+        print(f"repro serve: listening on {', '.join(listening)}", flush=True)
+        await server.run()
+        print("repro serve: drained, bye")
+
+    asyncio.run(run())
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis.lint import main as lint_main
 
@@ -657,6 +760,7 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "reproduce": _cmd_reproduce,
     "perf": _cmd_perf,
+    "serve": _cmd_serve,
     "verify": _cmd_verify,
     "lint": _cmd_lint,
     "audit": _cmd_audit,

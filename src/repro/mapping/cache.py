@@ -39,9 +39,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -126,8 +127,15 @@ class MappingCache:
         self.directory = Path(directory) if directory else None
         self.max_memory_entries = max_memory_entries
         self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        # int64 (layout, mapping) views of each memory entry, built once
+        # at admission so repeat hits skip list round-trips entirely.
+        self._arrays: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        # Guards _memory/_arrays: the serve daemon answers warm hits from
+        # its event loop thread while the pipeline lane admits entries.
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     def _path_for(self, key: str) -> Optional[Path]:
@@ -148,11 +156,24 @@ class MappingCache:
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """Entry for ``key``, or None; corrupt entries count as misses."""
-        entry = self._memory.get(key)
-        if entry is not None:
-            self._memory.move_to_end(key)
-            self.hits += 1
-            return entry
+        hit = self.get_arrays(key)
+        return hit[0] if hit is not None else None
+
+    def get_arrays(
+        self, key: str
+    ) -> Optional[Tuple[Dict[str, Any], np.ndarray, np.ndarray]]:
+        """Hit as ``(entry, layout, mapping)`` with int64 array views.
+
+        The arrays are the cache's own (built once at admission): callers
+        must treat them as read-only and copy before mutating.  This is
+        the hot serving path — a warm hit does no per-element work.
+        """
+        with self._lock:
+            entry = self._memory.get(key)
+            if entry is not None:
+                self._memory.move_to_end(key)
+                self.hits += 1
+                return (entry,) + self._arrays[key]
         path = self._path_for(key)
         if path is not None and path.exists():
             try:
@@ -160,9 +181,10 @@ class MappingCache:
             except (OSError, json.JSONDecodeError):
                 entry = None
             if self._valid(entry):
-                self._remember(key, entry)
-                self.hits += 1
-                return entry
+                with self._lock:
+                    self._remember(key, entry)
+                    self.hits += 1
+                    return (entry,) + self._arrays[key]
         self.misses += 1
         return None
 
@@ -170,21 +192,50 @@ class MappingCache:
         """Store ``entry`` in memory and (when configured) on disk."""
         if not self._valid(entry):
             raise ValueError("refusing to cache an invalid mapping entry")
-        self._remember(key, entry)
+        with self._lock:
+            self._remember(key, entry)
         path = self._path_for(key)
         if path is not None:
             path.parent.mkdir(parents=True, exist_ok=True)
             atomic_write_json(path, entry)
 
+    def peek(self, key: str) -> bool:
+        """True iff ``key`` is resident in the memory tier.
+
+        No counter updates, no LRU movement, no disk probe — this is the
+        serve daemon's warm-test (safe to call from a thread other than
+        the one mutating the cache, since it is one dict lookup).
+        """
+        return key in self._memory
+
     def _remember(self, key: str, entry: Dict[str, Any]) -> None:
         self._memory[key] = entry
+        self._arrays[key] = (
+            np.asarray(entry["layout"], dtype=np.int64),
+            np.asarray(entry["mapping"], dtype=np.int64),
+        )
         self._memory.move_to_end(key)
         while len(self._memory) > self.max_memory_entries:
-            self._memory.popitem(last=False)
+            gone, _ = self._memory.popitem(last=False)
+            self._arrays.pop(gone, None)
+            self.evictions += 1
 
     def clear(self) -> None:
         """Drop the in-memory tier (disk files are left in place)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
+            self._arrays.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        """Counter snapshot (what the daemon's ``stats`` op reports)."""
+        return {
+            "entries": len(self._memory),
+            "max_memory_entries": self.max_memory_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "directory": str(self.directory) if self.directory else None,
+        }
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -193,7 +244,7 @@ class MappingCache:
         where = str(self.directory) if self.directory else "memory-only"
         return (
             f"MappingCache({where}, entries={len(self._memory)}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
         )
 
 

@@ -137,18 +137,21 @@ def reorder_ranks(
             fp = fp()
         if isinstance(fp, str) and isinstance(rng, (int, np.integer)):
             key = mapping_cache_key(fp, pattern, kind, L, int(rng), mapper_kwargs)
-            entry = cache_obj.get(key)
-            if entry is not None and entry["layout"] == L.tolist():
-                return ReorderResult(
-                    reordering=RankReordering(
-                        layout=L, mapping=np.asarray(entry["mapping"], dtype=np.int64)
-                    ),
-                    pattern=pattern,
-                    mapper_name=entry.get("mapper_name", "mapper"),
-                    map_seconds=float(entry.get("map_seconds", 0.0)),
-                    graph_seconds=float(entry.get("graph_seconds", 0.0)),
-                    cached=True,
-                )
+            hit = cache_obj.get_arrays(key)
+            if hit is not None:
+                entry, cached_layout, cached_mapping = hit
+                if np.array_equal(cached_layout, L):
+                    return ReorderResult(
+                        reordering=RankReordering(
+                            # Copy: the arrays are the cache's own views.
+                            layout=L, mapping=cached_mapping.copy()
+                        ),
+                        pattern=pattern,
+                        mapper_name=entry.get("mapper_name", "mapper"),
+                        map_seconds=float(entry.get("map_seconds", 0.0)),
+                        graph_seconds=float(entry.get("graph_seconds", 0.0)),
+                        cached=True,
+                    )
 
     graph_seconds = 0.0
     if kind == "heuristic":
@@ -260,7 +263,6 @@ def reorder_all(
         if callable(fp):
             fp = fp()
         if isinstance(fp, str):
-            L_list = L.tolist()
             for pt in patterns:
                 if not isinstance(rng_of[pt], (int, np.integer)):
                     continue  # live Generators bypass the cache
@@ -268,12 +270,14 @@ def reorder_all(
                     fp, pt, "heuristic", L, int(rng_of[pt]), mapper_kwargs
                 )
                 keys[pt] = key
-                entry = cache_obj.get(key)
-                if entry is not None and entry["layout"] == L_list:
+                hit = cache_obj.get_arrays(key)
+                if hit is not None:
+                    entry, cached_layout, cached_mapping = hit
+                    if not np.array_equal(cached_layout, L):
+                        continue
                     results[pt] = ReorderResult(
                         reordering=RankReordering(
-                            layout=L,
-                            mapping=np.asarray(entry["mapping"], dtype=np.int64),
+                            layout=L, mapping=cached_mapping.copy()
                         ),
                         pattern=pt,
                         mapper_name=entry.get("mapper_name", "mapper"),

@@ -300,6 +300,9 @@ class TimingEngine:
             # a scale of k divides the link's bandwidth by k (degradation)
             self._beta = self._beta * scale
         self._pricing_cache: "OrderedDict[tuple, SchedulePricing]" = OrderedDict()
+        self.pricing_hits = 0
+        self.pricing_misses = 0
+        self.pricing_evictions = 0
 
     # ------------------------------------------------------------------
     def stage_time(self, stage: Stage, mapping: np.ndarray, block_bytes: float) -> StageTiming:
@@ -549,12 +552,25 @@ class TimingEngine:
         hit = self._pricing_cache.get(key)
         if hit is not None:
             self._pricing_cache.move_to_end(key)
+            self.pricing_hits += 1
             return hit
+        self.pricing_misses += 1
         pricing = SchedulePricing(self, schedule, M)
         self._pricing_cache[key] = pricing
         if len(self._pricing_cache) > PRICING_CACHE_SIZE:
             self._pricing_cache.popitem(last=False)
+            self.pricing_evictions += 1
         return pricing
+
+    def pricing_cache_stats(self) -> dict:
+        """Pricing-LRU counter snapshot (the daemon's ``stats`` op)."""
+        return {
+            "entries": len(self._pricing_cache),
+            "capacity": PRICING_CACHE_SIZE,
+            "hits": self.pricing_hits,
+            "misses": self.pricing_misses,
+            "evictions": self.pricing_evictions,
+        }
 
     def evaluate_sizes(
         self,

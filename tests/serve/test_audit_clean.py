@@ -1,0 +1,38 @@
+"""The serve package must pass the static audit without suppressions.
+
+The daemon is long-lived shared infrastructure: every DET (determinism)
+and PAR (concurrency / persistence) contract the audit enforces on the
+pipeline applies with interest here, and — unlike the sweep drivers,
+which carry a few justified ``# noqa`` suppressions — the serve package
+is required to be clean with zero exemptions.
+"""
+
+from pathlib import Path
+
+from repro.analysis.det import check_determinism_paths
+from repro.analysis.par import check_concurrency_paths
+
+SERVE_DIR = Path(__file__).resolve().parents[2] / "src" / "repro" / "serve"
+
+
+class TestServeAuditClean:
+    def test_det_pass_is_clean(self):
+        report = check_determinism_paths([str(SERVE_DIR)])
+        assert [str(d) for d in report.diagnostics] == []
+
+    def test_par_pass_is_clean(self):
+        report = check_concurrency_paths([str(SERVE_DIR)])
+        assert [str(d) for d in report.diagnostics] == []
+
+    def test_serve_is_in_par_persistence_scope(self):
+        from repro.analysis.par import _PERSIST_PKGS
+
+        assert "repro/serve/" in _PERSIST_PKGS
+
+    def test_no_noqa_suppressions(self):
+        offenders = [
+            path.name
+            for path in sorted(SERVE_DIR.glob("*.py"))
+            if "noqa" in path.read_text()
+        ]
+        assert offenders == []

@@ -1,0 +1,30 @@
+"""Serve load generator: quick run produces a sound, identical-answer report."""
+
+import json
+
+from repro.bench.serveperf import ServePerfReport, run_serve_perf
+
+
+class TestRunServePerf:
+    def test_quick_run_report(self, tmp_path):
+        out = tmp_path / "BENCH_serve.json"
+        report = run_serve_perf(quick=True, out=out)
+
+        assert isinstance(report, ServePerfReport)
+        assert report.p == 64  # 8 GPC nodes x 8 cores
+        assert report.quick is True
+        assert report.cold_requests == report.n_keys
+        assert report.warm_requests == report.n_keys * report.warm_rounds
+
+        # the whole point: serving must never change an answer
+        assert report.mismatches == 0
+        # and warm traffic must actually be served from resident state
+        assert report.patterns_computed == report.n_keys
+        assert report.warm_p50_ms <= report.cold_p50_ms
+        assert report.warm_speedup_p50 >= 1.0
+        assert report.requests_per_sec_warm > 0
+
+        persisted = json.loads(out.read_text())
+        assert persisted["mismatches"] == 0
+        assert persisted["p"] == report.p
+        assert {"cold_p50_ms", "warm_p50_ms", "mapping_cache"} <= set(persisted)
