@@ -14,11 +14,7 @@ import json
 import socket
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
-from repro.serve.protocol import (
-    MAX_LINE_BYTES,
-    PROTOCOL_VERSION,
-    encode_frame,
-)
+from repro.serve.protocol import PROTOCOL_VERSION, encode_frame
 
 __all__ = ["ServeClient", "ServeError"]
 
@@ -69,6 +65,25 @@ class ServeClient:
         self.last_server_seconds: Optional[float] = None
 
     # ------------------------------------------------------------------
+    def _read_line(self) -> bytes:
+        """One full response line, however long (empty bytes at EOF).
+
+        Responses are not bounded by the server (a big topology's stats
+        frame can exceed the *request* line ceiling), so a size-limited
+        ``readline`` could hand back a partial line and permanently
+        desync the connection; accumulate until the newline instead.
+        """
+        chunks: List[bytes] = []
+        while True:
+            chunk = self._file.readline(1 << 20)
+            if not chunk:
+                if chunks:
+                    raise ConnectionError("daemon closed the connection mid-response")
+                return b""
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                return b"".join(chunks)
+
     def request(self, op: str, **fields: Any) -> Dict[str, Any]:
         """Send one request, wait for its response, return ``result``.
 
@@ -79,7 +94,7 @@ class ServeClient:
         request_id = self._next_id
         frame = {"v": PROTOCOL_VERSION, "id": request_id, "op": op, **fields}
         self._sock.sendall(encode_frame(frame))
-        line = self._file.readline(MAX_LINE_BYTES + 2)
+        line = self._read_line()
         if not line:
             raise ConnectionError("daemon closed the connection")
         answer = json.loads(line.decode("utf-8"))
@@ -160,7 +175,7 @@ class ServeClient:
     def send_raw(self, data: bytes) -> List[bytes]:
         """Write raw bytes and read one response line (protocol tests)."""
         self._sock.sendall(data)
-        line = self._file.readline(MAX_LINE_BYTES + 2)
+        line = self._read_line()
         return [line] if line else []
 
     def close(self) -> None:

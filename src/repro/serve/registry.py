@@ -252,6 +252,16 @@ class TopologyRegistry:
 
 def check_layout_array(layout: Any, n_cores: int) -> np.ndarray:
     """Validate an explicit JSON layout list against the cluster size."""
+    if not isinstance(layout, (list, tuple)) or not layout:
+        raise ProtocolError(ERROR_BAD_REQUEST, "layout must be a non-empty list of core ids")
+    for c in layout:
+        # Element-wise check before np.asarray: strings would raise a raw
+        # ValueError (surfacing as internal-error) and floats would be
+        # silently truncated — both must be clean bad-request rejections.
+        if isinstance(c, bool) or not isinstance(c, int):
+            raise ProtocolError(
+                ERROR_BAD_REQUEST, f"layout entries must be integers, got {c!r}"
+            )
     arr = np.asarray(layout, dtype=np.int64)
     if arr.ndim != 1 or arr.size == 0:
         raise ProtocolError(ERROR_BAD_REQUEST, "layout must be a non-empty list of core ids")

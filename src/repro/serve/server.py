@@ -20,8 +20,9 @@ TCP port.  Three mechanisms turn repeat traffic into cache lookups:
 
 Every pipeline-touching op runs on a one-thread executor lane, which
 serialises all cache mutation (no locks anywhere) while the event loop
-stays responsive for ``health`` / ``stats`` and for reading new
-requests.  SIGTERM/SIGINT trigger a graceful drain: listeners close,
+stays responsive for ``health`` and for reading new requests; ``stats``
+also rides the lane because its registry snapshot walks the same LRU
+dicts the lane mutates.  SIGTERM/SIGINT trigger a graceful drain: listeners close,
 in-flight work finishes and is answered, idle connections are torn
 down, then the process exits.
 
@@ -36,6 +37,7 @@ import asyncio
 import contextlib
 import functools
 import signal
+import socket
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -65,6 +67,20 @@ __all__ = ["ServerConfig", "ReproServer", "DEFAULT_BATCH_WINDOW"]
 DEFAULT_BATCH_WINDOW = 0.005
 
 _READ_CHUNK = 1 << 16
+
+
+def _unix_socket_alive(path: str) -> bool:
+    """True iff something accepts connections on the unix socket ``path``."""
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        probe.settimeout(0.5)
+        probe.connect(path)
+    except OSError:
+        return False
+    else:
+        return True
+    finally:
+        probe.close()
 
 
 @dataclass
@@ -127,7 +143,12 @@ class _LineReader:
             if self._eof:
                 if discarding:
                     raise OversizedLineError()
-                return bytes(self._buf) if self._buf else None
+                # Consume the final unterminated line so the next call
+                # sees an empty buffer and returns None instead of
+                # replaying the same bytes forever.
+                line = bytes(self._buf)
+                del self._buf[:]
+                return line if line else None
             chunk = await self._reader.read(_READ_CHUNK)
             if not chunk:
                 self._eof = True
@@ -186,6 +207,14 @@ class ReproServer:
             path = Path(self.config.socket_path)
             path.parent.mkdir(parents=True, exist_ok=True)
             if path.exists():
+                # Only clear a *stale* socket.  If another daemon still
+                # answers on it, unlinking here would silently steal its
+                # traffic — refuse to start instead.
+                if _unix_socket_alive(str(path)):
+                    raise RuntimeError(
+                        f"another daemon is already listening on {path}; "
+                        "stop it or pass a different --socket"
+                    )
                 path.unlink()
             self._servers.append(
                 await asyncio.start_unix_server(self._on_connection, path=str(path))
@@ -316,7 +345,14 @@ class ReproServer:
         if op == "health":
             return self.service.health(self._server_extra())
         if op == "stats":
-            return self.service.stats(self._server_extra())
+            # The registry snapshot walks the same nested LRU dicts the
+            # pipeline lane mutates (move_to_end/popitem), so it must run
+            # on that lane — iterating them from the event loop thread
+            # can raise "mutated during iteration" under live traffic.
+            extra = self._server_extra()
+            return await self._loop.run_in_executor(
+                self._lane, functools.partial(self.service.stats, extra)
+            )
         key = coalesce_key(op, dict(payload))
         shared = self._inflight.get(key)
         if shared is not None:

@@ -6,7 +6,9 @@ callers use — so the asyncio server, the line framing, the pipeline
 lane and the warm fast path are all exercised for real.
 """
 
+import io
 import json
+import socket as socketlib
 import threading
 
 import numpy as np
@@ -152,6 +154,43 @@ class TestErrorPaths:
         with es.client() as c:
             with pytest.raises(ServeError) as exc_info:
                 c.reorder(fingerprint, "ring", [0, 0, 1])
+        assert exc_info.value.code == "bad-request"
+
+    def test_non_integer_layout_entries_are_bad_request(self, served):
+        # Strings must not surface as internal-error, and float core ids
+        # must be rejected rather than silently truncated.
+        es, fingerprint = served
+        with es.client() as c:
+            for layout in (["zero", "one"], [0.5, 1.0], [0, True]):
+                answer = json.loads(
+                    c.send_raw(
+                        json.dumps(
+                            {
+                                "v": 1,
+                                "id": 1,
+                                "op": "reorder",
+                                "fingerprint": fingerprint,
+                                "pattern": "ring",
+                                "layout": layout,
+                            }
+                        ).encode("utf-8")
+                        + b"\n"
+                    )[0]
+                )
+                assert answer["ok"] is False, layout
+                assert answer["error"]["code"] == "bad-request", layout
+
+    def test_non_integer_price_mapping_is_bad_request(self, served):
+        es, fingerprint = served
+        with es.client() as c:
+            with pytest.raises(ServeError) as exc_info:
+                c.request(
+                    "price",
+                    fingerprint=fingerprint,
+                    algorithm="ring",
+                    sizes=[1024],
+                    mapping=["a", "b"],
+                )
         assert exc_info.value.code == "bad-request"
 
     def test_engine_option_is_not_client_visible(self, served):
@@ -319,6 +358,76 @@ class TestUnixSocket:
             es.stop()
         # graceful drain unlinks the socket
         assert not (tmp_path / "repro.sock").exists()
+
+
+class TestUnterminatedFinalLine:
+    def test_half_closed_request_without_newline_answers_once(self, served):
+        # A request missing its trailing newline, followed by a write-side
+        # close, must be answered exactly once — not replayed forever off
+        # the line reader's EOF buffer.
+        es, _ = served
+        sock = socketlib.create_connection(
+            ("127.0.0.1", es.server.port), timeout=10
+        )
+        try:
+            sock.sendall(b'{"v": 1, "id": 5, "op": "health"}')  # no \n
+            sock.shutdown(socketlib.SHUT_WR)
+            stream = sock.makefile("rb")
+            answer = json.loads(stream.readline())
+            assert answer["ok"] is True
+            assert answer["id"] == 5
+            # one answer, then the server closes: EOF, no response spam
+            assert stream.read() == b""
+        finally:
+            sock.close()
+
+
+class TestSocketTakeover:
+    def test_second_daemon_refuses_live_socket(self, tmp_path):
+        socket_path = str(tmp_path / "repro.sock")
+        first = EmbeddedServer(ServerConfig(socket_path=socket_path)).start()
+        try:
+            with pytest.raises(RuntimeError) as exc_info:
+                EmbeddedServer(ServerConfig(socket_path=socket_path)).start()
+            assert "already listening" in str(exc_info.value.__cause__)
+            # the live daemon kept its socket and still answers
+            with first.client() as c:
+                assert c.health()["status"] == "ok"
+        finally:
+            first.stop()
+
+    def test_stale_socket_is_cleared(self, tmp_path):
+        socket_path = str(tmp_path / "repro.sock")
+        # Leave a dead socket file behind (no listener).
+        stale = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+        stale.bind(socket_path)
+        stale.close()
+        with EmbeddedServer(ServerConfig(socket_path=socket_path)) as es:
+            with es.client() as c:
+                assert c.health()["status"] == "ok"
+
+
+class TestClientReadLine:
+    """ServeClient must never hand back a partial response line."""
+
+    @staticmethod
+    def _bare_client(data: bytes):
+        from repro.serve.client import ServeClient
+
+        client = object.__new__(ServeClient)
+        client._file = io.BytesIO(data)
+        return client
+
+    def test_long_response_accumulates_until_newline(self):
+        line = b"x" * (3 * (1 << 20)) + b"\n"
+        assert self._bare_client(line)._read_line() == line
+
+    def test_truncated_response_raises_instead_of_desyncing(self):
+        with pytest.raises(ConnectionError):
+            self._bare_client(b"partial without newline")._read_line()
+
+    def test_eof_returns_empty(self):
+        assert self._bare_client(b"")._read_line() == b""
 
 
 class TestGracefulStop:
