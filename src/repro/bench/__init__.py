@@ -7,6 +7,23 @@ from repro.bench.microbench import (
     sweep_nonhierarchical,
 )
 from repro.bench.ascii_plot import bar_chart, line_chart
+from repro.bench.fabric import (
+    FabricError,
+    FabricMergeResult,
+    FabricStatus,
+    FabricWorker,
+    ShardPlan,
+    WorkerStats,
+    fabric_merge,
+    fabric_status,
+    plan_shards,
+    run_fabric_worker,
+)
+from repro.bench.fabricperf import (
+    DEFAULT_FABRIC_BENCH_PATH,
+    FabricPerfReport,
+    run_fabric_perf,
+)
 from repro.bench.perf import (
     DEFAULT_NAIVE_MAX_P,
     MAPPING_P_VALUES,
@@ -48,4 +65,17 @@ __all__ = [
     "DEFAULT_SERVE_BENCH_PATH",
     "ServePerfReport",
     "run_serve_perf",
+    "FabricError",
+    "FabricMergeResult",
+    "FabricStatus",
+    "FabricWorker",
+    "ShardPlan",
+    "WorkerStats",
+    "fabric_merge",
+    "fabric_status",
+    "plan_shards",
+    "run_fabric_worker",
+    "DEFAULT_FABRIC_BENCH_PATH",
+    "FabricPerfReport",
+    "run_fabric_perf",
 ]

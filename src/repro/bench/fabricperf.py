@@ -1,0 +1,250 @@
+"""Fabric scaling benchmark: N-worker fan-out vs. the serial runner.
+
+Times the same :class:`~repro.bench.runner.SweepSpec` grid twice — once
+through a solo serial :class:`~repro.bench.runner.CheckpointedSweep`,
+once per requested worker count through real OS worker processes racing
+the shared lease directory — then fingerprint-merges each fabric run and
+requires its ``sweep.json`` to be **byte-identical** to the serial one.
+``python -m repro perf --fabric`` wraps it and persists the scaling
+curve to ``BENCH_fabric.json``.
+
+Cells carry an injected per-cell stall (``cell_delay``, via the runner's
+``REPRO_SWEEP_CELL_DELAY`` hook) by default: it models the I/O, queueing
+and straggler latency that dominates real multi-host sweep cells and
+that the fabric exists to overlap.  The pure-compute share of every cell
+is also measured (``serial_compute_seconds``) and the host core count is
+recorded, so a reader can judge how much of the speedup is overlap vs.
+extra cores — on a single-core host, overlapping the stalls is the whole
+story; with ``--cell-delay 0`` the curve measures raw compute scaling
+instead (meaningful only when cores >= workers).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import platform
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from tempfile import mkdtemp
+from typing import List, Optional, Sequence, Union
+
+from repro.bench.fabric import fabric_merge, run_fabric_worker
+from repro.bench.runner import CELL_DELAY_ENV, CheckpointedSweep, SweepSpec
+from repro.util.atomicio import atomic_write_text
+
+__all__ = [
+    "FabricPerfCase",
+    "FabricPerfReport",
+    "run_fabric_perf",
+    "DEFAULT_FABRIC_BENCH_PATH",
+    "FABRIC_WORKER_COUNTS",
+]
+
+#: Where ``run_fabric_perf`` persists its measurement by default.
+DEFAULT_FABRIC_BENCH_PATH = "BENCH_fabric.json"
+
+#: Default worker counts for the scaling curve.
+FABRIC_WORKER_COUNTS = (1, 2, 4)
+
+#: Default injected per-cell stall (seconds): full shape and CI quick.
+DEFAULT_CELL_DELAY = 1.0
+QUICK_CELL_DELAY = 0.25
+
+
+@dataclass
+class FabricPerfCase:
+    """One point of the scaling curve: the grid under N fabric workers."""
+
+    workers: int
+    seconds: float
+    speedup: float               # serial_seconds / seconds
+    steals: int
+    lease_contention: int
+    shards: int
+    identical: bool              # sweep.json bytes == serial run's
+
+
+@dataclass
+class FabricPerfReport:
+    """Outcome of one fabric scaling benchmark."""
+
+    p: int
+    n_nodes: int
+    n_cells: int
+    n_points: int
+    cell_delay: float
+    cores: int
+    serial_seconds: float
+    serial_compute_seconds: float   # sum of measured per-cell compute
+    cases: List[FabricPerfCase] = field(default_factory=list)
+    speedup: float = 0.0            # at the largest worker count
+    mismatches: int = 0             # fabric runs whose bytes diverged
+    lease_ttl: float = 0.0
+    quick: bool = False
+    timestamp: float = 0.0
+    python: str = ""
+
+    def summary(self) -> str:
+        """Human-readable scaling curve with byte-identity verdicts."""
+        lines = [
+            f"fabric perf: p={self.p}, {self.n_cells} cells, "
+            f"{self.n_points} points, cell stall {self.cell_delay:.2f}s, "
+            f"{self.cores} core(s)",
+            f"  serial runner       : {self.serial_seconds:8.2f} s "
+            f"(compute share {self.serial_compute_seconds:.2f} s)",
+        ]
+        for c in self.cases:
+            ident = "bit-identical" if c.identical else "MISMATCH"
+            lines.append(
+                f"  {c.workers} worker(s)         : {c.seconds:8.2f} s "
+                f"({c.speedup:5.2f}x, {c.shards} shards, steals {c.steals}, "
+                f"contention {c.lease_contention}, {ident})"
+            )
+        best = max(self.cases, key=lambda c: c.workers)
+        lines.append(f"  speedup at {best.workers} workers: {self.speedup:.2f}x")
+        return "\n".join(lines)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Persist as indented JSON (atomic write); returns the path."""
+        path = Path(path)
+        atomic_write_text(path, json.dumps(asdict(self), indent=2) + "\n")
+        return path
+
+
+def _mp_context():
+    """Fork when the platform has it (no interpreter re-import cost per
+    worker, keeping the curve about the fabric rather than process
+    startup); spawn otherwise."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context("spawn")
+
+
+def _run_fabric_once(
+    spec: SweepSpec,
+    out_dir: Path,
+    n_workers: int,
+    lease_ttl: float,
+) -> float:
+    """Launch N worker processes over one fabric dir; returns wall seconds."""
+    ctx = _mp_context()
+    t0 = time.perf_counter()
+    procs = [
+        ctx.Process(
+            target=run_fabric_worker,
+            args=(str(out_dir),),
+            kwargs={
+                "spec": spec,
+                "worker_id": f"bench-w{i}",
+                "lease_ttl": lease_ttl,
+                "poll_interval": 0.05,
+            },
+        )
+        for i in range(n_workers)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join()
+    bad = [proc.exitcode for proc in procs if proc.exitcode != 0]
+    if bad:
+        raise RuntimeError(f"fabric worker exited with code(s) {bad}")
+    fabric_merge(out_dir)
+    return time.perf_counter() - t0
+
+
+def run_fabric_perf(
+    n_nodes: Optional[int] = None,
+    workers_list: Optional[Sequence[int]] = None,
+    quick: bool = False,
+    cell_delay: Optional[float] = None,
+    lease_ttl: float = 10.0,
+    work_dir: Optional[Union[str, Path]] = None,
+    out_path: Optional[Union[str, Path]] = DEFAULT_FABRIC_BENCH_PATH,
+) -> FabricPerfReport:
+    """Measure the fabric's scaling curve and persist it.
+
+    The serial baseline and every fabric run execute the identical
+    default :class:`SweepSpec` grid (full OSU sizes x 4 layouts x
+    {heuristic, scotch} x both strategies — the paper-shape 12-cell grid,
+    p=256 at the default 32 nodes) in fresh journal directories, all
+    under the same injected ``cell_delay``.  Every fabric ``sweep.json``
+    must match the serial bytes exactly; any divergence is counted in
+    ``mismatches`` (and fails ``repro perf --fabric``).
+    """
+    if n_nodes is None:
+        n_nodes = 2 if quick else 32
+    if workers_list is None:
+        workers_list = (1, 2) if quick else FABRIC_WORKER_COUNTS
+    workers_list = [int(w) for w in workers_list]
+    if not workers_list or any(w < 1 for w in workers_list):
+        raise ValueError("workers_list must hold positive worker counts")
+    if cell_delay is None:
+        cell_delay = QUICK_CELL_DELAY if quick else DEFAULT_CELL_DELAY
+    cell_delay = float(cell_delay)
+
+    spec = SweepSpec(n_nodes=n_nodes)
+    base = Path(work_dir) if work_dir is not None else Path(mkdtemp(prefix="fabricperf-"))
+    base.mkdir(parents=True, exist_ok=True)
+
+    prior = os.environ.get(CELL_DELAY_ENV)
+    os.environ[CELL_DELAY_ENV] = str(cell_delay)
+    try:
+        serial_dir = base / "serial"
+        t0 = time.perf_counter()
+        serial_result = CheckpointedSweep(spec, serial_dir).run()
+        serial_seconds = time.perf_counter() - t0
+        serial_bytes = (serial_dir / "sweep.json").read_bytes()
+        compute = sum(serial_result.cell_seconds.values()) - cell_delay * len(
+            serial_result.cell_seconds
+        )
+
+        cases: List[FabricPerfCase] = []
+        mismatches = 0
+        for n_workers in workers_list:
+            fdir = base / f"fabric-{n_workers}"
+            seconds = _run_fabric_once(spec, fdir, n_workers, lease_ttl)
+            merged = fabric_merge(fdir)  # idempotent; re-read for counters
+            identical = (fdir / "sweep.json").read_bytes() == serial_bytes
+            mismatches += int(not identical)
+            cases.append(
+                FabricPerfCase(
+                    workers=n_workers,
+                    seconds=seconds,
+                    speedup=serial_seconds / seconds if seconds > 0 else float("inf"),
+                    steals=merged.steals,
+                    lease_contention=merged.lease_contention,
+                    shards=merged.n_shards,
+                    identical=identical,
+                )
+            )
+    finally:
+        if prior is None:
+            os.environ.pop(CELL_DELAY_ENV, None)
+        else:
+            os.environ[CELL_DELAY_ENV] = prior
+
+    report = FabricPerfReport(
+        p=8 * n_nodes,
+        n_nodes=n_nodes,
+        n_cells=len(spec.cells()),
+        n_points=len(serial_result.points),
+        cell_delay=cell_delay,
+        cores=os.cpu_count() or 1,
+        serial_seconds=serial_seconds,
+        serial_compute_seconds=max(0.0, compute),
+        cases=cases,
+        speedup=max(cases, key=lambda c: c.workers).speedup,
+        mismatches=mismatches,
+        lease_ttl=lease_ttl,
+        quick=quick,
+        timestamp=time.time(),
+        python=platform.python_version(),
+    )
+    if out_path is not None:
+        report.write(out_path)
+    return report

@@ -131,8 +131,14 @@ def compute_cell(spec: SweepSpec, cell: str) -> Dict:
 
     Deterministic given ``(spec, cell)``: reordering seeds come from the
     layout/mapper content, so recomputing a cell on resume (or in a
-    different process) reproduces the original bytes.
+    different process) reproduces the original bytes.  Two bookkeeping
+    keys ride along without affecting the merged sweep: ``fingerprint``
+    (the spec fingerprint, so a resume or fabric merge can reject a cell
+    journaled under a different spec) and ``compute_seconds`` (wall
+    seconds this computation took, feeding the cell-cost histogram and
+    the fabric shard planner's cost balancing).
     """
+    t0 = time.perf_counter()
     delay = float(os.environ.get(CELL_DELAY_ENV, "0") or 0)
     if delay > 0:
         time.sleep(delay)
@@ -143,13 +149,13 @@ def compute_cell(spec: SweepSpec, cell: str) -> Dict:
     L = make_layout(parts[1], ev.cluster, p)
     if parts[0] == "base":
         reports = ev.default_latencies(L, sizes, spec.hierarchical, spec.intra)
-        return {
+        payload = {
             "cell": cell,
             "kind": "base",
             "layout": parts[1],
             "reports": [asdict(r) for r in reports],
         }
-    if parts[0] == "tuned":
+    elif parts[0] == "tuned":
         mapper = parts[2]
         by_strategy = {
             strategy: [
@@ -160,14 +166,18 @@ def compute_cell(spec: SweepSpec, cell: str) -> Dict:
             ]
             for strategy in spec.strategies
         }
-        return {
+        payload = {
             "cell": cell,
             "kind": "tuned",
             "layout": parts[1],
             "mapper": mapper,
             "strategies": by_strategy,
         }
-    raise ValueError(f"unknown cell id {cell!r}")
+    else:
+        raise ValueError(f"unknown cell id {cell!r}")
+    payload["fingerprint"] = spec.fingerprint()
+    payload["compute_seconds"] = time.perf_counter() - t0
+    return payload
 
 
 @dataclass
@@ -180,6 +190,33 @@ class SweepRunResult:
     n_resumed: int = 0
     degraded_to_serial: bool = False
     quarantined: Dict[str, str] = field(default_factory=dict)
+    #: Wall seconds per cell, from the journal payloads (absent for cells
+    #: checkpointed by pre-cost journal versions).
+    cell_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def cost_histogram(self, bins: int = 8) -> List[Dict[str, float]]:
+        """Equal-width histogram of per-cell compute seconds.
+
+        Returns ``[{"lo": s, "hi": s, "count": n}, ...]`` over
+        :attr:`cell_seconds`; empty when no cell recorded its cost.  The
+        fabric shard planner consumes the same per-cell costs to balance
+        shards by measured seconds instead of cell count.
+        """
+        if bins <= 0:
+            raise ValueError("bins must be positive")
+        if not self.cell_seconds:
+            return []
+        values = sorted(self.cell_seconds.values())
+        lo, hi = values[0], values[-1]
+        width = (hi - lo) / bins or 1e-12
+        out = [
+            {"lo": lo + i * width, "hi": lo + (i + 1) * width, "count": 0}
+            for i in range(bins)
+        ]
+        for v in values:
+            idx = min(int((v - lo) / width), bins - 1)
+            out[idx]["count"] += 1
+        return out
 
 
 class CheckpointedSweep:
@@ -260,6 +297,11 @@ class CheckpointedSweep:
             return None  # torn write from a previous crash: recompute
         if not isinstance(payload, dict) or payload.get("cell") != cell:
             return None
+        # A cell journaled under a different spec (stale fabric shard,
+        # copied journal) is recomputed, not trusted.  Pre-fingerprint
+        # journals lack the key and stay accepted.
+        if "fingerprint" in payload and payload["fingerprint"] != self.spec.fingerprint():
+            return None
         return payload
 
     def _write_manifest(self) -> None:
@@ -311,8 +353,12 @@ class CheckpointedSweep:
             if prior is None:
                 os.environ.pop(MAPPING_CACHE_ENV, None)
 
-    def _run_cells(self) -> SweepRunResult:
+    def collect_cells(self) -> Tuple[Dict[str, Dict], List[str]]:
+        """Scan the journal: ``(done payloads by cell, pending cells)``.
 
+        Both collections follow the spec's canonical cell order; torn or
+        wrong-spec checkpoints land in ``pending``.
+        """
         done: Dict[str, Dict] = {}
         pending: List[str] = []
         for cell in self.spec.cells():
@@ -321,6 +367,29 @@ class CheckpointedSweep:
                 done[cell] = payload
             else:
                 pending.append(cell)
+        return done, pending
+
+    def write_merged(self, done: Dict[str, Dict]) -> List[SweepPoint]:
+        """Merge checkpoints into points and atomically write ``sweep.json``.
+
+        The single exit path for both a solo run and a fabric merge —
+        whoever assembles the same ``done`` payloads emits byte-identical
+        output.
+        """
+        points = self._merge(done)
+        atomic_write_json(
+            self.out_dir / "sweep.json",
+            {
+                "spec": asdict(self.spec),
+                "fingerprint": self.spec.fingerprint(),
+                "points": [asdict(pt) for pt in points],
+            },
+        )
+        return points
+
+    def _run_cells(self) -> SweepRunResult:
+
+        done, pending = self.collect_cells()
         result = SweepRunResult(points=[], out_dir=self.out_dir, n_resumed=len(done))
 
         attempts: Dict[str, int] = dict.fromkeys(pending, 0)
@@ -350,17 +419,14 @@ class CheckpointedSweep:
             pending = retry
 
         result.n_computed = len(done) - result.n_resumed
+        result.cell_seconds = {
+            cell: float(payload["compute_seconds"])
+            for cell, payload in done.items()
+            if isinstance(payload.get("compute_seconds"), (int, float))
+        }
         if result.quarantined:
             atomic_write_json(self.out_dir / "quarantine.json", result.quarantined)
-        result.points = self._merge(done)
-        atomic_write_json(
-            self.out_dir / "sweep.json",
-            {
-                "spec": asdict(self.spec),
-                "fingerprint": self.spec.fingerprint(),
-                "points": [asdict(pt) for pt in result.points],
-            },
-        )
+        result.points = self.write_merged(done)
         return result
 
     # ------------------------------------------------------------------

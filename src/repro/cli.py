@@ -4,7 +4,10 @@ The subcommands mirror the paper's workflow:
 
 * ``topo``      — describe a simulated cluster (structure, distance
   ladder, cost-model calibration probes);
-* ``sweep``     — micro-benchmark sweep (Fig. 3/4 style tables);
+* ``sweep``     — micro-benchmark sweep (Fig. 3/4 style tables); also
+  the crash-safe journaled runner (``--out-dir`` / ``--resume``) and the
+  distributed sweep fabric (``--fabric`` worker loop, ``--merge``
+  fingerprint-verified combine, ``--status`` read-only inspector);
 * ``app``       — application study (Fig. 5/6 style tables);
 * ``overheads`` — extraction + mapping overheads (Fig. 7 style);
 * ``adaptive``  — per-size adaptive reordering decisions (§VII);
@@ -107,6 +110,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--cell-timeout", type=float, default=None,
         help="per-cell timeout in seconds (checkpointed parallel runs)",
+    )
+    p_sweep.add_argument(
+        "--fabric", default=None, metavar="DIR",
+        help="join the distributed sweep fabric at DIR as one worker: "
+        "claim leasable shards, compute their cells into the shared "
+        "journal, work-steal expired leases (creates the fabric from the "
+        "grid flags if DIR has no manifest yet)",
+    )
+    p_sweep.add_argument(
+        "--worker-id", default=None,
+        help="fabric worker identity (default: <hostname>-<pid>)",
+    )
+    p_sweep.add_argument(
+        "--lease-ttl", type=float, default=30.0,
+        help="seconds without a heartbeat before a shard lease is "
+        "stealable (default 30)",
+    )
+    p_sweep.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count for a fabric created by this worker "
+        "(default: cost-balanced, ~2x the expected worker count)",
+    )
+    p_sweep.add_argument(
+        "--merge", default=None, metavar="DIR",
+        help="fingerprint-verified merge of a fabric journal: require "
+        "every cell journaled or quarantined, then write sweep.json "
+        "(bit-identical to a solo checkpointed run)",
+    )
+    p_sweep.add_argument(
+        "--status", default=None, metavar="DIR",
+        help="read-only journal inspector: done/pending/quarantined cell "
+        "counts, cell-cost summary and the live shard-lease table",
     )
 
     p_app = sub.add_parser("app", help="application study (Fig. 5/6)")
@@ -211,6 +246,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument(
         "--clients", type=int, default=None,
         help="concurrent client connections for --serve (default 8, or 4 with --quick)",
+    )
+    p_perf.add_argument(
+        "--fabric", action="store_true",
+        help="benchmark the distributed sweep fabric (N-worker scaling "
+        "curve vs. the serial checkpointed runner, bit-identity "
+        "verified); writes BENCH_fabric.json",
+    )
+    p_perf.add_argument(
+        "--fabric-workers", type=int, nargs="+", default=None,
+        help="worker counts for the --fabric scaling curve "
+        "(default: 1 2 4, or 1 2 with --quick)",
+    )
+    p_perf.add_argument(
+        "--cell-delay", type=float, default=None,
+        help="injected per-cell stall seconds for --fabric (models the "
+        "I/O/queueing latency of real multi-host cells; default 1.0, "
+        "0.25 with --quick; 0 measures pure-compute scaling)",
     )
 
     p_srv = sub.add_parser(
@@ -331,6 +383,12 @@ def _cmd_topo(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    if args.status is not None:
+        return _cmd_sweep_status(args)
+    if args.merge is not None:
+        return _cmd_sweep_merge(args)
+    if args.fabric is not None:
+        return _cmd_sweep_fabric(args)
     if args.resume is not None or args.out_dir is not None:
         return _cmd_sweep_checkpointed(args)
     cluster = gpc_cluster(n_nodes=args.nodes)
@@ -400,6 +458,81 @@ def _cmd_sweep_checkpointed(args) -> int:
         print("warning: process pool died; finished the sweep serially")
     for cell, err in sorted(result.quarantined.items()):
         print(f"warning: quarantined cell {cell}: {err}")
+    return 0
+
+
+def _cmd_sweep_fabric(args) -> int:
+    """One fabric worker (``--fabric DIR``): create-or-join, then work."""
+    from pathlib import Path
+
+    from repro.bench.fabric import FabricWorker
+    from repro.bench.runner import SweepSpec
+
+    out = Path(args.fabric)
+    spec = None
+    if not (out / "manifest.json").is_file():
+        sizes = OSU_SIZES if args.full_sizes else QUICK_SIZES
+        if args.hierarchical:
+            layouts = args.layouts or ["block-bunch", "block-scatter"]
+        else:
+            layouts = args.layouts or sorted(INITIAL_LAYOUTS)
+        spec = SweepSpec(
+            n_nodes=args.nodes,
+            layouts=tuple(layouts),
+            sizes=tuple(sizes),
+            mappers=tuple(args.mappers),
+            hierarchical=args.hierarchical,
+            intra=args.intra,
+        )
+    try:
+        worker = FabricWorker(
+            out,
+            spec=spec,
+            worker_id=args.worker_id,
+            lease_ttl=args.lease_ttl,
+            n_shards=args.shards,
+            max_retries=args.max_retries,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    stats = worker.run()
+    print(
+        f"fabric worker {stats.worker_id}: "
+        f"{stats.cells_computed} cells computed, {stats.cells_skipped} skipped, "
+        f"{stats.cells_quarantined} quarantined over {stats.shards_claimed} shards "
+        f"({stats.steals} stolen, contention {stats.lease_contention}) "
+        f"in {stats.elapsed_seconds:.2f}s ({stats.cells_per_sec:.2f} cells/s)"
+    )
+    print(f"journal: {out}  (merge with: repro sweep --merge {out})")
+    return 0
+
+
+def _cmd_sweep_merge(args) -> int:
+    """Fingerprint-verified fabric merge (``--merge DIR``)."""
+    from repro.bench.fabric import FabricError, fabric_merge
+
+    try:
+        result = fabric_merge(args.merge)
+    except (FabricError, FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 1
+    print(format_sweep_table(result.points, title=f"Fabric-merged sweep, p={result.p}"))
+    print()
+    print(result.summary())
+    return 0
+
+
+def _cmd_sweep_status(args) -> int:
+    """Read-only journal/fabric inspector (``--status DIR``)."""
+    from repro.bench.fabric import FabricError, fabric_status
+
+    try:
+        status = fabric_status(args.status, lease_ttl=args.lease_ttl)
+    except (FabricError, FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 1
+    print(status.format(lease_ttl=args.lease_ttl))
     return 0
 
 
@@ -559,6 +692,30 @@ def _cmd_perf(args) -> int:
         if report.warm_speedup_p50 < args.min_speedup:
             print(
                 f"FAIL: warm speedup {report.warm_speedup_p50:.2f}x below "
+                f"required {args.min_speedup:.2f}x"
+            )
+            return 1
+        return 0
+
+    if args.fabric:
+        from repro.bench.fabricperf import DEFAULT_FABRIC_BENCH_PATH, run_fabric_perf
+
+        out = args.out if args.out != "BENCH_sweep.json" else DEFAULT_FABRIC_BENCH_PATH
+        report = run_fabric_perf(
+            n_nodes=args.nodes,
+            workers_list=args.fabric_workers,
+            quick=args.quick,
+            cell_delay=args.cell_delay,
+            out_path=out,
+        )
+        print(report.summary())
+        print(f"measurement written to {out}")
+        if report.mismatches:
+            print(f"FAIL: {report.mismatches} fabric-vs-serial identity mismatches")
+            return 1
+        if report.speedup < args.min_speedup:
+            print(
+                f"FAIL: fabric speedup {report.speedup:.2f}x below "
                 f"required {args.min_speedup:.2f}x"
             )
             return 1

@@ -17,7 +17,7 @@ import os
 from pathlib import Path
 from typing import Union
 
-__all__ = ["atomic_write_text", "atomic_write_json"]
+__all__ = ["atomic_write_text", "atomic_write_json", "exclusive_create_text"]
 
 PathLike = Union[str, Path]
 
@@ -38,3 +38,29 @@ def atomic_write_json(path: PathLike, payload, indent: int = 1) -> Path:
     non-serialisable payload cannot leave a partial temp file either.
     """
     return atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")
+
+
+def exclusive_create_text(path: PathLike, text: str) -> bool:
+    """Create ``path`` with ``text`` iff it does not exist yet.
+
+    ``O_CREAT | O_EXCL`` makes existence the atomic test-and-set: of any
+    number of processes racing to create the same file, exactly one
+    succeeds (returns ``True``) and every other caller gets ``False``.
+    This is the mutual-exclusion primitive behind the sweep fabric's
+    shard leases (:mod:`repro.bench.fabric`).
+
+    Unlike :func:`atomic_write_text` the *content* is not torn-proof —
+    the file exists (empty) for the instant between create and write —
+    so readers must treat existence + mtime as authoritative and the
+    body as advisory.  Lease readers do exactly that.
+    """
+    path = Path(path)
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+    except FileExistsError:
+        return False
+    try:
+        os.write(fd, text.encode())
+    finally:
+        os.close(fd)
+    return True

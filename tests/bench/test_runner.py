@@ -233,3 +233,46 @@ class TestSigkillResume:
             reference_dir / "sweep.json"
         ).read_bytes()
         assert f"resumed {n_checkpointed}" in res.stdout
+
+
+class TestCellCosts:
+    def test_compute_cell_stamps_cost_and_fingerprint(self):
+        payload = compute_cell(SPEC, "base::block-bunch")
+        assert payload["fingerprint"] == SPEC.fingerprint()
+        assert payload["compute_seconds"] > 0
+
+    def test_run_result_collects_cell_seconds(self, tmp_path):
+        result = CheckpointedSweep(SPEC, tmp_path / "j").run()
+        assert sorted(result.cell_seconds) == sorted(SPEC.cells())
+        assert all(v > 0 for v in result.cell_seconds.values())
+
+    def test_cost_histogram_counts_every_cell(self, tmp_path):
+        result = CheckpointedSweep(SPEC, tmp_path / "j").run()
+        hist = result.cost_histogram(bins=4)
+        assert len(hist) == 4
+        assert sum(b["count"] for b in hist) == len(SPEC.cells())
+        assert all(b["lo"] <= b["hi"] for b in hist)
+
+    def test_cost_histogram_edge_cases(self):
+        from repro.bench.runner import SweepRunResult
+
+        empty = SweepRunResult(points=[], out_dir=Path("."))
+        assert empty.cost_histogram() == []
+        with pytest.raises(ValueError, match="bins"):
+            empty.cost_histogram(bins=0)
+        flat = SweepRunResult(
+            points=[], out_dir=Path("."), cell_seconds={"a": 1.0, "b": 1.0}
+        )
+        hist = flat.cost_histogram(bins=2)
+        assert sum(b["count"] for b in hist) == 2
+
+    def test_wrong_fingerprint_checkpoint_recomputed(self, tmp_path):
+        out = tmp_path / "j"
+        cs = CheckpointedSweep(SPEC, out)
+        cs.run()
+        victim = cs._cell_path("base::block-bunch")
+        payload = json.loads(victim.read_text())
+        payload["fingerprint"] = "0" * 16
+        victim.write_text(json.dumps(payload))
+        result = CheckpointedSweep(SPEC, out).run()
+        assert result.n_computed == 1 and result.n_resumed == 3

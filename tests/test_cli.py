@@ -168,3 +168,59 @@ class TestLintCommand:
         rc = main(["lint", str(dirty)])
         assert rc == 1
         assert "REP001" in capsys.readouterr().out
+
+
+class TestFabricCLI:
+    FLAGS = ["sweep", "--nodes", "2", "--layouts", "block-bunch", "--mappers", "heuristic"]
+
+    def test_fabric_parser_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "--fabric", "d", "--worker-id", "w1",
+             "--lease-ttl", "5", "--shards", "3"]
+        )
+        assert args.fabric == "d"
+        assert args.worker_id == "w1"
+        assert args.lease_ttl == 5.0
+        assert args.shards == 3
+
+    def test_merge_and_status_parser_options(self):
+        args = build_parser().parse_args(["sweep", "--merge", "d"])
+        assert args.merge == "d"
+        args = build_parser().parse_args(["sweep", "--status", "d"])
+        assert args.status == "d"
+
+    def test_perf_fabric_options(self):
+        args = build_parser().parse_args(
+            ["perf", "--fabric", "--fabric-workers", "1", "2",
+             "--cell-delay", "0.5", "--quick"]
+        )
+        assert args.fabric
+        assert args.fabric_workers == [1, 2]
+        assert args.cell_delay == 0.5
+
+    def test_fabric_worker_then_merge_then_status(self, tmp_path, capsys):
+        fdir = str(tmp_path / "f")
+        assert main(self.FLAGS + ["--fabric", fdir, "--worker-id", "w1"]) == 0
+        out = capsys.readouterr().out
+        assert "w1" in out and "--merge" in out
+        assert main(["sweep", "--merge", fdir]) == 0
+        out = capsys.readouterr().out
+        assert "Fabric-merged sweep" in out
+        assert "Hrstc+initComm" in out
+        assert main(["sweep", "--status", fdir]) == 0
+        out = capsys.readouterr().out
+        assert "2 done" in out and "0 pending" in out
+
+    def test_status_on_solo_journal(self, tmp_path, capsys):
+        jdir = str(tmp_path / "j")
+        assert main(self.FLAGS + ["--out-dir", jdir]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--status", jdir]) == 0
+        out = capsys.readouterr().out
+        assert "solo journal" in out
+
+    def test_merge_incomplete_fails(self, tmp_path, capsys):
+        assert main(["sweep", "--merge", str(tmp_path / "missing")]) == 1
+
+    def test_status_missing_dir_fails(self, tmp_path):
+        assert main(["sweep", "--status", str(tmp_path / "missing")]) == 1
